@@ -1,0 +1,52 @@
+//! Criterion bench for Figs. 10/11/12: parallel RI-DS vs parallel RI-DS-SI-FC
+//! vs sequential RI-DS on GRAEMLIN32-like and PPIS32-like instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+use sge_parallel::{enumerate_parallel, ParallelConfig};
+use sge_ri::{enumerate, Algorithm, MatchConfig};
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let mut group = c.benchmark_group("fig10_parallel_rids");
+    group.sample_size(10);
+    for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
+        let coll = collection(kind, &config);
+        let instance = coll
+            .instances
+            .iter()
+            .max_by_key(|i| i.pattern.num_edges())
+            .expect("non-empty collection");
+        let target = coll.target_of(instance).clone();
+        let pattern = instance.pattern.clone();
+
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "sequential_rids"),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDs)).matches,
+                    )
+                })
+            },
+        );
+        for (label, algorithm) in [
+            ("parallel_rids", Algorithm::RiDs),
+            ("parallel_rids_si_fc", Algorithm::RiDsSiFc),
+        ] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), label), &algorithm, |b, &algo| {
+                b.iter(|| {
+                    let cfg = ParallelConfig::new(algo).with_workers(4);
+                    std::hint::black_box(enumerate_parallel(&pattern, &target, &cfg).matches)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

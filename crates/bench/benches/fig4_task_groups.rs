@@ -1,0 +1,42 @@
+//! Criterion bench for Fig. 4: the task-group (coalescing) size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+use sge_parallel::{enumerate_parallel, ParallelConfig};
+use sge_ri::Algorithm;
+
+fn bench_fig4(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let coll = collection(CollectionKind::Graemlin32, &config);
+    let instance = coll
+        .instances
+        .iter()
+        .max_by_key(|i| i.pattern.num_edges())
+        .expect("non-empty collection");
+    let target = coll.target_of(instance);
+
+    let mut group = c.benchmark_group("fig4_task_groups");
+    group.sample_size(10);
+    for group_size in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(group_size),
+            &group_size,
+            |b, &size| {
+                b.iter(|| {
+                    let cfg = ParallelConfig::new(Algorithm::RiDs)
+                        .with_workers(4)
+                        .with_task_group_size(size);
+                    std::hint::black_box(
+                        enumerate_parallel(&instance.pattern, target, &cfg).matches,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figs. 5/6: sequential vs parallel RI on the largest
+//! (longest-running) PDBSv1-like instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+use sge_parallel::{enumerate_parallel, ParallelConfig};
+use sge_ri::{enumerate, Algorithm, MatchConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let coll = collection(CollectionKind::PdbsV1, &config);
+    let instance = coll
+        .instances
+        .iter()
+        .max_by_key(|i| i.pattern.num_edges())
+        .expect("non-empty collection");
+    let target = coll.target_of(instance);
+
+    let mut group = c.benchmark_group("fig6_long_instances");
+    group.sample_size(10);
+    group.bench_function("sequential_ri", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                enumerate(&instance.pattern, target, &MatchConfig::new(Algorithm::Ri)).matches,
+            )
+        })
+    });
+    group.bench_function("parallel_ri_4_workers", |b| {
+        b.iter(|| {
+            let cfg = ParallelConfig::new(Algorithm::Ri).with_workers(4);
+            std::hint::black_box(enumerate_parallel(&instance.pattern, target, &cfg).matches)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the core building blocks: the GreatestConstraintFirst
+//! ordering, domain assignment (+ forward checking) and the VF2 baseline.
+//! These are not tied to a specific figure; they guard the preprocessing costs
+//! the paper reports as "negligible" (Fig. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+use sge_ri::{greatest_constraint_first, Domains};
+
+fn bench_micro(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let coll = collection(CollectionKind::Graemlin32, &config);
+    let instance = coll
+        .instances
+        .iter()
+        .max_by_key(|i| i.pattern.num_edges())
+        .expect("non-empty collection");
+    let target = coll.target_of(instance).clone();
+    let pattern = instance.pattern.clone();
+
+    let mut group = c.benchmark_group("micro_core_ops");
+    group.sample_size(20);
+
+    group.bench_function("gcf_ordering", |b| {
+        b.iter(|| std::hint::black_box(greatest_constraint_first(&pattern, None, false)))
+    });
+
+    group.bench_function("domain_assignment", |b| {
+        b.iter(|| std::hint::black_box(Domains::compute(&pattern, &target)))
+    });
+
+    group.bench_function("forward_checking", |b| {
+        let domains = Domains::compute(&pattern, &target);
+        b.iter(|| {
+            let mut d = domains.clone();
+            std::hint::black_box(d.forward_check())
+        })
+    });
+
+    group.bench_function("vf2_baseline", |b| {
+        b.iter(|| std::hint::black_box(sge_vf2::enumerate_limited(&pattern, &target, Some(100))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Table 1: generating the synthetic collections and
+//! computing their statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let mut group = c.benchmark_group("table1_collections");
+    group.sample_size(10);
+    for kind in CollectionKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let coll = collection(kind, &config);
+                std::hint::black_box(coll.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Table 2: parallel RI on a PDBSv1-like instance across
+//! worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+use sge_parallel::{enumerate_parallel, ParallelConfig};
+use sge_ri::Algorithm;
+
+fn bench_table2(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let coll = collection(CollectionKind::PdbsV1, &config);
+    let instance = coll
+        .instances
+        .iter()
+        .max_by_key(|i| i.pattern.num_edges())
+        .expect("non-empty collection");
+    let target = coll.target_of(instance);
+
+    let mut group = c.benchmark_group("table2_parallel_ri");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let cfg = ParallelConfig::new(Algorithm::Ri).with_workers(w);
+                std::hint::black_box(enumerate_parallel(&instance.pattern, target, &cfg).matches)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

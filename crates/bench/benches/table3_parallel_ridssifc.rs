@@ -1,0 +1,41 @@
+//! Criterion bench for Table 3: parallel RI-DS-SI-FC across worker counts on
+//! GRAEMLIN32-like and PPIS32-like instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge_bench::experiments::collection;
+use sge_bench::ExperimentConfig;
+use sge_datasets::CollectionKind;
+use sge_parallel::{enumerate_parallel, ParallelConfig};
+use sge_ri::Algorithm;
+
+fn bench_table3(c: &mut Criterion) {
+    let config = ExperimentConfig::smoke();
+    let mut group = c.benchmark_group("table3_parallel_ridssifc");
+    group.sample_size(10);
+    for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
+        let coll = collection(kind, &config);
+        let instance = coll
+            .instances
+            .iter()
+            .max_by_key(|i| i.pattern.num_edges())
+            .expect("non-empty collection");
+        let target = coll.target_of(instance).clone();
+        let pattern = instance.pattern.clone();
+        for workers in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), workers),
+                &workers,
+                |b, &w| {
+                    b.iter(|| {
+                        let cfg = ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(w);
+                        std::hint::black_box(enumerate_parallel(&pattern, &target, &cfg).matches)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

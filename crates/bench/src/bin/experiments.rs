@@ -1,0 +1,98 @@
+//! Command-line entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p sge-bench --bin experiments -- all
+//! cargo run --release -p sge-bench --bin experiments -- table2 fig5 --scale 0.3 --workers 1,2,4,8
+//! ```
+//!
+//! Options:
+//! * `--scale <f64>`           collection size multiplier (default 0.25)
+//! * `--seed <u64>`            dataset seed (default 20170525)
+//! * `--workers <list>`        comma-separated worker counts (default 1,2,4,8,16)
+//! * `--group-sizes <list>`    task-group sizes for fig4 (default 1,2,4,8,16)
+//! * `--time-limit-secs <f64>` per-instance time limit (default 5)
+//! * `--long-threshold <f64>`  short/long split threshold in seconds (default 0.05)
+//! * `--max-instances <n>`     cap instances per collection (default 24)
+
+use sge_bench::experiments::{all_experiments, run_all};
+use sge_bench::ExperimentConfig;
+use std::time::Duration;
+
+fn parse_list(text: &str) -> Vec<usize> {
+    text.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().expect("invalid integer list"))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExperimentConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut take_value = || {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| panic!("missing value for {arg}"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--scale" => config.scale = take_value().parse().expect("invalid --scale"),
+            "--seed" => config.seed = take_value().parse().expect("invalid --seed"),
+            "--workers" => config.workers = parse_list(&take_value()),
+            "--group-sizes" => config.task_group_sizes = parse_list(&take_value()),
+            "--time-limit-secs" => {
+                config.time_limit =
+                    Duration::from_secs_f64(take_value().parse().expect("invalid --time-limit-secs"))
+            }
+            "--long-threshold" => {
+                config.long_threshold_secs = take_value().parse().expect("invalid --long-threshold")
+            }
+            "--max-instances" => {
+                config.max_instances =
+                    Some(take_value().parse().expect("invalid --max-instances"))
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        println!("{}", run_all(&config));
+        return;
+    }
+
+    let registry = all_experiments();
+    for name in &selected {
+        match registry.iter().find(|(n, _)| n == name) {
+            Some((_, function)) => {
+                println!("\n### {name}\n");
+                println!("{}", function(&config));
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                print_help();
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn print_help() {
+    println!("usage: experiments [EXPERIMENT ...] [OPTIONS]");
+    println!("experiments:");
+    print!("  all");
+    for (name, _) in all_experiments() {
+        print!(" {name}");
+    }
+    println!();
+    println!("options: --scale F --seed N --workers LIST --group-sizes LIST");
+    println!("         --time-limit-secs F --long-threshold F --max-instances N");
+}

@@ -1,0 +1,83 @@
+//! Harness configuration.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Knobs shared by every experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Scale factor applied to the synthetic collections' node counts
+    /// (1.0 ≈ laptop-sized; the paper's originals are 10–30x larger).
+    pub scale: f64,
+    /// Master seed for dataset generation.
+    pub seed: u64,
+    /// Worker counts swept by the parallel experiments (the paper uses
+    /// 1, 2, 4, 8, 16).
+    pub workers: Vec<usize>,
+    /// Task-group sizes swept by the coalescing experiment (Fig. 4).
+    pub task_group_sizes: Vec<usize>,
+    /// Per-instance time limit (the paper uses 180 s; scaled down here).
+    pub time_limit: Duration,
+    /// Threshold separating "short" from "long" instances, in seconds of
+    /// single-worker total time (1 s in the paper).
+    pub long_threshold_secs: f64,
+    /// Optional cap on instances per collection, to bound harness runtime.
+    pub max_instances: Option<usize>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 0.25,
+            seed: 20170525, // the paper's arXiv submission date
+            workers: vec![1, 2, 4, 8, 16],
+            task_group_sizes: vec![1, 2, 4, 8, 16],
+            time_limit: Duration::from_secs(5),
+            long_threshold_secs: 0.05,
+            max_instances: Some(24),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A very small configuration used by unit tests and Criterion benches so
+    /// they finish in seconds.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            scale: 0.1,
+            seed: 7,
+            workers: vec![1, 2],
+            task_group_sizes: vec![1, 4],
+            time_limit: Duration::from_millis(500),
+            long_threshold_secs: 0.005,
+            max_instances: Some(4),
+        }
+    }
+
+    /// Largest worker count in the sweep.
+    pub fn max_workers(&self) -> usize {
+        self.workers.iter().copied().max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ExperimentConfig::default();
+        assert!(config.scale > 0.0);
+        assert!(!config.workers.is_empty());
+        assert_eq!(config.max_workers(), 16);
+        assert!(config.long_threshold_secs > 0.0);
+    }
+
+    #[test]
+    fn smoke_config_is_smaller() {
+        let smoke = ExperimentConfig::smoke();
+        let full = ExperimentConfig::default();
+        assert!(smoke.scale < full.scale);
+        assert!(smoke.max_workers() < full.max_workers());
+    }
+}

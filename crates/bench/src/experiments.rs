@@ -1,0 +1,513 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! Every function generates its workload from the synthetic collections,
+//! executes the relevant algorithm variants and returns a rendered text table
+//! whose rows correspond to what the paper plots.  See `EXPERIMENTS.md` at the
+//! workspace root for the mapping and for a discussion of which shapes are
+//! expected to transfer to the synthetic data.
+
+use crate::config::ExperimentConfig;
+use crate::records::{
+    run_instances_parallel, run_instances_sequential, speedup_pairs, split_short_long,
+    totals_by_instance, InstanceRecord,
+};
+use crate::report::{num2, secs, Table};
+use sge_datasets::{graemlin32_like, pdbsv1_like, ppis32_like, Collection, CollectionKind};
+use sge_ri::Algorithm;
+use sge_util::{RunningStats, SpeedupSummary};
+
+/// Generates the synthetic analogue of one of the paper's collections.
+pub fn collection(kind: CollectionKind, config: &ExperimentConfig) -> Collection {
+    let spec = match kind {
+        CollectionKind::Ppis32 => ppis32_like(config.scale, config.seed),
+        CollectionKind::Graemlin32 => graemlin32_like(config.scale, config.seed ^ 0x1),
+        CollectionKind::PdbsV1 => pdbsv1_like(config.scale, config.seed ^ 0x2),
+    };
+    Collection::generate(&spec)
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut stats = RunningStats::new();
+    for v in values {
+        stats.push(v);
+    }
+    stats.mean()
+}
+
+/// **Table 1** — collection statistics (graphs, node/edge ranges, degree µ/σ).
+pub fn table1(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Table 1: graph data collections (synthetic analogues)",
+        &["collection", "graphs", "|V| min/max", "|E| min/max", "deg µ", "deg σ"],
+    );
+    for kind in CollectionKind::ALL {
+        let coll = collection(kind, config);
+        let stats = coll.stats();
+        table.row(vec![
+            kind.name().to_string(),
+            stats.graphs.to_string(),
+            format!("{}/{}", stats.nodes_min, stats.nodes_max),
+            format!("{}/{}", stats.edges_min, stats.edges_max),
+            num2(stats.degree_mean),
+            num2(stats.degree_stddev),
+        ]);
+    }
+    table.render()
+}
+
+/// **Fig. 3** — the effect of work stealing with the maximum worker count on a
+/// PPIS32 sample: mean match time and the standard deviation of the per-worker
+/// search space, with and without stealing.
+pub fn fig3(config: &ExperimentConfig) -> String {
+    let coll = collection(CollectionKind::Ppis32, config);
+    let workers = config.max_workers();
+    let mut table = Table::new(
+        format!("Fig. 3: work stealing vs none ({} workers, PPIS32 sample)", workers),
+        &["scheduler", "mean match time (s)", "mean stddev of worker states"],
+    );
+    for (label, steal) in [("no work stealing", false), ("work stealing", true)] {
+        let records =
+            run_instances_parallel(&coll, Algorithm::RiDs, workers, 4, steal, config);
+        table.row(vec![
+            label.to_string(),
+            secs(mean(records.iter().map(|r| r.match_seconds))),
+            num2(mean(records.iter().map(|r| r.worker_states_stddev))),
+        ]);
+    }
+    table.render()
+}
+
+/// **Fig. 4** — task-coalescing sweep: mean match time and mean number of
+/// steals per task-group size and worker count, per collection.
+pub fn fig4(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 4: task group size vs match time and steals",
+        &["collection", "workers", "group size", "mean match time (s)", "mean steals"],
+    );
+    for kind in CollectionKind::ALL {
+        let coll = collection(kind, config);
+        let algorithm = if kind == CollectionKind::PdbsV1 {
+            Algorithm::Ri
+        } else {
+            Algorithm::RiDs
+        };
+        for &workers in config.workers.iter().filter(|&&w| w > 1) {
+            for &group in &config.task_group_sizes {
+                let records =
+                    run_instances_parallel(&coll, algorithm, workers, group, true, config);
+                table.row(vec![
+                    kind.name().to_string(),
+                    workers.to_string(),
+                    group.to_string(),
+                    secs(mean(records.iter().map(|r| r.match_seconds))),
+                    num2(mean(records.iter().map(|r| r.steals as f64))),
+                ]);
+            }
+        }
+    }
+    table.render()
+}
+
+fn speedup_rows(
+    table: &mut Table,
+    collection_name: &str,
+    baseline: &[InstanceRecord],
+    per_workers: &[(usize, Vec<InstanceRecord>)],
+    threshold: f64,
+) {
+    let totals = totals_by_instance(baseline);
+    for (workers, records) in per_workers {
+        let (short, long) = split_short_long(records, &totals, threshold);
+        let (base_short, base_long) = {
+            let (s, l) = split_short_long(baseline, &totals, threshold);
+            (
+                s.into_iter().cloned().collect::<Vec<_>>(),
+                l.into_iter().cloned().collect::<Vec<_>>(),
+            )
+        };
+        let groups: [(&str, Vec<InstanceRecord>, Vec<InstanceRecord>); 3] = [
+            ("all", baseline.to_vec(), records.clone()),
+            (
+                "short",
+                base_short,
+                short.into_iter().cloned().collect::<Vec<_>>(),
+            ),
+            (
+                "long",
+                base_long,
+                long.into_iter().cloned().collect::<Vec<_>>(),
+            ),
+        ];
+        for (group_name, base, var) in groups {
+            let pairs = speedup_pairs(&base, &var, true);
+            let summary = SpeedupSummary::from_pairs(&pairs);
+            table.row(vec![
+                collection_name.to_string(),
+                workers.to_string(),
+                group_name.to_string(),
+                summary.instances.to_string(),
+                num2(summary.avg),
+                num2(summary.gmean),
+                num2(summary.max),
+            ]);
+        }
+    }
+}
+
+/// **Table 2** — speedup of parallel RI over one worker on PDBSv1, for all /
+/// short / long instances (avg, gmean, max).
+pub fn table2(config: &ExperimentConfig) -> String {
+    let coll = collection(CollectionKind::PdbsV1, config);
+    let baseline = run_instances_parallel(&coll, Algorithm::Ri, 1, 4, true, config);
+    let per_workers: Vec<(usize, Vec<InstanceRecord>)> = config
+        .workers
+        .iter()
+        .filter(|&&w| w > 1)
+        .map(|&w| (w, run_instances_parallel(&coll, Algorithm::Ri, w, 4, true, config)))
+        .collect();
+    let mut table = Table::new(
+        "Table 2: speedup of parallel RI over 1 worker (PDBSv1)",
+        &["collection", "workers", "group", "instances", "avg", "gmean", "max"],
+    );
+    speedup_rows(
+        &mut table,
+        CollectionKind::PdbsV1.name(),
+        &baseline,
+        &per_workers,
+        config.long_threshold_secs,
+    );
+    table.render()
+}
+
+/// **Fig. 5** — number of timed-out instances on PDBSv1: sequential RI (the
+/// stand-in for the original RI 3.6) vs parallel RI by worker count.
+pub fn fig5(config: &ExperimentConfig) -> String {
+    let coll = collection(CollectionKind::PdbsV1, config);
+    let mut table = Table::new(
+        format!(
+            "Fig. 5: timed out instances on PDBSv1 (limit {:.2} s)",
+            config.time_limit.as_secs_f64()
+        ),
+        &["algorithm", "workers", "timed out", "instances"],
+    );
+    let sequential = run_instances_sequential(&coll, Algorithm::Ri, config);
+    table.row(vec![
+        "sequential RI".to_string(),
+        "1".to_string(),
+        sequential.iter().filter(|r| r.timed_out).count().to_string(),
+        sequential.len().to_string(),
+    ]);
+    for &workers in &config.workers {
+        let records = run_instances_parallel(&coll, Algorithm::Ri, workers, 4, true, config);
+        table.row(vec![
+            "parallel RI".to_string(),
+            workers.to_string(),
+            records.iter().filter(|r| r.timed_out).count().to_string(),
+            records.len().to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// **Fig. 6** — mean match time on long-running PDBSv1 instances as the worker
+/// count grows.
+pub fn fig6(config: &ExperimentConfig) -> String {
+    let coll = collection(CollectionKind::PdbsV1, config);
+    let baseline = run_instances_parallel(&coll, Algorithm::Ri, 1, 4, true, config);
+    let totals = totals_by_instance(&baseline);
+    let mut table = Table::new(
+        "Fig. 6: mean match time on long PDBSv1 instances",
+        &["workers", "long instances", "mean match time (s)"],
+    );
+    for &workers in &config.workers {
+        let records = run_instances_parallel(&coll, Algorithm::Ri, workers, 4, true, config);
+        let (_, long) = split_short_long(&records, &totals, config.long_threshold_secs);
+        table.row(vec![
+            workers.to_string(),
+            long.len().to_string(),
+            secs(mean(long.iter().map(|r| r.match_seconds))),
+        ]);
+    }
+    table.render()
+}
+
+/// **Fig. 7** — search-space size and total time of RI-DS, RI-DS-SI and
+/// RI-DS-SI-FC on short-running instances of all three collections.
+pub fn fig7(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 7: RI-DS variants on short instances",
+        &["collection", "algorithm", "mean total time (s)", "mean search space"],
+    );
+    for kind in CollectionKind::ALL {
+        let coll = collection(kind, config);
+        let baseline = run_instances_sequential(&coll, Algorithm::RiDs, config);
+        let totals = totals_by_instance(&baseline);
+        for algorithm in [Algorithm::RiDs, Algorithm::RiDsSi, Algorithm::RiDsSiFc] {
+            let records = run_instances_sequential(&coll, algorithm, config);
+            let (short, _) = split_short_long(&records, &totals, config.long_threshold_secs);
+            table.row(vec![
+                kind.name().to_string(),
+                algorithm.name().to_string(),
+                secs(mean(short.iter().map(|r| r.total_seconds()))),
+                num2(mean(short.iter().map(|r| r.states as f64))),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// **Fig. 8** — search space and search speed (states per second) of the RI-DS
+/// variants on long-running PPIS32 / GRAEMLIN32 instances, single worker.
+pub fn fig8(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 8: RI-DS variants on long instances (search space and states/s)",
+        &["collection", "algorithm", "long instances", "mean search space", "mean states/s"],
+    );
+    for kind in [CollectionKind::Ppis32, CollectionKind::Graemlin32] {
+        let coll = collection(kind, config);
+        let baseline = run_instances_sequential(&coll, Algorithm::RiDs, config);
+        let totals = totals_by_instance(&baseline);
+        for algorithm in [Algorithm::RiDs, Algorithm::RiDsSi, Algorithm::RiDsSiFc] {
+            let records = run_instances_sequential(&coll, algorithm, config);
+            let (_, long) = split_short_long(&records, &totals, config.long_threshold_secs);
+            table.row(vec![
+                kind.name().to_string(),
+                algorithm.name().to_string(),
+                long.len().to_string(),
+                num2(mean(long.iter().map(|r| r.states as f64))),
+                num2(mean(long.iter().map(|r| r.states_per_second()))),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// **Fig. 9** — total / match / preprocessing time of the RI-DS variants.
+pub fn fig9(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 9: time breakdown of the RI-DS variants",
+        &["collection", "algorithm", "mean total (s)", "mean match (s)", "mean preprocessing (s)"],
+    );
+    for kind in [CollectionKind::Ppis32, CollectionKind::Graemlin32] {
+        let coll = collection(kind, config);
+        for algorithm in [Algorithm::RiDs, Algorithm::RiDsSi, Algorithm::RiDsSiFc] {
+            let records = run_instances_sequential(&coll, algorithm, config);
+            table.row(vec![
+                kind.name().to_string(),
+                algorithm.name().to_string(),
+                secs(mean(records.iter().map(|r| r.total_seconds()))),
+                secs(mean(records.iter().map(|r| r.match_seconds))),
+                secs(mean(records.iter().map(|r| r.preprocess_seconds))),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// **Fig. 10** — mean total time of parallel RI-DS-SI-FC, parallel RI-DS and
+/// sequential RI-DS by worker count, on GRAEMLIN32 and PPIS32.
+pub fn fig10(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 10: total time of RI-DS variants by worker count",
+        &["collection", "algorithm", "workers", "mean total time (s)"],
+    );
+    for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
+        let coll = collection(kind, config);
+        let sequential = run_instances_sequential(&coll, Algorithm::RiDs, config);
+        table.row(vec![
+            kind.name().to_string(),
+            "RI-DS 3.51 (sequential stand-in)".to_string(),
+            "1".to_string(),
+            secs(mean(sequential.iter().map(|r| r.total_seconds()))),
+        ]);
+        for (label, algorithm) in [
+            ("parallel RI-DS", Algorithm::RiDs),
+            ("parallel RI-DS-SI-FC", Algorithm::RiDsSiFc),
+        ] {
+            for &workers in &config.workers {
+                let records =
+                    run_instances_parallel(&coll, algorithm, workers, 4, true, config);
+                table.row(vec![
+                    kind.name().to_string(),
+                    label.to_string(),
+                    workers.to_string(),
+                    secs(mean(records.iter().map(|r| r.total_seconds()))),
+                ]);
+            }
+        }
+    }
+    table.render()
+}
+
+/// **Fig. 11** — Fig. 10 split between short and long instances.
+pub fn fig11(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 11: total time by worker count, split short/long",
+        &["collection", "algorithm", "workers", "group", "instances", "mean total time (s)"],
+    );
+    for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
+        let coll = collection(kind, config);
+        let baseline = run_instances_sequential(&coll, Algorithm::RiDs, config);
+        let totals = totals_by_instance(&baseline);
+        for (label, algorithm) in [
+            ("parallel RI-DS", Algorithm::RiDs),
+            ("parallel RI-DS-SI-FC", Algorithm::RiDsSiFc),
+        ] {
+            for &workers in &config.workers {
+                let records =
+                    run_instances_parallel(&coll, algorithm, workers, 4, true, config);
+                let (short, long) =
+                    split_short_long(&records, &totals, config.long_threshold_secs);
+                for (group, subset) in [("short", short), ("long", long)] {
+                    table.row(vec![
+                        kind.name().to_string(),
+                        label.to_string(),
+                        workers.to_string(),
+                        group.to_string(),
+                        subset.len().to_string(),
+                        secs(mean(subset.iter().map(|r| r.total_seconds()))),
+                    ]);
+                }
+            }
+        }
+    }
+    table.render()
+}
+
+/// **Fig. 12** — mean search-space size of RI-DS vs RI-DS-SI-FC, split between
+/// short and long instances of GRAEMLIN32 and PPIS32.
+pub fn fig12(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Fig. 12: search space of RI-DS vs RI-DS-SI-FC, short/long",
+        &["collection", "algorithm", "group", "instances", "mean search space"],
+    );
+    for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
+        let coll = collection(kind, config);
+        let baseline = run_instances_sequential(&coll, Algorithm::RiDs, config);
+        let totals = totals_by_instance(&baseline);
+        for algorithm in [Algorithm::RiDs, Algorithm::RiDsSiFc] {
+            let records = run_instances_sequential(&coll, algorithm, config);
+            let (short, long) = split_short_long(&records, &totals, config.long_threshold_secs);
+            for (group, subset) in [("short", short), ("long", long)] {
+                table.row(vec![
+                    kind.name().to_string(),
+                    algorithm.name().to_string(),
+                    group.to_string(),
+                    subset.len().to_string(),
+                    num2(mean(subset.iter().map(|r| r.states as f64))),
+                ]);
+            }
+        }
+    }
+    table.render()
+}
+
+/// **Table 3** — speedup of parallel RI-DS-SI-FC over itself with one worker on
+/// GRAEMLIN32 and PPIS32, for all / short / long instances.
+pub fn table3(config: &ExperimentConfig) -> String {
+    let mut table = Table::new(
+        "Table 3: speedup of parallel RI-DS-SI-FC over 1 worker",
+        &["collection", "workers", "group", "instances", "avg", "gmean", "max"],
+    );
+    for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
+        let coll = collection(kind, config);
+        let baseline = run_instances_parallel(&coll, Algorithm::RiDsSiFc, 1, 4, true, config);
+        let per_workers: Vec<(usize, Vec<InstanceRecord>)> = config
+            .workers
+            .iter()
+            .filter(|&&w| w > 1)
+            .map(|&w| {
+                (
+                    w,
+                    run_instances_parallel(&coll, Algorithm::RiDsSiFc, w, 4, true, config),
+                )
+            })
+            .collect();
+        speedup_rows(
+            &mut table,
+            kind.name(),
+            &baseline,
+            &per_workers,
+            config.long_threshold_secs,
+        );
+    }
+    table.render()
+}
+
+/// Every experiment in paper order, concatenated.
+pub fn run_all(config: &ExperimentConfig) -> String {
+    let experiments: Vec<(&str, fn(&ExperimentConfig) -> String)> = all_experiments();
+    let mut out = String::new();
+    for (name, function) in experiments {
+        out.push_str(&format!("\n### {name}\n\n"));
+        out.push_str(&function(config));
+    }
+    out
+}
+
+/// Name → function table for the CLI.
+pub fn all_experiments() -> Vec<(&'static str, fn(&ExperimentConfig) -> String)> {
+    vec![
+        ("table1", table1),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("table2", table2),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("table3", table3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-test the cheap experiments end to end; the expensive sweeps are
+    /// covered by dedicated tests below with an even smaller configuration.
+    #[test]
+    fn table1_renders_all_collections() {
+        let text = table1(&ExperimentConfig::smoke());
+        for name in ["PPIS32", "GRAEMLIN32", "PDBSv1"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn fig3_reports_both_schedulers() {
+        let text = fig3(&ExperimentConfig::smoke());
+        assert!(text.contains("no work stealing"));
+        assert!(text.contains("work stealing"));
+    }
+
+    #[test]
+    fn table2_and_table3_have_speedup_groups() {
+        let config = ExperimentConfig::smoke();
+        let t2 = table2(&config);
+        assert!(t2.contains("all") && t2.contains("short") && t2.contains("long"));
+        let t3 = table3(&config);
+        assert!(t3.contains("GRAEMLIN32") && t3.contains("PPIS32"));
+    }
+
+    #[test]
+    fn fig7_lists_all_three_variants() {
+        let text = fig7(&ExperimentConfig::smoke());
+        assert!(text.contains("RI-DS-SI-FC"));
+        assert!(text.contains("RI-DS-SI"));
+        assert!(text.contains("RI-DS"));
+    }
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 13);
+        assert!(names.contains(&"table1"));
+        assert!(names.contains(&"fig12"));
+        assert!(names.contains(&"table3"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! The paper's evaluation (Section 5) consists of three tables and ten figures.
+//! For each of them this crate provides a function that generates the
+//! appropriate synthetic workload, runs the relevant algorithm variants and
+//! prints the same rows / series the paper reports.  The `experiments` binary
+//! exposes them as subcommands (`cargo run --release -p sge-bench --bin
+//! experiments -- all`), and the Criterion benches under `benches/` exercise
+//! scaled-down versions of the same code paths so regressions are caught by
+//! `cargo bench`.
+//!
+//! Absolute running times differ from the paper (different hardware, synthetic
+//! data, and — on single-core CI hosts — no true parallelism); the quantities
+//! whose *shape* the reproduction targets are: which algorithm variant wins,
+//! how the search space shrinks from RI-DS to RI-DS-SI-FC, how steal counts
+//! react to the task-group size, and how speedups split between short and long
+//! instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod records;
+pub mod report;
+
+pub use config::ExperimentConfig;
+pub use records::{run_instances_parallel, run_instances_sequential, InstanceRecord};
+pub use report::Table;

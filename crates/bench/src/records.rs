@@ -1,0 +1,250 @@
+//! Per-instance measurement records and batch runners.
+
+use crate::config::ExperimentConfig;
+use serde::{Deserialize, Serialize};
+use sge_datasets::Collection;
+use sge_parallel::{enumerate_parallel, ParallelConfig};
+use sge_ri::{enumerate, Algorithm, MatchConfig};
+use std::collections::HashMap;
+
+/// One measurement: an (instance, algorithm, scheduler) combination.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InstanceRecord {
+    /// Instance identifier (from the dataset crate).
+    pub instance_id: String,
+    /// Collection name.
+    pub collection: String,
+    /// Algorithm variant.
+    pub algorithm: Algorithm,
+    /// Worker count (1 for the sequential matcher).
+    pub workers: usize,
+    /// Task-group size used (0 for the sequential matcher).
+    pub task_group_size: usize,
+    /// Whether work stealing was enabled (false for sequential runs).
+    pub stealing: bool,
+    /// Number of embeddings found (a lower bound when `timed_out`).
+    pub matches: u64,
+    /// Search-space size (states visited).
+    pub states: u64,
+    /// Preprocessing seconds.
+    pub preprocess_seconds: f64,
+    /// Matching seconds.
+    pub match_seconds: f64,
+    /// Whether the per-instance time limit fired.
+    pub timed_out: bool,
+    /// Successful steals (0 for sequential runs).
+    pub steals: u64,
+    /// Standard deviation of per-worker states (0 for sequential runs).
+    pub worker_states_stddev: f64,
+}
+
+impl InstanceRecord {
+    /// Total (preprocessing + matching) seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.preprocess_seconds + self.match_seconds
+    }
+
+    /// States per matching second.
+    pub fn states_per_second(&self) -> f64 {
+        if self.match_seconds > 0.0 {
+            self.states as f64 / self.match_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Iterates the instances of a collection honoring the configured cap.
+pub fn instances<'a>(
+    collection: &'a Collection,
+    config: &ExperimentConfig,
+) -> impl Iterator<Item = &'a sge_datasets::Instance> {
+    let cap = config.max_instances.unwrap_or(usize::MAX);
+    collection.instances.iter().take(cap)
+}
+
+/// Runs the sequential matcher over (a capped number of) the collection's
+/// instances and returns one record per instance.
+pub fn run_instances_sequential(
+    collection: &Collection,
+    algorithm: Algorithm,
+    config: &ExperimentConfig,
+) -> Vec<InstanceRecord> {
+    instances(collection, config)
+        .map(|instance| {
+            let target = collection.target_of(instance);
+            let result = enumerate(
+                &instance.pattern,
+                target,
+                &MatchConfig::new(algorithm).with_time_limit(config.time_limit),
+            );
+            InstanceRecord {
+                instance_id: instance.id.clone(),
+                collection: collection.kind.name().to_string(),
+                algorithm,
+                workers: 1,
+                task_group_size: 0,
+                stealing: false,
+                matches: result.matches,
+                states: result.states,
+                preprocess_seconds: result.preprocess_seconds,
+                match_seconds: result.match_seconds,
+                timed_out: result.timed_out,
+                steals: 0,
+                worker_states_stddev: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Runs the parallel matcher over the collection's instances.
+pub fn run_instances_parallel(
+    collection: &Collection,
+    algorithm: Algorithm,
+    workers: usize,
+    task_group_size: usize,
+    stealing: bool,
+    config: &ExperimentConfig,
+) -> Vec<InstanceRecord> {
+    instances(collection, config)
+        .map(|instance| {
+            let target = collection.target_of(instance);
+            let parallel_config = ParallelConfig::new(algorithm)
+                .with_workers(workers)
+                .with_task_group_size(task_group_size)
+                .with_stealing(stealing)
+                .with_time_limit(config.time_limit);
+            let result = enumerate_parallel(&instance.pattern, target, &parallel_config);
+            InstanceRecord {
+                instance_id: instance.id.clone(),
+                collection: collection.kind.name().to_string(),
+                algorithm,
+                workers,
+                task_group_size,
+                stealing,
+                matches: result.matches,
+                states: result.states,
+                preprocess_seconds: result.preprocess_seconds,
+                match_seconds: result.match_seconds,
+                timed_out: result.timed_out,
+                steals: result.steals,
+                worker_states_stddev: result.worker_states_stddev,
+            }
+        })
+        .collect()
+}
+
+/// Splits records into `(short, long)` according to a map of baseline total
+/// times per instance id and the configured threshold — the paper's
+/// "< 1 second" / "≥ 1 second" classification, with the threshold scaled to
+/// the synthetic collections.
+pub fn split_short_long<'a>(
+    records: &'a [InstanceRecord],
+    baseline_totals: &HashMap<String, f64>,
+    threshold: f64,
+) -> (Vec<&'a InstanceRecord>, Vec<&'a InstanceRecord>) {
+    let mut short = Vec::new();
+    let mut long = Vec::new();
+    for record in records {
+        let baseline = baseline_totals
+            .get(&record.instance_id)
+            .copied()
+            .unwrap_or(0.0);
+        if baseline >= threshold {
+            long.push(record);
+        } else {
+            short.push(record);
+        }
+    }
+    (short, long)
+}
+
+/// Builds the `instance id -> total seconds` map from a set of records.
+pub fn totals_by_instance(records: &[InstanceRecord]) -> HashMap<String, f64> {
+    records
+        .iter()
+        .map(|r| (r.instance_id.clone(), r.total_seconds()))
+        .collect()
+}
+
+/// Pairs `(baseline_time, variant_time)` per instance id, for speedup
+/// summaries. Only instances present in both sets are paired.
+pub fn speedup_pairs(
+    baseline: &[InstanceRecord],
+    variant: &[InstanceRecord],
+    use_match_time: bool,
+) -> Vec<(f64, f64)> {
+    let index: HashMap<&str, &InstanceRecord> = baseline
+        .iter()
+        .map(|r| (r.instance_id.as_str(), r))
+        .collect();
+    variant
+        .iter()
+        .filter_map(|v| {
+            index.get(v.instance_id.as_str()).map(|b| {
+                if use_match_time {
+                    (b.match_seconds, v.match_seconds)
+                } else {
+                    (b.total_seconds(), v.total_seconds())
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_datasets::pdbsv1_like;
+
+    fn tiny_collection() -> Collection {
+        Collection::generate(&pdbsv1_like(0.1, 5))
+    }
+
+    #[test]
+    fn sequential_and_parallel_records_agree_on_counts() {
+        let collection = tiny_collection();
+        let config = ExperimentConfig::smoke();
+        let sequential = run_instances_sequential(&collection, Algorithm::RiDs, &config);
+        let parallel =
+            run_instances_parallel(&collection, Algorithm::RiDs, 2, 4, true, &config);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(s.instance_id, p.instance_id);
+            if !s.timed_out && !p.timed_out {
+                assert_eq!(s.matches, p.matches, "instance {}", s.instance_id);
+                assert_eq!(s.states, p.states, "instance {}", s.instance_id);
+            }
+            assert!(s.total_seconds() >= 0.0);
+            assert!(p.states_per_second() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn short_long_split_partitions_records() {
+        let collection = tiny_collection();
+        let config = ExperimentConfig::smoke();
+        let records = run_instances_sequential(&collection, Algorithm::Ri, &config);
+        let totals = totals_by_instance(&records);
+        let (short, long) = split_short_long(&records, &totals, 0.0);
+        // Threshold 0: everything is "long".
+        assert_eq!(long.len(), records.len());
+        assert!(short.is_empty());
+        let (short, long) = split_short_long(&records, &totals, f64::INFINITY);
+        assert_eq!(short.len(), records.len());
+        assert!(long.is_empty());
+    }
+
+    #[test]
+    fn speedup_pairs_align_by_instance() {
+        let collection = tiny_collection();
+        let config = ExperimentConfig::smoke();
+        let baseline = run_instances_sequential(&collection, Algorithm::Ri, &config);
+        let variant = run_instances_sequential(&collection, Algorithm::Ri, &config);
+        let pairs = speedup_pairs(&baseline, &variant, false);
+        assert_eq!(pairs.len(), baseline.len());
+        for (b, v) in pairs {
+            assert!(b >= 0.0 && v >= 0.0);
+        }
+    }
+}

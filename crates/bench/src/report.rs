@@ -1,0 +1,112 @@
+//! Plain-text table formatting for the experiment output.
+
+/// A simple fixed-width text table (headers + rows of strings).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width does not match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        for (i, header) in self.headers.iter().enumerate() {
+            out.push_str(&format!("{:>width$}", header, width = widths[i] + 2));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for row in &self.rows {
+            for i in 0..cols {
+                out.push_str(&format!("{:>width$}", row[i], width = widths[i] + 2));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 decimal places (times in seconds).
+pub fn secs(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimal places (speedups, means).
+pub fn num2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut table = Table::new("demo", &["name", "value"]);
+        table.row(vec!["x".into(), "1".into()]);
+        table.row(vec!["longer-name".into(), "2.5".into()]);
+        let text = table.render();
+        assert!(text.contains("demo"));
+        assert!(text.contains("longer-name"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        // Every data line has the same width.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(lines[1].len(), lines[2].len().max(lines[1].len()) );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let mut table = Table::new("demo", &["a", "b"]);
+        table.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(secs(0.123456), "0.1235");
+        assert_eq!(num2(3.14159), "3.14");
+    }
+}

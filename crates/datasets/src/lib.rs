@@ -1,0 +1,37 @@
+//! Synthetic biochemical-style data collections.
+//!
+//! The paper evaluates on three collections from the original RI distribution:
+//! **PPIS32** (large, dense protein–protein interaction networks with 32
+//! normally-distributed node labels), **GRAEMLIN32** (medium/large microbial
+//! networks with 32 uniformly-distributed labels) and **PDBSv1** (large, very
+//! sparse RNA/DNA/protein graphs).  Those files are not redistributable here,
+//! so this crate generates *synthetic analogues* that preserve what the
+//! algorithms actually observe:
+//!
+//! * node/edge counts and the heavy-tailed degree distribution (Chung–Lu style
+//!   weighted random graphs with symmetric directed edges, matching the shape
+//!   of Table 1),
+//! * the number of distinct node labels and their distribution (uniform vs
+//!   normal),
+//! * pattern graphs *extracted from the targets* (connected random subgraphs
+//!   with a prescribed number of edges, classified dense / semi-dense /
+//!   sparse), so most instances have at least one embedding — exactly how the
+//!   original collections were built.
+//!
+//! Every generator is deterministic in its seed, so experiments are
+//! reproducible, and collections can be persisted through `serde` or the
+//! `sge-graph` text format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collections;
+pub mod pattern_gen;
+pub mod target_gen;
+
+pub use collections::{
+    graemlin32_like, pdbsv1_like, ppis32_like, Collection, CollectionKind, CollectionSpec,
+    Instance,
+};
+pub use pattern_gen::{extract_pattern, DensityClass};
+pub use target_gen::{generate_target, LabelDistribution, TargetSpec};

@@ -1,0 +1,208 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::graph::{EdgeRef, Graph, Label, NodeId};
+
+/// Incremental builder producing an immutable CSR [`Graph`].
+///
+/// Duplicate directed edges are collapsed (the first label wins); self-loops
+/// are allowed since some biochemical graphs contain them, but the RI search
+/// never maps two pattern nodes onto one target node, so they only matter for
+/// degree statistics.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    node_labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Label)>,
+    name: String,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            node_labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            name: String::new(),
+        }
+    }
+
+    /// Names the resulting graph.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a node with the given label and returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.node_labels.len() as NodeId;
+        self.node_labels.push(label);
+        id
+    }
+
+    /// Adds `count` nodes all carrying `label`; returns the id of the first.
+    pub fn add_nodes(&mut self, count: usize, label: Label) -> NodeId {
+        let first = self.node_labels.len() as NodeId;
+        self.node_labels
+            .extend(std::iter::repeat(label).take(count));
+        first
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Adds a directed edge `(u, v)` with a label.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: Label) {
+        let n = self.node_labels.len() as NodeId;
+        assert!(u < n && v < n, "edge ({u}, {v}) references unknown node (n={n})");
+        self.edges.push((u, v, label));
+    }
+
+    /// Adds the pair of directed edges `(u, v)` and `(v, u)`, both labeled
+    /// `label` — the usual encoding of an undirected biochemical bond.
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId, label: Label) {
+        self.add_edge(u, v, label);
+        if u != v {
+            self.add_edge(v, u, label);
+        }
+    }
+
+    /// Finalizes the CSR structure.
+    pub fn build(self) -> Graph {
+        let n = self.node_labels.len();
+        let mut edges = self.edges;
+        // Sort by (tail, head) and deduplicate parallel edges (first label wins,
+        // as in the original RI loader which ignores repeated bonds).
+        edges.sort_by_key(|&(u, v, _)| (u, v));
+        edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_edges: Vec<EdgeRef> = edges
+            .iter()
+            .map(|&(_, v, l)| EdgeRef { node: v, label: l })
+            .collect();
+
+        // In-edges: bucket by head, then sort each bucket by tail id.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v, _) in &edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_edges = vec![EdgeRef { node: 0, label: 0 }; edges.len()];
+        for &(u, v, l) in &edges {
+            let slot = cursor[v as usize] as usize;
+            in_edges[slot] = EdgeRef { node: u, label: l };
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            let lo = in_offsets[v] as usize;
+            let hi = in_offsets[v + 1] as usize;
+            in_edges[lo..hi].sort_unstable_by_key(|e| e.node);
+        }
+
+        Graph {
+            node_labels: self.node_labels,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            num_edges: edges.len(),
+            name: self.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(2, 0);
+        b.add_edge(0, 1, 5);
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_label(0, 1), Some(5));
+    }
+
+    #[test]
+    fn undirected_edge_adds_both_directions() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(2, 0);
+        b.add_undirected_edge(0, 1, 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_label(0, 1), Some(3));
+        assert_eq!(g.edge_label(1, 0), Some(3));
+    }
+
+    #[test]
+    fn self_loop_undirected_added_once() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(1, 0);
+        b.add_undirected_edge(0, 0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(5, 0);
+        b.add_edge(0, 4, 0);
+        b.add_edge(0, 2, 0);
+        b.add_edge(0, 3, 0);
+        b.add_edge(1, 0, 0);
+        b.add_edge(4, 0, 0);
+        let g = b.build();
+        let out: Vec<u32> = g.out_edges(0).iter().map(|e| e.node).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let inn: Vec<u32> = g.in_edges(0).iter().map(|e| e.node).collect();
+        assert_eq!(inn, vec![1, 4]);
+    }
+
+    #[test]
+    fn named_builder_propagates_name() {
+        let g = GraphBuilder::new().name("target-1").build();
+        assert_eq!(g.name(), "target-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn edge_to_unknown_node_panics() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(10, 20);
+        let u = b.add_node(1);
+        let v = b.add_node(2);
+        b.add_edge(u, v, 0);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Deterministic small graph generators.
+//!
+//! These are used by unit tests, property tests and the examples; the
+//! synthetic *data collections* emulating the paper's PPIS32 / GRAEMLIN32 /
+//! PDBSv1 inputs live in the `sge-datasets` crate.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, Label, NodeId, DEFAULT_EDGE_LABEL};
+
+/// A directed path `0 -> 1 -> … -> n-1`, all nodes labeled `label`.
+pub fn directed_path(n: usize, label: Label) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("path-{n}"));
+    b.add_nodes(n, label);
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId, DEFAULT_EDGE_LABEL);
+    }
+    b.build()
+}
+
+/// A directed cycle on `n` nodes, all labeled `label`.
+pub fn directed_cycle(n: usize, label: Label) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("cycle-{n}"));
+    b.add_nodes(n, label);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId, DEFAULT_EDGE_LABEL);
+    }
+    b.build()
+}
+
+/// An undirected path encoded with symmetric directed edges.
+pub fn undirected_path(n: usize, label: Label) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("upath-{n}"));
+    b.add_nodes(n, label);
+    for i in 1..n {
+        b.add_undirected_edge((i - 1) as NodeId, i as NodeId, DEFAULT_EDGE_LABEL);
+    }
+    b.build()
+}
+
+/// An undirected cycle encoded with symmetric directed edges.
+pub fn undirected_cycle(n: usize, label: Label) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("ucycle-{n}"));
+    b.add_nodes(n, label);
+    for i in 0..n {
+        b.add_undirected_edge(i as NodeId, ((i + 1) % n) as NodeId, DEFAULT_EDGE_LABEL);
+    }
+    b.build()
+}
+
+/// The complete graph `K_n` (symmetric directed edges), all nodes labeled
+/// `label`.
+pub fn clique(n: usize, label: Label) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("clique-{n}"));
+    b.add_nodes(n, label);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_undirected_edge(i as NodeId, j as NodeId, DEFAULT_EDGE_LABEL);
+        }
+    }
+    b.build()
+}
+
+/// A star with one center (label `center_label`) and `leaves` leaves
+/// (label `leaf_label`), edges pointing away from the center.
+pub fn star(leaves: usize, center_label: Label, leaf_label: Label) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("star-{leaves}"));
+    let center = b.add_node(center_label);
+    for _ in 0..leaves {
+        let leaf = b.add_node(leaf_label);
+        b.add_edge(center, leaf, DEFAULT_EDGE_LABEL);
+    }
+    b.build()
+}
+
+/// An `rows x cols` grid with symmetric directed edges, all nodes labeled 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new().name(format!("grid-{rows}x{cols}"));
+    b.add_nodes(rows * cols, 0);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_undirected_edge(id(r, c), id(r, c + 1), DEFAULT_EDGE_LABEL);
+            }
+            if r + 1 < rows {
+                b.add_undirected_edge(id(r, c), id(r + 1, c), DEFAULT_EDGE_LABEL);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A single directed labeled triangle `a -> b -> c -> a` with node labels
+/// `(la, lb, lc)`; handy in matcher unit tests.
+pub fn labeled_triangle(la: Label, lb: Label, lc: Label) -> Graph {
+    let mut b = GraphBuilder::new().name("triangle");
+    let a = b.add_node(la);
+    let bb = b.add_node(lb);
+    let c = b.add_node(lc);
+    b.add_edge(a, bb, DEFAULT_EDGE_LABEL);
+    b.add_edge(bb, c, DEFAULT_EDGE_LABEL);
+    b.add_edge(c, a, DEFAULT_EDGE_LABEL);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_sizes() {
+        let g = directed_path(5, 1);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_connected());
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn cycle_degrees() {
+        let g = directed_cycle(6, 0);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn clique_edge_count() {
+        let g = clique(5, 0);
+        assert_eq!(g.num_edges(), 5 * 4);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 8);
+        }
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(4, 7, 3);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.label(0), 7);
+        assert_eq!(g.out_degree(0), 4);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // 3*3 horizontal + 2*4 vertical undirected edges, doubled.
+        assert_eq!(g.num_edges(), 2 * (3 * 3 + 2 * 4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn undirected_variants_are_symmetric() {
+        let g = undirected_cycle(5, 0);
+        for (u, v, _) in g.edges().collect::<Vec<_>>() {
+            assert!(g.has_edge(v, u));
+        }
+        let p = undirected_path(4, 0);
+        assert_eq!(p.num_edges(), 6);
+    }
+
+    #[test]
+    fn labeled_triangle_labels() {
+        let g = labeled_triangle(1, 2, 3);
+        assert_eq!(g.label(0), 1);
+        assert_eq!(g.label(1), 2);
+        assert_eq!(g.label(2), 3);
+        assert!(g.has_edge(2, 0));
+    }
+}

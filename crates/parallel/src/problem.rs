@@ -1,0 +1,128 @@
+//! Adapter exposing the RI search as a [`BacktrackProblem`].
+
+use parking_lot::Mutex;
+use sge_graph::NodeId;
+use sge_ri::{SearchContext, WorkerState};
+use sge_stealing::BacktrackProblem;
+
+/// The RI / RI-DS state-space search wrapped for the work-stealing engine.
+///
+/// Levels are positions of the static node ordering; choices are candidate
+/// target nodes.  The per-worker state is `sge_ri::WorkerState` (partial
+/// mapping + injectivity flags), which the engine reconstructs on a thief from
+/// the transferred prefix of choices — exactly the paper's "copy the partial
+/// mapping only for stolen tasks".
+pub struct SubgraphProblem<'a> {
+    ctx: &'a SearchContext<'a>,
+    collector: Option<Mutex<Vec<Vec<NodeId>>>>,
+    collect_limit: usize,
+}
+
+impl<'a> SubgraphProblem<'a> {
+    /// Wraps a prepared search context.
+    pub fn new(ctx: &'a SearchContext<'a>) -> Self {
+        SubgraphProblem {
+            ctx,
+            collector: None,
+            collect_limit: 0,
+        }
+    }
+
+    /// Additionally collect up to `limit` full mappings (pattern node → target
+    /// node).  Collection uses a mutex and is meant for modest limits.
+    pub fn with_collection(mut self, limit: usize) -> Self {
+        self.collector = Some(Mutex::new(Vec::new()));
+        self.collect_limit = limit;
+        self
+    }
+
+    /// The collected mappings (empty unless [`Self::with_collection`] was used).
+    pub fn take_collected(&self) -> Vec<Vec<NodeId>> {
+        self.collector
+            .as_ref()
+            .map(|m| std::mem::take(&mut *m.lock()))
+            .unwrap_or_default()
+    }
+}
+
+impl BacktrackProblem for SubgraphProblem<'_> {
+    type State = WorkerState;
+    type Choice = NodeId;
+
+    fn depth(&self) -> usize {
+        self.ctx.num_positions()
+    }
+
+    fn new_state(&self) -> WorkerState {
+        self.ctx.new_state()
+    }
+
+    fn candidates(&self, level: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
+        self.ctx.candidates(level, state, out);
+    }
+
+    fn is_consistent(&self, level: usize, choice: NodeId, state: &WorkerState) -> bool {
+        self.ctx.is_consistent(level, choice, state)
+    }
+
+    fn apply(&self, level: usize, choice: NodeId, state: &mut WorkerState) {
+        state.assign(level, choice);
+    }
+
+    fn undo(&self, level: usize, state: &mut WorkerState) {
+        state.unassign(level);
+    }
+
+    fn on_solution(&self, _worker_id: usize, state: &WorkerState) {
+        if let Some(collector) = &self.collector {
+            let mut guard = collector.lock();
+            if guard.len() < self.collect_limit {
+                guard.push(self.ctx.mapping_by_pattern_node(state));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_graph::generators;
+    use sge_ri::Algorithm;
+    use sge_stealing::{run, EngineConfig};
+
+    #[test]
+    fn problem_counts_match_sequential() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0);
+        let sequential = sge_ri::enumerate(
+            &pattern,
+            &target,
+            &sge_ri::MatchConfig::new(Algorithm::Ri),
+        );
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let problem = SubgraphProblem::new(&ctx);
+        let result = run(&problem, &EngineConfig::with_workers(2));
+        assert_eq!(result.solutions, sequential.matches);
+        assert_eq!(result.states, sequential.states);
+    }
+
+    #[test]
+    fn collection_gathers_valid_mappings() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(4, 0);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::RiDs);
+        let problem = SubgraphProblem::new(&ctx).with_collection(5);
+        let result = run(&problem, &EngineConfig::with_workers(3));
+        assert_eq!(result.solutions, 24);
+        let collected = problem.take_collected();
+        assert_eq!(collected.len(), 5);
+        for mapping in collected {
+            for (u, v, l) in pattern.edges() {
+                assert_eq!(
+                    target.edge_label(mapping[u as usize], mapping[v as usize]),
+                    Some(l)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Rayon-based comparator scheduler.
+//!
+//! The paper's scheduler is a bespoke private-deque work-stealing runtime.  A
+//! natural question for a Rust reproduction is how much of its benefit one gets
+//! "for free" from [rayon]'s work-stealing thread pool.  This module
+//! parallelizes only the *first level* of the state-space tree: each root task
+//! (`µ1 ↦ v_t`) is a rayon job that runs the sequential search over its
+//! subtree.  Rayon balances those jobs across threads, but — unlike the
+//! paper's engine — cannot split a single large subtree once it is running,
+//! which is exactly the situation the paper's Fig. 3/4 analysis shows matters
+//! on irregular instances.
+//!
+//! The experiment harness uses this as an ablation baseline; it is not part of
+//! the reproduction of any specific figure.
+
+use crate::runner::ParallelResult;
+use rayon::prelude::*;
+use sge_graph::{Graph, NodeId};
+use sge_ri::{Algorithm, SearchContext, WorkerState};
+use sge_util::PhaseTimer;
+use std::time::Instant;
+
+/// Recursively explores the subtree rooted at `depth` and returns
+/// `(matches, states)`.
+fn explore(
+    ctx: &SearchContext<'_>,
+    state: &mut WorkerState,
+    depth: usize,
+    buffers: &mut Vec<Vec<NodeId>>,
+) -> (u64, u64) {
+    let np = ctx.num_positions();
+    let mut matches = 0u64;
+    let mut states = 0u64;
+    let mut candidates = std::mem::take(&mut buffers[depth]);
+    ctx.candidates(depth, state, &mut candidates);
+    for &vt in &candidates {
+        states += 1;
+        if !ctx.is_consistent(depth, vt, state) {
+            continue;
+        }
+        state.assign(depth, vt);
+        if depth + 1 == np {
+            matches += 1;
+        } else {
+            let (m, s) = explore(ctx, state, depth + 1, buffers);
+            matches += m;
+            states += s;
+        }
+        state.unassign(depth);
+    }
+    buffers[depth] = candidates;
+    (matches, states)
+}
+
+/// Enumerates embeddings using a rayon pool with `workers` threads: the root
+/// candidates are distributed by rayon, each subtree is searched sequentially.
+pub fn enumerate_rayon(
+    pattern: &Graph,
+    target: &Graph,
+    algorithm: Algorithm,
+    workers: usize,
+) -> ParallelResult {
+    let mut timer = PhaseTimer::new();
+    let ctx = timer.time("preprocess", || {
+        SearchContext::prepare(pattern, target, algorithm)
+    });
+
+    let mut result = ParallelResult {
+        algorithm,
+        workers,
+        matches: 0,
+        states: 0,
+        preprocess_seconds: timer.seconds("preprocess"),
+        match_seconds: 0.0,
+        timed_out: false,
+        steals: 0,
+        steal_requests: 0,
+        worker_states_stddev: 0.0,
+        worker_stats: Vec::new(),
+        mappings: Vec::new(),
+    };
+
+    if ctx.num_positions() == 0 {
+        result.matches = 1;
+        return result;
+    }
+    if ctx.impossible() {
+        return result;
+    }
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+
+    let start = Instant::now();
+    let np = ctx.num_positions();
+    let mut roots: Vec<NodeId> = Vec::new();
+    ctx.candidates(0, &ctx.new_state(), &mut roots);
+
+    let (matches, states) = pool.install(|| {
+        roots
+            .par_iter()
+            .map(|&root| {
+                let mut state = ctx.new_state();
+                let mut buffers = vec![Vec::new(); np];
+                let mut matches = 0u64;
+                let mut states = 1u64; // the root consistency check below
+                if ctx.is_consistent(0, root, &state) {
+                    state.assign(0, root);
+                    if np == 1 {
+                        matches += 1;
+                    } else {
+                        let (m, s) = explore(&ctx, &mut state, 1, &mut buffers);
+                        matches += m;
+                        states += s;
+                    }
+                    state.unassign(0);
+                }
+                (matches, states)
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    });
+
+    result.matches = matches;
+    result.states = states;
+    result.match_seconds = start.elapsed().as_secs_f64();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_graph::generators;
+    use sge_ri::MatchConfig;
+
+    #[test]
+    fn rayon_counts_match_sequential() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(6, 0);
+        for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
+            let sequential =
+                sge_ri::enumerate(&pattern, &target, &MatchConfig::new(algorithm));
+            let result = enumerate_rayon(&pattern, &target, algorithm, 2);
+            assert_eq!(result.matches, sequential.matches, "{algorithm}");
+            assert_eq!(result.states, sequential.states, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn rayon_handles_empty_and_impossible_patterns() {
+        let empty = sge_graph::GraphBuilder::new().build();
+        let target = generators::clique(4, 0);
+        assert_eq!(enumerate_rayon(&empty, &target, Algorithm::Ri, 2).matches, 1);
+
+        let mut pb = sge_graph::GraphBuilder::new();
+        pb.add_node(99);
+        let impossible = pb.build();
+        assert_eq!(
+            enumerate_rayon(&impossible, &target, Algorithm::RiDs, 2).matches,
+            0
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! High-level parallel enumeration API.
+
+use crate::problem::SubgraphProblem;
+use serde::{Deserialize, Serialize};
+use sge_graph::{Graph, NodeId};
+use sge_ri::{Algorithm, SearchContext};
+use sge_stealing::{run, EngineConfig, WorkerStats};
+use sge_util::PhaseTimer;
+use std::time::Duration;
+
+/// Configuration of a parallel enumeration run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Which member of the RI family performs the search.
+    pub algorithm: Algorithm,
+    /// Number of worker threads (the paper sweeps 1, 2, 4, 8, 16).
+    pub workers: usize,
+    /// Task-group (coalescing) size; the paper settles on 4.
+    pub task_group_size: usize,
+    /// Work stealing on (the paper's scheduler) or off (static initial
+    /// partition, the Fig. 3 baseline).
+    pub steal_enabled: bool,
+    /// Optional wall-clock limit for the matching phase.
+    pub time_limit: Option<Duration>,
+    /// Collect up to this many full mappings in the result.
+    pub collect_limit: usize,
+    /// Seed for victim selection.
+    pub seed: u64,
+}
+
+impl ParallelConfig {
+    /// Default parallel configuration: all available cores, task groups of 4,
+    /// stealing enabled, no time limit.
+    pub fn new(algorithm: Algorithm) -> Self {
+        ParallelConfig {
+            algorithm,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            task_group_size: 4,
+            steal_enabled: true,
+            time_limit: None,
+            collect_limit: 0,
+            seed: 0xC0FF_EE00,
+        }
+    }
+
+    /// Sets the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the task-group size.
+    pub fn with_task_group_size(mut self, size: usize) -> Self {
+        self.task_group_size = size.max(1);
+        self
+    }
+
+    /// Enables or disables work stealing.
+    pub fn with_stealing(mut self, enabled: bool) -> Self {
+        self.steal_enabled = enabled;
+        self
+    }
+
+    /// Sets a matching-phase time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Collects up to `limit` mappings.
+    pub fn with_collected_mappings(mut self, limit: usize) -> Self {
+        self.collect_limit = limit;
+        self
+    }
+}
+
+/// Outcome of a parallel enumeration run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParallelResult {
+    /// Algorithm used.
+    pub algorithm: Algorithm,
+    /// Number of workers used.
+    pub workers: usize,
+    /// Number of embeddings found.
+    pub matches: u64,
+    /// Total states visited across all workers.
+    pub states: u64,
+    /// Preprocessing time (domains + ordering) in seconds.
+    pub preprocess_seconds: f64,
+    /// Matching (parallel search) wall-clock time in seconds.
+    pub match_seconds: f64,
+    /// Whether the time limit cut the search short.
+    pub timed_out: bool,
+    /// Total successful steals.
+    pub steals: u64,
+    /// Total steal requests issued.
+    pub steal_requests: u64,
+    /// Standard deviation of per-worker visited states (the Fig. 3 load
+    /// imbalance metric).
+    pub worker_states_stddev: f64,
+    /// Per-worker counters.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Collected mappings, if requested.
+    pub mappings: Vec<Vec<NodeId>>,
+}
+
+impl ParallelResult {
+    /// Total time (preprocessing + matching).
+    pub fn total_seconds(&self) -> f64 {
+        self.preprocess_seconds + self.match_seconds
+    }
+
+    /// States visited per second of matching time.
+    pub fn states_per_second(&self) -> f64 {
+        if self.match_seconds > 0.0 {
+            self.states as f64 / self.match_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Enumerates all embeddings of `pattern` in `target` with the private-deque
+/// work-stealing scheduler (parallel RI / parallel RI-DS / parallel
+/// RI-DS-SI-FC, depending on `config.algorithm`).
+pub fn enumerate_parallel(pattern: &Graph, target: &Graph, config: &ParallelConfig) -> ParallelResult {
+    let mut timer = PhaseTimer::new();
+    let ctx = timer.time("preprocess", || {
+        SearchContext::prepare(pattern, target, config.algorithm)
+    });
+
+    let mut result = ParallelResult {
+        algorithm: config.algorithm,
+        workers: config.workers,
+        matches: 0,
+        states: 0,
+        preprocess_seconds: timer.seconds("preprocess"),
+        match_seconds: 0.0,
+        timed_out: false,
+        steals: 0,
+        steal_requests: 0,
+        worker_states_stddev: 0.0,
+        worker_stats: Vec::new(),
+        mappings: Vec::new(),
+    };
+
+    if ctx.num_positions() == 0 {
+        result.matches = 1;
+        return result;
+    }
+    if ctx.impossible() {
+        return result;
+    }
+
+    let mut problem = SubgraphProblem::new(&ctx);
+    if config.collect_limit > 0 {
+        problem = problem.with_collection(config.collect_limit);
+    }
+
+    let mut engine = EngineConfig::with_workers(config.workers)
+        .task_group_size(config.task_group_size)
+        .steal(config.steal_enabled);
+    engine.seed = config.seed;
+    if let Some(limit) = config.time_limit {
+        engine = engine.time_limit(limit);
+    }
+
+    let run_result = run(&problem, &engine);
+
+    result.matches = run_result.solutions;
+    result.states = run_result.states;
+    result.match_seconds = run_result.elapsed_seconds;
+    result.timed_out = run_result.timed_out;
+    result.steals = run_result.steals;
+    result.steal_requests = run_result.steal_requests;
+    result.worker_states_stddev = run_result.worker_states_stddev();
+    result.worker_stats = run_result.workers;
+    result.mappings = problem.take_collected();
+    result
+}
+
+/// Convenience wrapper: the same initial distribution with stealing disabled —
+/// the "no work stealing" baseline of Fig. 3.
+pub fn no_stealing(pattern: &Graph, target: &Graph, config: &ParallelConfig) -> ParallelResult {
+    let config = config.clone().with_stealing(false);
+    enumerate_parallel(pattern, target, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_graph::generators;
+    use sge_ri::MatchConfig;
+
+    fn sequential_matches(pattern: &Graph, target: &Graph, algorithm: Algorithm) -> (u64, u64) {
+        let r = sge_ri::enumerate(pattern, target, &MatchConfig::new(algorithm));
+        (r.matches, r.states)
+    }
+
+    #[test]
+    fn parallel_counts_equal_sequential_for_all_algorithms() {
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        for algorithm in Algorithm::ALL {
+            let (matches, states) = sequential_matches(&pattern, &target, algorithm);
+            for workers in [1usize, 2, 4] {
+                let config = ParallelConfig::new(algorithm).with_workers(workers);
+                let result = enumerate_parallel(&pattern, &target, &config);
+                assert_eq!(result.matches, matches, "{algorithm} workers={workers}");
+                assert_eq!(result.states, states, "{algorithm} workers={workers}");
+                assert!(!result.timed_out);
+            }
+        }
+    }
+
+    #[test]
+    fn task_group_size_does_not_change_counts() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(6, 0);
+        let (matches, _) = sequential_matches(&pattern, &target, Algorithm::RiDsSiFc);
+        for group_size in [1usize, 2, 4, 8, 16] {
+            let config = ParallelConfig::new(Algorithm::RiDsSiFc)
+                .with_workers(3)
+                .with_task_group_size(group_size);
+            let result = enumerate_parallel(&pattern, &target, &config);
+            assert_eq!(result.matches, matches, "group_size={group_size}");
+        }
+    }
+
+    #[test]
+    fn no_stealing_finds_the_same_matches() {
+        let pattern = generators::undirected_path(3, 0);
+        let target = generators::grid(3, 4);
+        let (matches, states) = sequential_matches(&pattern, &target, Algorithm::Ri);
+        let config = ParallelConfig::new(Algorithm::Ri).with_workers(4);
+        let result = no_stealing(&pattern, &target, &config);
+        assert_eq!(result.matches, matches);
+        assert_eq!(result.states, states);
+        assert_eq!(result.steals, 0);
+    }
+
+    #[test]
+    fn impossible_instances_short_circuit() {
+        let mut pb = sge_graph::GraphBuilder::new();
+        pb.add_node(77);
+        let pattern = pb.build();
+        let target = generators::clique(5, 0);
+        let config = ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(2);
+        let result = enumerate_parallel(&pattern, &target, &config);
+        assert_eq!(result.matches, 0);
+        assert_eq!(result.states, 0);
+    }
+
+    #[test]
+    fn empty_pattern_has_one_match() {
+        let pattern = sge_graph::GraphBuilder::new().build();
+        let target = generators::clique(4, 0);
+        let config = ParallelConfig::new(Algorithm::Ri).with_workers(2);
+        let result = enumerate_parallel(&pattern, &target, &config);
+        assert_eq!(result.matches, 1);
+    }
+
+    #[test]
+    fn collected_mappings_are_embeddings() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0);
+        let config = ParallelConfig::new(Algorithm::RiDs)
+            .with_workers(3)
+            .with_collected_mappings(7);
+        let result = enumerate_parallel(&pattern, &target, &config);
+        assert_eq!(result.mappings.len(), 7);
+        for mapping in &result.mappings {
+            for (u, v, l) in pattern.edges() {
+                assert_eq!(
+                    target.edge_label(mapping[u as usize], mapping[v as usize]),
+                    Some(l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_accessors_are_consistent() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0);
+        let config = ParallelConfig::new(Algorithm::Ri).with_workers(2);
+        let result = enumerate_parallel(&pattern, &target, &config);
+        assert!(result.total_seconds() >= result.match_seconds);
+        assert!(result.states_per_second() >= 0.0);
+        assert_eq!(
+            result.worker_stats.iter().map(|w| w.states).sum::<u64>(),
+            result.states
+        );
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        let pattern = generators::undirected_cycle(6, 0);
+        let target = generators::grid(5, 5);
+        let config = ParallelConfig::new(Algorithm::Ri)
+            .with_workers(2)
+            .with_time_limit(Duration::from_millis(1));
+        let result = enumerate_parallel(&pattern, &target, &config);
+        // Either it finished very quickly or it was cut off.
+        let full = sequential_matches(&pattern, &target, Algorithm::Ri).0;
+        if result.timed_out {
+            assert!(result.matches <= full);
+        } else {
+            assert_eq!(result.matches, full);
+        }
+    }
+}

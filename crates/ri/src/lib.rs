@@ -1,0 +1,49 @@
+//! Sequential subgraph enumeration: RI, RI-DS, RI-DS-SI and RI-DS-SI-FC.
+//!
+//! This crate implements the algorithms the paper parallelizes and improves:
+//!
+//! * **RI** (Bonnici et al., BMC Bioinformatics 2013) — backtracking over a
+//!   *static* node ordering computed by the GreatestConstraintFirst heuristic
+//!   ([`ordering`]), with cheap-first consistency checks and no expensive
+//!   inference during the search.
+//! * **RI-DS** — RI plus precomputed *domains*: for every pattern node the set
+//!   of compatible target nodes, filtered by label, degree and one
+//!   arc-consistency sweep ([`domains`]).  Domains are stored as bitmasks,
+//!   pattern nodes with singleton domains are hoisted to the front of the
+//!   ordering, and domains restrict both root candidates and every search step.
+//! * **RI-DS-SI** — this paper's improvement: domain size breaks ties in the
+//!   node ordering (most-constrained-first).
+//! * **RI-DS-SI-FC** — additionally performs forward checking on singleton
+//!   domains before the search starts (removing forced target nodes from every
+//!   other domain, propagating until fixpoint).
+//!
+//! The [`search::SearchContext`] type exposes the candidate generation and
+//! consistency checking machinery in a form that the parallel runtime
+//! (`sge-parallel`) reuses unchanged, so the sequential and parallel matchers
+//! explore exactly the same search space.
+//!
+//! # Quick example
+//!
+//! ```
+//! use sge_graph::generators;
+//! use sge_ri::{enumerate, Algorithm, MatchConfig};
+//!
+//! // Find all directed 3-cycles in a 4-clique.
+//! let pattern = generators::directed_cycle(3, 0);
+//! let target = generators::clique(4, 0);
+//! let result = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
+//! assert_eq!(result.matches, 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod matcher;
+pub mod ordering;
+pub mod search;
+
+pub use domains::Domains;
+pub use matcher::{enumerate, enumerate_with, Algorithm, MatchConfig, MatchResult};
+pub use ordering::{greatest_constraint_first, MatchOrder, ParentLink};
+pub use search::{SearchContext, WorkerState};

@@ -1,0 +1,510 @@
+//! The sequential enumeration driver.
+//!
+//! [`enumerate`] runs the full pipeline — preprocessing (domains + ordering)
+//! followed by the depth-first search — and reports the quantities the paper's
+//! evaluation is built on: match count, *search space size* (number of states
+//! visited, i.e. consistency checks performed), preprocessing / matching /
+//! total time, and whether a time limit was hit.
+
+use crate::search::{SearchContext, WorkerState};
+use serde::{Deserialize, Serialize};
+use sge_graph::{Graph, NodeId};
+use sge_util::PhaseTimer;
+use std::time::{Duration, Instant};
+
+/// Which member of the RI family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Plain RI: static GreatestConstraintFirst ordering, no domains.
+    Ri,
+    /// RI-DS: precomputed bitmask domains (label + degree + arc consistency).
+    RiDs,
+    /// RI-DS-SI: RI-DS with domain-size tie-breaking in the node ordering.
+    RiDsSi,
+    /// RI-DS-SI-FC: RI-DS-SI plus forward checking of singleton domains.
+    RiDsSiFc,
+}
+
+impl Algorithm {
+    /// All algorithm variants, in the order the paper introduces them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Ri,
+        Algorithm::RiDs,
+        Algorithm::RiDsSi,
+        Algorithm::RiDsSiFc,
+    ];
+
+    /// Does this variant precompute domains?
+    pub fn uses_domains(self) -> bool {
+        !matches!(self, Algorithm::Ri)
+    }
+
+    /// Does this variant break ordering ties by domain size (the SI improvement)?
+    pub fn uses_domain_size_tie_break(self) -> bool {
+        matches!(self, Algorithm::RiDsSi | Algorithm::RiDsSiFc)
+    }
+
+    /// Does this variant run forward checking (the FC improvement)?
+    pub fn uses_forward_checking(self) -> bool {
+        matches!(self, Algorithm::RiDsSiFc)
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ri => "RI",
+            Algorithm::RiDs => "RI-DS",
+            Algorithm::RiDsSi => "RI-DS-SI",
+            Algorithm::RiDsSiFc => "RI-DS-SI-FC",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one enumeration run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Algorithm variant.
+    pub algorithm: Algorithm,
+    /// Stop after this many matches (`None` = enumerate all).
+    pub max_matches: Option<u64>,
+    /// Wall-clock budget for the *matching* phase; exceeding it sets
+    /// [`MatchResult::timed_out`] (the paper uses a 180 s limit).
+    pub time_limit: Option<Duration>,
+    /// Record the first `collect_limit` full mappings in the result.
+    pub collect_limit: usize,
+}
+
+impl MatchConfig {
+    /// Default configuration for an algorithm: enumerate everything, no time
+    /// limit, do not collect mappings.
+    pub fn new(algorithm: Algorithm) -> Self {
+        MatchConfig {
+            algorithm,
+            max_matches: None,
+            time_limit: None,
+            collect_limit: 0,
+        }
+    }
+
+    /// Sets a match-count limit.
+    pub fn with_max_matches(mut self, limit: u64) -> Self {
+        self.max_matches = Some(limit);
+        self
+    }
+
+    /// Sets the matching-phase time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Collects up to `limit` full mappings in the result.
+    pub fn with_collected_mappings(mut self, limit: usize) -> Self {
+        self.collect_limit = limit;
+        self
+    }
+}
+
+/// Outcome of one enumeration run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Algorithm that produced this result.
+    pub algorithm: Algorithm,
+    /// Number of isomorphic (non-induced) subgraphs found.
+    pub matches: u64,
+    /// Search space size: number of states visited, i.e. `(position,
+    /// candidate)` pairs for which a consistency check ran.
+    pub states: u64,
+    /// Preprocessing time in seconds (domain assignment + ordering).
+    pub preprocess_seconds: f64,
+    /// Matching (search) time in seconds.
+    pub match_seconds: f64,
+    /// Whether the time limit interrupted the search (counts are then lower
+    /// bounds).
+    pub timed_out: bool,
+    /// Collected mappings (`pattern node -> target node`), at most
+    /// `collect_limit` of them.
+    pub mappings: Vec<Vec<NodeId>>,
+}
+
+impl MatchResult {
+    /// Total time (preprocessing + matching) in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.preprocess_seconds + self.match_seconds
+    }
+
+    /// States visited per second of matching time.
+    pub fn states_per_second(&self) -> f64 {
+        if self.match_seconds > 0.0 {
+            self.states as f64 / self.match_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+struct SearchDriver<'a, F> {
+    ctx: &'a SearchContext<'a>,
+    state: WorkerState,
+    candidate_buffers: Vec<Vec<NodeId>>,
+    states: u64,
+    matches: u64,
+    deadline: Option<Instant>,
+    timed_out: bool,
+    max_matches: Option<u64>,
+    visitor: F,
+}
+
+impl<'a, F: FnMut(&SearchContext<'a>, &WorkerState)> SearchDriver<'a, F> {
+    fn stop(&self) -> bool {
+        if self.timed_out {
+            return true;
+        }
+        if let Some(limit) = self.max_matches {
+            if self.matches >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn check_deadline(&mut self) {
+        if let Some(deadline) = self.deadline {
+            // Only consult the clock every 4096 states; Instant::now is cheap
+            // but not free, and the paper measures in whole milliseconds.
+            if self.states % 4096 == 0 && Instant::now() >= deadline {
+                self.timed_out = true;
+            }
+        }
+    }
+
+    fn search(&mut self, depth: usize) {
+        let np = self.ctx.num_positions();
+        let mut candidates = std::mem::take(&mut self.candidate_buffers[depth]);
+        self.ctx.candidates(depth, &self.state, &mut candidates);
+        for &vt in &candidates {
+            if self.stop() {
+                break;
+            }
+            self.states += 1;
+            self.check_deadline();
+            if !self.ctx.is_consistent(depth, vt, &self.state) {
+                continue;
+            }
+            self.state.assign(depth, vt);
+            if depth + 1 == np {
+                self.matches += 1;
+                (self.visitor)(self.ctx, &self.state);
+            } else {
+                self.search(depth + 1);
+            }
+            self.state.unassign(depth);
+        }
+        self.candidate_buffers[depth] = candidates;
+    }
+}
+
+/// Enumerates all subgraphs of `target` isomorphic to `pattern` and invokes
+/// `visitor` for every match with the search context and the complete worker
+/// state (use [`SearchContext::mapping_by_pattern_node`] to extract the
+/// mapping).
+///
+/// An empty pattern has exactly one (empty) embedding.
+pub fn enumerate_with<F>(
+    pattern: &Graph,
+    target: &Graph,
+    config: &MatchConfig,
+    mut visitor: F,
+) -> MatchResult
+where
+    F: FnMut(&SearchContext<'_>, &WorkerState),
+{
+    let mut timer = PhaseTimer::new();
+    let ctx = timer.time("preprocess", || {
+        SearchContext::prepare(pattern, target, config.algorithm)
+    });
+
+    let mut result = MatchResult {
+        algorithm: config.algorithm,
+        matches: 0,
+        states: 0,
+        preprocess_seconds: timer.seconds("preprocess"),
+        match_seconds: 0.0,
+        timed_out: false,
+        mappings: Vec::new(),
+    };
+
+    if ctx.num_positions() == 0 {
+        // The empty pattern has exactly one embedding: the empty mapping.
+        result.matches = 1;
+        return result;
+    }
+    if ctx.impossible() {
+        return result;
+    }
+
+    let match_start = Instant::now();
+    let deadline = config.time_limit.map(|limit| match_start + limit);
+    let state = ctx.new_state();
+    let np = ctx.num_positions();
+    let mut driver = SearchDriver {
+        ctx: &ctx,
+        state,
+        candidate_buffers: vec![Vec::new(); np],
+        states: 0,
+        matches: 0,
+        deadline,
+        timed_out: false,
+        max_matches: config.max_matches,
+        visitor: |ctx: &SearchContext<'_>, state: &WorkerState| visitor(ctx, state),
+    };
+    driver.search(0);
+
+    result.matches = driver.matches;
+    result.states = driver.states;
+    result.timed_out = driver.timed_out;
+    result.match_seconds = match_start.elapsed().as_secs_f64();
+    result
+}
+
+/// Enumerates all subgraphs of `target` isomorphic to `pattern`, optionally
+/// collecting mappings (see [`MatchConfig::with_collected_mappings`]).
+pub fn enumerate(pattern: &Graph, target: &Graph, config: &MatchConfig) -> MatchResult {
+    let mut collected: Vec<Vec<NodeId>> = Vec::new();
+    let limit = config.collect_limit;
+    let mut result = enumerate_with(pattern, target, config, |ctx, state| {
+        if collected.len() < limit {
+            collected.push(ctx.mapping_by_pattern_node(state));
+        }
+    });
+    result.mappings = collected;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_graph::{generators, GraphBuilder};
+
+    fn count(pattern: &Graph, target: &Graph, algorithm: Algorithm) -> u64 {
+        enumerate(pattern, target, &MatchConfig::new(algorithm)).matches
+    }
+
+    #[test]
+    fn directed_edge_in_clique() {
+        // K4 with symmetric directed edges: every ordered pair is an embedding
+        // of a single directed edge.
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(4, 0);
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 12, "{algo}");
+        }
+    }
+
+    #[test]
+    fn triangle_in_clique() {
+        // Directed 3-cycles in K4: choose 3 of 4 vertices (4 ways), each
+        // triangle hosts 3! = 6 cyclic node assignments (both rotations of both
+        // orientations exist since edges are symmetric).
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(4, 0);
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 24, "{algo}");
+        }
+    }
+
+    #[test]
+    fn path_in_path() {
+        let pattern = generators::directed_path(3, 0);
+        let target = generators::directed_path(6, 0);
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 4, "{algo}");
+        }
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let pattern = generators::labeled_triangle(1, 2, 3);
+        // Target contains two labeled triangles, one with matching labels, one
+        // rotated (labels 2,3,1 — which is the same cyclic labeling, so it also
+        // matches with a rotated mapping) and one with a wrong label set.
+        let mut tb = GraphBuilder::new();
+        let a = tb.add_node(1);
+        let b = tb.add_node(2);
+        let c = tb.add_node(3);
+        tb.add_edge(a, b, 0);
+        tb.add_edge(b, c, 0);
+        tb.add_edge(c, a, 0);
+        let d = tb.add_node(1);
+        let e = tb.add_node(2);
+        let f = tb.add_node(2);
+        tb.add_edge(d, e, 0);
+        tb.add_edge(e, f, 0);
+        tb.add_edge(f, d, 0);
+        let target = tb.build();
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 1, "{algo}");
+        }
+    }
+
+    #[test]
+    fn edge_labels_must_match() {
+        let mut pb = GraphBuilder::new();
+        let p0 = pb.add_node(0);
+        let p1 = pb.add_node(0);
+        pb.add_edge(p0, p1, 7);
+        let pattern = pb.build();
+
+        let mut tb = GraphBuilder::new();
+        let t0 = tb.add_node(0);
+        let t1 = tb.add_node(0);
+        let t2 = tb.add_node(0);
+        tb.add_edge(t0, t1, 7);
+        tb.add_edge(t1, t2, 8);
+        let target = tb.build();
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 1, "{algo}");
+        }
+    }
+
+    #[test]
+    fn no_match_when_pattern_too_large() {
+        let pattern = generators::clique(5, 0);
+        let target = generators::clique(4, 0);
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_has_one_embedding() {
+        let pattern = GraphBuilder::new().build();
+        let target = generators::clique(3, 0);
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 1, "{algo}");
+        }
+    }
+
+    #[test]
+    fn zero_match_instance_with_wrong_labels() {
+        let mut pb = GraphBuilder::new();
+        pb.add_node(99);
+        let pattern = pb.build();
+        let target = generators::clique(6, 0);
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_counts_ordered_pairs() {
+        // Two isolated pattern nodes in a 4-node edgeless target: 4*3 = 12
+        // injective assignments.
+        let mut pb = GraphBuilder::new();
+        pb.add_nodes(2, 0);
+        let pattern = pb.build();
+        let mut tb = GraphBuilder::new();
+        tb.add_nodes(4, 0);
+        let target = tb.build();
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 12, "{algo}");
+        }
+    }
+
+    #[test]
+    fn max_matches_truncates_enumeration() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(6, 0);
+        let config = MatchConfig::new(Algorithm::Ri).with_max_matches(5);
+        let result = enumerate(&pattern, &target, &config);
+        assert_eq!(result.matches, 5);
+    }
+
+    #[test]
+    fn collected_mappings_are_valid_embeddings() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(4, 0);
+        let config = MatchConfig::new(Algorithm::RiDsSiFc).with_collected_mappings(10);
+        let result = enumerate(&pattern, &target, &config);
+        assert_eq!(result.mappings.len(), 10);
+        for mapping in &result.mappings {
+            assert_eq!(mapping.len(), pattern.num_nodes());
+            // Injective.
+            let mut sorted = mapping.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), mapping.len());
+            // Edge-preserving.
+            for (u, v, l) in pattern.edges() {
+                assert_eq!(target.edge_label(mapping[u as usize], mapping[v as usize]), Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn search_space_is_reported_and_nonzero() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0);
+        let result = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
+        assert!(result.states > 0);
+        assert!(result.total_seconds() >= 0.0);
+        assert!(result.states_per_second() >= 0.0);
+        assert!(!result.timed_out);
+    }
+
+    #[test]
+    fn domain_variants_never_visit_more_states_than_ri_ds() {
+        // The SI/FC improvements only prune; on a fixed instance their search
+        // space must not exceed RI-DS's.
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        let ds = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDs));
+        let si = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSi));
+        let fc = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSiFc));
+        assert_eq!(ds.matches, si.matches);
+        assert_eq!(ds.matches, fc.matches);
+        assert!(fc.states <= ds.states.max(si.states) * 2, "FC should not blow up the search space");
+    }
+
+    #[test]
+    fn timeout_flag_set_for_tiny_deadline() {
+        // A 6-cycle in a 6x6 grid is enough work that a zero time limit fires.
+        let pattern = generators::undirected_cycle(6, 0);
+        let target = generators::grid(6, 6);
+        let config = MatchConfig::new(Algorithm::Ri).with_time_limit(Duration::from_nanos(1));
+        let result = enumerate(&pattern, &target, &config);
+        assert!(result.timed_out || result.match_seconds < 0.05);
+    }
+
+    #[test]
+    fn single_node_pattern_counts_label_occurrences() {
+        let mut pb = GraphBuilder::new();
+        pb.add_node(3);
+        let pattern = pb.build();
+        let mut tb = GraphBuilder::new();
+        tb.add_node(3);
+        tb.add_node(3);
+        tb.add_node(4);
+        let target = tb.build();
+        for algo in Algorithm::ALL {
+            assert_eq!(count(&pattern, &target, algo), 2, "{algo}");
+        }
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert!(!Algorithm::Ri.uses_domains());
+        assert!(Algorithm::RiDs.uses_domains());
+        assert!(!Algorithm::RiDs.uses_domain_size_tie_break());
+        assert!(Algorithm::RiDsSi.uses_domain_size_tie_break());
+        assert!(!Algorithm::RiDsSi.uses_forward_checking());
+        assert!(Algorithm::RiDsSiFc.uses_forward_checking());
+        assert_eq!(Algorithm::RiDsSiFc.to_string(), "RI-DS-SI-FC");
+    }
+}

@@ -1,0 +1,361 @@
+//! GreatestConstraintFirst static node ordering.
+//!
+//! RI fixes the order in which pattern nodes are matched *before* the search
+//! starts ("static variable ordering").  The heuristic greedily grows the
+//! ordering so that the next node is the one most constrained by the nodes
+//! already ordered, introducing new constraints as early as possible:
+//!
+//! 1. the first node is one of maximum degree;
+//! 2. every following node maximizes, in lexicographic priority,
+//!    * `w_m` — the number of its neighbors already in the ordering,
+//!    * `w_n` — the number of its neighbors outside the ordering that are
+//!      themselves adjacent to the ordering,
+//!    * its degree;
+//! 3. (RI-DS) nodes whose domain is a singleton are hoisted to the very front —
+//!    their assignment is forced, so performing it first prunes everything
+//!    below;
+//! 4. (RI-DS-SI, this paper) remaining ties are broken in favour of the node
+//!    with the *smaller* domain — the constraint-first principle applied to the
+//!    domain information that RI-DS already computed.
+//!
+//! Each position also records a *parent*: the earliest ordered neighbor, whose
+//! image during the search supplies the candidate target nodes (its out- or
+//! in-neighborhood depending on the pattern edge direction).
+
+use crate::domains::Domains;
+use serde::{Deserialize, Serialize};
+use sge_graph::{Graph, NodeId};
+
+/// How candidates for a position are generated from its parent's image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParentLink {
+    /// Position (index into [`MatchOrder::positions`]) of the parent.
+    pub parent_pos: usize,
+    /// `true` if the pattern contains the edge `parent -> child`, so candidates
+    /// are the out-neighbors of the parent's image; `false` if only
+    /// `child -> parent` exists, so candidates are the in-neighbors.
+    pub out_from_parent: bool,
+}
+
+/// A static matching order over the pattern nodes plus the parent links used
+/// for candidate generation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchOrder {
+    /// `positions[i]` is the pattern node matched at depth `i`.
+    pub positions: Vec<NodeId>,
+    /// Inverse permutation: `position_of[v]` is the depth at which pattern node
+    /// `v` is matched.
+    pub position_of: Vec<usize>,
+    /// Parent link per position (`None` for roots of the ordering, e.g. the
+    /// first node or the first node of a new connected component).
+    pub parents: Vec<Option<ParentLink>>,
+}
+
+impl MatchOrder {
+    /// Number of positions (= pattern nodes).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the pattern is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Computes the GreatestConstraintFirst ordering.
+///
+/// * `domains` — when present (RI-DS family), nodes with singleton domains are
+///   hoisted to the front of the ordering.
+/// * `domain_size_tie_break` — when `true` (the SI improvement), ties after
+///   `w_m`, `w_n` and degree are broken in favour of the smaller domain.
+///   Requires `domains` to be present to have any effect.
+pub fn greatest_constraint_first(
+    pattern: &Graph,
+    domains: Option<&Domains>,
+    domain_size_tie_break: bool,
+) -> MatchOrder {
+    let n = pattern.num_nodes();
+    let mut in_order = vec![false; n];
+    let mut positions: Vec<NodeId> = Vec::with_capacity(n);
+
+    // Precompute undirected neighborhoods once; the heuristic only looks at
+    // adjacency, not direction.
+    let neighbors: Vec<Vec<NodeId>> = (0..n as NodeId)
+        .map(|v| pattern.undirected_neighbors(v))
+        .collect();
+
+    // RI-DS: singleton-domain nodes first (their assignment is forced).
+    if let Some(doms) = domains {
+        let mut singletons: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| doms.size(v) == 1)
+            .collect();
+        singletons.sort_unstable();
+        for v in singletons {
+            in_order[v as usize] = true;
+            positions.push(v);
+        }
+    }
+
+    while positions.len() < n {
+        let mut best: Option<(usize, usize, usize, usize, NodeId)> = None;
+        for v in 0..n as NodeId {
+            if in_order[v as usize] {
+                continue;
+            }
+            // w_m: neighbors of v already in the ordering.
+            let w_m = neighbors[v as usize]
+                .iter()
+                .filter(|&&w| in_order[w as usize])
+                .count();
+            // w_n: neighbors of v outside the ordering that are adjacent to the
+            // ordering (they will become constrained soon after v is placed).
+            let w_n = neighbors[v as usize]
+                .iter()
+                .filter(|&&w| {
+                    !in_order[w as usize]
+                        && neighbors[w as usize]
+                            .iter()
+                            .any(|&x| in_order[x as usize])
+                })
+                .count();
+            let degree = pattern.degree(v);
+            // Smaller domain preferred => store the *negated rank* as "larger is
+            // better"; without SI all candidates share the same value so the
+            // criterion is inert.
+            let domain_rank = if domain_size_tie_break {
+                match domains {
+                    Some(doms) => usize::MAX - doms.size(v),
+                    None => 0,
+                }
+            } else {
+                0
+            };
+            let key = (w_m, w_n, degree, domain_rank, v);
+            let better = match &best {
+                None => true,
+                Some((bm, bn, bd, br, bv)) => {
+                    // Lexicographic maximum; final component (node id) is a
+                    // deterministic tie-break preferring the smaller id.
+                    (w_m, w_n, degree, domain_rank) > (*bm, *bn, *bd, *br)
+                        || ((w_m, w_n, degree, domain_rank) == (*bm, *bn, *bd, *br) && v < *bv)
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        let (_, _, _, _, chosen) = best.expect("at least one unordered node remains");
+        in_order[chosen as usize] = true;
+        positions.push(chosen);
+    }
+
+    finish_order(pattern, positions)
+}
+
+/// Builds the inverse permutation and parent links for a given position
+/// sequence. Exposed for tests that want to force a specific ordering.
+pub fn finish_order(pattern: &Graph, positions: Vec<NodeId>) -> MatchOrder {
+    let n = positions.len();
+    let mut position_of = vec![usize::MAX; pattern.num_nodes()];
+    for (i, &v) in positions.iter().enumerate() {
+        position_of[v as usize] = i;
+    }
+    let mut parents: Vec<Option<ParentLink>> = Vec::with_capacity(n);
+    for (i, &v) in positions.iter().enumerate() {
+        let mut parent: Option<ParentLink> = None;
+        // Earliest ordered neighbor becomes the parent.
+        for j in 0..i {
+            let u = positions[j];
+            if pattern.has_edge(u, v) {
+                parent = Some(ParentLink {
+                    parent_pos: j,
+                    out_from_parent: true,
+                });
+                break;
+            }
+            if pattern.has_edge(v, u) {
+                parent = Some(ParentLink {
+                    parent_pos: j,
+                    out_from_parent: false,
+                });
+                break;
+            }
+        }
+        parents.push(parent);
+    }
+    MatchOrder {
+        positions,
+        position_of,
+        parents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domains;
+    use sge_graph::{generators, GraphBuilder};
+
+    fn is_permutation(order: &MatchOrder, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &v in &order.positions {
+            if seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        order.positions.len() == n && seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        for pattern in [
+            generators::directed_path(6, 0),
+            generators::clique(5, 0),
+            generators::star(7, 0, 1),
+            generators::grid(3, 3),
+        ] {
+            let order = greatest_constraint_first(&pattern, None, false);
+            assert!(is_permutation(&order, pattern.num_nodes()));
+            // position_of really is the inverse permutation.
+            for (i, &v) in order.positions.iter().enumerate() {
+                assert_eq!(order.position_of[v as usize], i);
+            }
+        }
+    }
+
+    #[test]
+    fn first_node_has_maximum_degree() {
+        let pattern = generators::star(5, 0, 1);
+        let order = greatest_constraint_first(&pattern, None, false);
+        assert_eq!(order.positions[0], 0, "star center must be ordered first");
+    }
+
+    #[test]
+    fn connected_pattern_has_parents_after_root() {
+        let pattern = generators::grid(3, 3);
+        let order = greatest_constraint_first(&pattern, None, false);
+        assert!(order.parents[0].is_none());
+        for i in 1..order.len() {
+            let parent = order.parents[i].expect("connected pattern: every non-root has a parent");
+            assert!(parent.parent_pos < i);
+            let child = order.positions[i];
+            let parent_node = order.positions[parent.parent_pos];
+            if parent.out_from_parent {
+                assert!(pattern.has_edge(parent_node, child));
+            } else {
+                assert!(pattern.has_edge(child, parent_node));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_gets_multiple_roots() {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(4, 0);
+        b.add_undirected_edge(0, 1, 0);
+        b.add_undirected_edge(2, 3, 0);
+        let pattern = b.build();
+        let order = greatest_constraint_first(&pattern, None, false);
+        let roots = order.parents.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 2);
+    }
+
+    #[test]
+    fn each_new_node_maximizes_neighbors_in_ordering() {
+        // Greedy invariant: when node at position i was chosen, no other
+        // unordered node had strictly more neighbors inside the prefix.
+        let pattern = generators::grid(3, 4);
+        let order = greatest_constraint_first(&pattern, None, false);
+        for i in 1..order.len() {
+            let prefix: Vec<_> = order.positions[..i].to_vec();
+            let count_in_prefix = |v: sge_graph::NodeId| {
+                pattern
+                    .undirected_neighbors(v)
+                    .iter()
+                    .filter(|&&w| prefix.contains(&w))
+                    .count()
+            };
+            let chosen = count_in_prefix(order.positions[i]);
+            for &other in &order.positions[i + 1..] {
+                assert!(
+                    count_in_prefix(other) <= chosen,
+                    "node {other} was more constrained than the chosen node at position {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_domains_are_hoisted_to_front() {
+        // Pattern: path a-b-c with distinct labels; target: one node per label
+        // for 'a', many for the others → D(a) is a singleton.
+        let mut pb = GraphBuilder::new();
+        let a = pb.add_node(7);
+        let b = pb.add_node(1);
+        let c = pb.add_node(1);
+        pb.add_undirected_edge(a, b, 0);
+        pb.add_undirected_edge(b, c, 0);
+        let pattern = pb.build();
+
+        let mut tb = GraphBuilder::new();
+        let ta = tb.add_node(7);
+        for _ in 0..5 {
+            tb.add_node(1);
+        }
+        for v in 1..=5u32 {
+            tb.add_undirected_edge(ta, v, 0);
+        }
+        tb.add_undirected_edge(1, 2, 0);
+        let target = tb.build();
+
+        let domains = Domains::compute(&pattern, &target);
+        assert_eq!(domains.size(a), 1);
+        let order = greatest_constraint_first(&pattern, Some(&domains), false);
+        assert_eq!(order.positions[0], a);
+    }
+
+    #[test]
+    fn si_tie_break_prefers_smaller_domain() {
+        // Pattern: star center x with two leaves y, z of identical degree; give
+        // y a rarer label so its domain is smaller than z's. With SI, y must be
+        // ordered before z.
+        let mut pb = GraphBuilder::new();
+        let x = pb.add_node(0);
+        let y = pb.add_node(1);
+        let z = pb.add_node(2);
+        pb.add_undirected_edge(x, y, 0);
+        pb.add_undirected_edge(x, z, 0);
+        let pattern = pb.build();
+
+        let mut tb = GraphBuilder::new();
+        let hub = tb.add_node(0);
+        // two nodes with label 1 (domain of y), five with label 2 (domain of z)
+        for _ in 0..2 {
+            let v = tb.add_node(1);
+            tb.add_undirected_edge(hub, v, 0);
+        }
+        for _ in 0..5 {
+            let v = tb.add_node(2);
+            tb.add_undirected_edge(hub, v, 0);
+        }
+        let target = tb.build();
+
+        let domains = Domains::compute(&pattern, &target);
+        assert!(domains.size(y) < domains.size(z));
+
+        let si = greatest_constraint_first(&pattern, Some(&domains), true);
+        let pos_y = si.position_of[y as usize];
+        let pos_z = si.position_of[z as usize];
+        assert!(pos_y < pos_z, "SI must order the smaller-domain leaf first");
+    }
+
+    #[test]
+    fn empty_pattern_gives_empty_order() {
+        let pattern = GraphBuilder::new().build();
+        let order = greatest_constraint_first(&pattern, None, false);
+        assert!(order.is_empty());
+        assert_eq!(order.len(), 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! Shared search machinery: candidate generation and consistency checking.
+//!
+//! Both the sequential matcher ([`crate::matcher`]) and the parallel runtime
+//! (`sge-parallel`) drive the same [`SearchContext`], so they explore exactly
+//! the same state-space tree.  A *state* in the paper's terminology is a
+//! `(position, candidate target node)` pair for which a consistency check is
+//! performed; the caller counts those.
+//!
+//! [`WorkerState`] is the per-worker mutable part: the partial mapping `M`
+//! (target node per ordered position) and the injectivity flags.  In the
+//! parallel runtime it is private to a worker and *never copied for private
+//! tasks*; only when a task is stolen does the prefix of `M` travel to the
+//! thief (Section 3 of the paper).
+
+use crate::domains::Domains;
+use crate::matcher::Algorithm;
+use crate::ordering::{greatest_constraint_first, MatchOrder};
+use sge_graph::{Graph, NodeId};
+
+/// Read-only description of one enumeration instance: pattern, target, node
+/// ordering and (for the RI-DS family) domains.
+pub struct SearchContext<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    order: MatchOrder,
+    domains: Option<Domains>,
+    /// `true` when the preprocessing already proved that no match exists
+    /// (an empty or contradictory domain).
+    impossible: bool,
+    /// Plain RI checks degrees during the search; the RI-DS domains already
+    /// encode the degree filter.
+    check_degrees: bool,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Runs the preprocessing phase of `algorithm` (domain computation, forward
+    /// checking, node ordering) and returns a ready-to-search context.
+    pub fn prepare(pattern: &'a Graph, target: &'a Graph, algorithm: Algorithm) -> Self {
+        let mut impossible = false;
+        let domains = if algorithm.uses_domains() {
+            let mut domains = Domains::compute(pattern, target);
+            if domains.any_empty() {
+                impossible = true;
+            } else if algorithm.uses_forward_checking() && !domains.forward_check() {
+                impossible = true;
+            }
+            Some(domains)
+        } else {
+            None
+        };
+        let order = greatest_constraint_first(
+            pattern,
+            domains.as_ref(),
+            algorithm.uses_domain_size_tie_break(),
+        );
+        SearchContext {
+            pattern,
+            target,
+            order,
+            domains,
+            impossible,
+            check_degrees: !algorithm.uses_domains(),
+        }
+    }
+
+    /// Builds a context from explicitly prepared parts (used by tests and by
+    /// callers that want to reuse a domain computation).
+    pub fn from_parts(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        order: MatchOrder,
+        domains: Option<Domains>,
+        check_degrees: bool,
+    ) -> Self {
+        let impossible = domains.as_ref().is_some_and(|d| d.any_empty());
+        SearchContext {
+            pattern,
+            target,
+            order,
+            domains,
+            impossible,
+            check_degrees,
+        }
+    }
+
+    /// The pattern graph.
+    pub fn pattern(&self) -> &Graph {
+        self.pattern
+    }
+
+    /// The target graph.
+    pub fn target(&self) -> &Graph {
+        self.target
+    }
+
+    /// The static node ordering.
+    pub fn order(&self) -> &MatchOrder {
+        &self.order
+    }
+
+    /// The domains, when the algorithm uses them.
+    pub fn domains(&self) -> Option<&Domains> {
+        self.domains.as_ref()
+    }
+
+    /// Number of positions to fill (= pattern nodes).
+    pub fn num_positions(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when preprocessing proved there are no matches; the search can be
+    /// skipped entirely.
+    pub fn impossible(&self) -> bool {
+        self.impossible || self.pattern.num_nodes() > self.target.num_nodes()
+    }
+
+    /// Creates a fresh per-worker state.
+    pub fn new_state(&self) -> WorkerState {
+        WorkerState {
+            mapping: vec![NodeId::MAX; self.num_positions()],
+            used: vec![false; self.target.num_nodes()],
+        }
+    }
+
+    /// Raw candidate target nodes for position `depth`, given the current
+    /// partial state (the parent's image must already be assigned).
+    ///
+    /// * positions with a parent: the out-/in-neighbors of the parent's image,
+    /// * parentless positions with domains (RI-DS): the domain members,
+    /// * parentless positions without domains (RI): every target node.
+    ///
+    /// Candidates are *raw*: they still need [`Self::is_consistent`].
+    pub fn candidates(&self, depth: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
+        out.clear();
+        match self.order.parents[depth] {
+            Some(link) => {
+                let parent_image = state.mapping[link.parent_pos];
+                debug_assert_ne!(parent_image, NodeId::MAX, "parent must be assigned");
+                let edges = if link.out_from_parent {
+                    self.target.out_edges(parent_image)
+                } else {
+                    self.target.in_edges(parent_image)
+                };
+                out.extend(edges.iter().map(|e| e.node));
+            }
+            None => match &self.domains {
+                Some(domains) => {
+                    let vp = self.order.positions[depth];
+                    out.extend(domains.set(vp).iter().map(|v| v as NodeId));
+                }
+                None => out.extend(0..self.target.num_nodes() as NodeId),
+            },
+        }
+    }
+
+    /// Full consistency check for mapping the pattern node at `depth` onto
+    /// `vt`, given the already-assigned prefix in `state`.
+    ///
+    /// Checks are ordered cheap → expensive, as in RI: injectivity, label (or
+    /// domain membership), degrees (plain RI only), then every pattern edge
+    /// between this node and already-mapped pattern nodes, including self-loops
+    /// and edge-label compatibility.
+    pub fn is_consistent(&self, depth: usize, vt: NodeId, state: &WorkerState) -> bool {
+        let vp = self.order.positions[depth];
+        if state.used[vt as usize] {
+            return false;
+        }
+        match &self.domains {
+            Some(domains) => {
+                if !domains.contains(vp, vt) {
+                    return false;
+                }
+            }
+            None => {
+                if self.pattern.label(vp) != self.target.label(vt) {
+                    return false;
+                }
+            }
+        }
+        if self.check_degrees
+            && (self.target.out_degree(vt) < self.pattern.out_degree(vp)
+                || self.target.in_degree(vt) < self.pattern.in_degree(vp))
+        {
+            return false;
+        }
+        // Edges from vp to already-mapped pattern nodes (and self-loops).
+        for e in self.pattern.out_edges(vp) {
+            let wp = e.node;
+            if wp == vp {
+                match self.target.edge_label(vt, vt) {
+                    Some(l) if l == e.label => {}
+                    _ => return false,
+                }
+                continue;
+            }
+            let pos = self.order.position_of[wp as usize];
+            if pos < depth {
+                let wt = state.mapping[pos];
+                match self.target.edge_label(vt, wt) {
+                    Some(l) if l == e.label => {}
+                    _ => return false,
+                }
+            }
+        }
+        for e in self.pattern.in_edges(vp) {
+            let wp = e.node;
+            if wp == vp {
+                // Already handled by the out-edge loop.
+                continue;
+            }
+            let pos = self.order.position_of[wp as usize];
+            if pos < depth {
+                let wt = state.mapping[pos];
+                match self.target.edge_label(wt, vt) {
+                    Some(l) if l == e.label => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the current mapping as `pattern node -> target node`.
+    pub fn mapping_by_pattern_node(&self, state: &WorkerState) -> Vec<NodeId> {
+        let mut out = vec![NodeId::MAX; self.num_positions()];
+        for (pos, &vt) in state.mapping.iter().enumerate() {
+            let vp = self.order.positions[pos];
+            out[vp as usize] = vt;
+        }
+        out
+    }
+}
+
+/// Mutable per-worker search state: the partial mapping (indexed by ordered
+/// position) and the injectivity flags over target nodes.
+#[derive(Clone, Debug)]
+pub struct WorkerState {
+    mapping: Vec<NodeId>,
+    used: Vec<bool>,
+}
+
+impl WorkerState {
+    /// Assigns `vt` to position `depth`.
+    #[inline]
+    pub fn assign(&mut self, depth: usize, vt: NodeId) {
+        debug_assert!(!self.used[vt as usize], "target node already used");
+        self.mapping[depth] = vt;
+        self.used[vt as usize] = true;
+    }
+
+    /// Undoes the assignment at `depth`.
+    #[inline]
+    pub fn unassign(&mut self, depth: usize) {
+        let vt = self.mapping[depth];
+        if vt != NodeId::MAX {
+            self.used[vt as usize] = false;
+            self.mapping[depth] = NodeId::MAX;
+        }
+    }
+
+    /// The target node assigned at `depth` (`NodeId::MAX` when unassigned).
+    #[inline]
+    pub fn assigned(&self, depth: usize) -> NodeId {
+        self.mapping[depth]
+    }
+
+    /// The mapping prefix `[0, depth)` — what must travel with a stolen task.
+    pub fn prefix(&self, depth: usize) -> Vec<NodeId> {
+        self.mapping[..depth].to_vec()
+    }
+
+    /// Clears every assignment at positions `>= depth` (rewinding to an
+    /// ancestor task in DFS order).
+    pub fn rewind_to(&mut self, depth: usize) {
+        for pos in depth..self.mapping.len() {
+            self.unassign(pos);
+        }
+    }
+
+    /// Replaces the whole state with the given prefix (installing a stolen
+    /// task's context on the thief).
+    pub fn install_prefix(&mut self, prefix: &[NodeId]) {
+        self.rewind_to(0);
+        for (depth, &vt) in prefix.iter().enumerate() {
+            self.assign(depth, vt);
+        }
+    }
+
+    /// Raw view of the mapping indexed by position.
+    pub fn mapping(&self) -> &[NodeId] {
+        &self.mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Algorithm;
+    use sge_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn candidates_from_parent_neighborhood() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::star(3, 0, 0); // center 0 -> leaves 1,2,3
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let mut state = ctx.new_state();
+
+        let mut roots = Vec::new();
+        ctx.candidates(0, &state, &mut roots);
+        assert_eq!(roots.len(), target.num_nodes(), "RI roots = all target nodes");
+
+        // Map the first pattern node (the path tail, degree-max is node 0 or 1;
+        // ordering picks a max-degree node first) onto the star center and
+        // check the child candidates are exactly the center's out-neighbors.
+        let first = ctx.order().positions[0];
+        assert!(ctx.is_consistent(0, 0, &state));
+        state.assign(0, 0);
+        let mut children = Vec::new();
+        ctx.candidates(1, &state, &mut children);
+        let link = ctx.order().parents[1].unwrap();
+        assert_eq!(link.parent_pos, 0);
+        if pattern.has_edge(first, ctx.order().positions[1]) {
+            assert_eq!(children, vec![1, 2, 3]);
+        } else {
+            assert!(children.is_empty());
+        }
+    }
+
+    #[test]
+    fn consistency_rejects_used_and_wrong_labels() {
+        let pattern = generators::labeled_triangle(1, 2, 3);
+        let mut tb = GraphBuilder::new();
+        let a = tb.add_node(1);
+        let b = tb.add_node(2);
+        let c = tb.add_node(3);
+        let d = tb.add_node(2);
+        tb.add_edge(a, b, 0);
+        tb.add_edge(b, c, 0);
+        tb.add_edge(c, a, 0);
+        tb.add_edge(a, d, 0);
+        let target = tb.build();
+
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let mut state = ctx.new_state();
+        let pos0 = ctx.order().positions[0];
+        let image0 = match pattern.label(pos0) {
+            1 => a,
+            2 => b,
+            _ => c,
+        };
+        assert!(ctx.is_consistent(0, image0, &state));
+        state.assign(0, image0);
+        // Re-using the same target node must fail at any later depth.
+        assert!(!ctx.is_consistent(1, image0, &state));
+    }
+
+    #[test]
+    fn consistency_checks_edges_to_mapped_nodes() {
+        // Pattern: directed edge 0 -> 1 (same labels); target: two nodes with
+        // the edge the wrong way round.
+        let pattern = generators::directed_path(2, 0);
+        let mut tb = GraphBuilder::new();
+        let t0 = tb.add_node(0);
+        let t1 = tb.add_node(0);
+        tb.add_edge(t1, t0, 0);
+        let target = tb.build();
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let mut state = ctx.new_state();
+
+        // Whatever the ordering, mapping both nodes must fail somewhere.
+        let mut total = 0u32;
+        let mut cands = Vec::new();
+        ctx.candidates(0, &state, &mut cands);
+        for &c0 in &cands {
+            if !ctx.is_consistent(0, c0, &state) {
+                continue;
+            }
+            state.assign(0, c0);
+            let mut inner = Vec::new();
+            ctx.candidates(1, &state, &mut inner);
+            for &c1 in &inner {
+                if ctx.is_consistent(1, c1, &state) {
+                    total += 1;
+                }
+            }
+            state.unassign(0);
+        }
+        assert_eq!(total, 1, "exactly one directed embedding exists");
+    }
+
+    #[test]
+    fn self_loop_in_pattern_requires_self_loop_in_target() {
+        let mut pb = GraphBuilder::new();
+        let p = pb.add_node(0);
+        pb.add_edge(p, p, 0);
+        let pattern = pb.build();
+
+        let mut tb = GraphBuilder::new();
+        let t0 = tb.add_node(0);
+        let t1 = tb.add_node(0);
+        tb.add_edge(t0, t0, 0);
+        tb.add_edge(t0, t1, 0);
+        let target = tb.build();
+
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let state = ctx.new_state();
+        assert!(ctx.is_consistent(0, t0, &state));
+        assert!(!ctx.is_consistent(0, t1, &state));
+    }
+
+    #[test]
+    fn impossible_when_pattern_larger_than_target() {
+        let pattern = generators::clique(4, 0);
+        let target = generators::clique(3, 0);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        assert!(ctx.impossible());
+    }
+
+    #[test]
+    fn impossible_when_domain_empty() {
+        let mut pb = GraphBuilder::new();
+        pb.add_node(9);
+        let pattern = pb.build();
+        let target = generators::clique(3, 0);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::RiDs);
+        assert!(ctx.impossible());
+    }
+
+    #[test]
+    fn worker_state_prefix_and_rewind() {
+        let pattern = generators::directed_path(3, 0);
+        let target = generators::directed_path(5, 0);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let mut state = ctx.new_state();
+        state.assign(0, 2);
+        state.assign(1, 3);
+        assert_eq!(state.prefix(2), vec![2, 3]);
+        assert_eq!(state.assigned(1), 3);
+
+        let mut other = ctx.new_state();
+        other.install_prefix(&state.prefix(2));
+        assert_eq!(other.assigned(0), 2);
+        assert_eq!(other.assigned(1), 3);
+
+        state.rewind_to(1);
+        assert_eq!(state.assigned(0), 2);
+        assert_eq!(state.assigned(1), NodeId::MAX);
+        assert_eq!(state.prefix(1), vec![2]);
+        // Target node 3 is free again: re-assigning it must not trip the
+        // injectivity debug assertion.
+        state.assign(1, 3);
+        assert_eq!(state.assigned(1), 3);
+    }
+
+    #[test]
+    fn domain_candidates_for_parentless_position() {
+        // Disconnected pattern: two isolated labeled nodes; RI-DS candidates
+        // for the second root come from its domain, not the whole target.
+        let mut pb = GraphBuilder::new();
+        pb.add_node(1);
+        pb.add_node(2);
+        let pattern = pb.build();
+        let mut tb = GraphBuilder::new();
+        tb.add_node(1);
+        tb.add_node(2);
+        tb.add_node(2);
+        tb.add_node(3);
+        let target = tb.build();
+
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::RiDs);
+        let state = ctx.new_state();
+        let mut cands = Vec::new();
+        ctx.candidates(0, &state, &mut cands);
+        let vp0 = ctx.order().positions[0];
+        let expected = if pattern.label(vp0) == 1 { 1 } else { 2 };
+        assert_eq!(cands.len(), expected);
+    }
+
+    #[test]
+    fn mapping_by_pattern_node_inverts_the_order() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::directed_cycle(3, 0);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let mut state = ctx.new_state();
+        // Assign positions 0..3 to target nodes equal to the pattern node they
+        // represent (the identity embedding exists in a 3-cycle).
+        for depth in 0..3 {
+            let vp = ctx.order().positions[depth];
+            assert!(ctx.is_consistent(depth, vp, &state));
+            state.assign(depth, vp);
+        }
+        let by_node = ctx.mapping_by_pattern_node(&state);
+        assert_eq!(by_node, vec![0, 1, 2]);
+    }
+}

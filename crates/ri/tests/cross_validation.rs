@@ -1,0 +1,148 @@
+//! Cross-validation of the RI family against the independent VF2 baseline.
+//!
+//! Every algorithm must report exactly the same number of embeddings on every
+//! instance; the instances are randomized labeled graphs plus patterns
+//! extracted from them (so most instances have at least one match), and pure
+//! random patterns (which often have none).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sge_graph::{Graph, GraphBuilder};
+use sge_ri::{enumerate, Algorithm, MatchConfig};
+
+/// Random labeled directed graph with `n` nodes, edge probability `p`, and
+/// `labels` distinct node labels.
+fn random_graph(seed: u64, n: usize, p: f64, labels: u32) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(rng.gen_range(0..labels));
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(p) {
+                b.add_edge(u as u32, v as u32, rng.gen_range(0..2));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Extracts a connected pattern with `k` nodes from `target` via a random
+/// undirected walk, keeping every edge among the selected nodes.
+fn extract_pattern(seed: u64, target: &Graph, k: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = target.num_nodes();
+    let start = rng.gen_range(0..n) as u32;
+    let mut selected = vec![start];
+    while selected.len() < k {
+        let &from = &selected[rng.gen_range(0..selected.len())];
+        let neigh = target.undirected_neighbors(from);
+        if neigh.is_empty() {
+            break;
+        }
+        let next = neigh[rng.gen_range(0..neigh.len())];
+        if !selected.contains(&next) {
+            selected.push(next);
+        } else if selected.len() > 1 && rng.gen_bool(0.2) {
+            // Occasionally give up on growing from a saturated frontier.
+            break;
+        }
+    }
+    let mut b = GraphBuilder::new();
+    for &v in &selected {
+        b.add_node(target.label(v));
+    }
+    for (i, &u) in selected.iter().enumerate() {
+        for (j, &v) in selected.iter().enumerate() {
+            if let Some(l) = target.edge_label(u, v) {
+                b.add_edge(i as u32, j as u32, l);
+            }
+        }
+    }
+    b.build()
+}
+
+fn all_algorithms_agree(pattern: &Graph, target: &Graph) {
+    let oracle = sge_vf2::count_matches(pattern, target);
+    for algo in Algorithm::ALL {
+        let result = enumerate(pattern, target, &MatchConfig::new(algo));
+        assert_eq!(
+            result.matches, oracle,
+            "{algo} disagrees with VF2 on pattern {} / target {}",
+            pattern.num_nodes(),
+            target.num_nodes()
+        );
+        assert!(!result.timed_out);
+    }
+}
+
+#[test]
+fn extracted_patterns_have_matches_and_counts_agree() {
+    for seed in 0..12u64 {
+        let target = random_graph(seed, 24, 0.12, 3);
+        let pattern = extract_pattern(seed * 31 + 1, &target, 5);
+        let oracle = sge_vf2::count_matches(&pattern, &target);
+        assert!(
+            oracle >= 1,
+            "pattern extracted from the target must embed at least once (seed {seed})"
+        );
+        all_algorithms_agree(&pattern, &target);
+    }
+}
+
+#[test]
+fn random_patterns_counts_agree_even_with_zero_matches() {
+    for seed in 0..12u64 {
+        let target = random_graph(seed, 20, 0.1, 2);
+        let pattern = random_graph(seed + 1000, 4, 0.4, 2);
+        all_algorithms_agree(&pattern, &target);
+    }
+}
+
+#[test]
+fn dense_unlabeled_targets_agree() {
+    for seed in 0..6u64 {
+        let target = random_graph(seed, 12, 0.35, 1);
+        let pattern = extract_pattern(seed * 7 + 3, &target, 4);
+        all_algorithms_agree(&pattern, &target);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_ri_family_matches_vf2(
+        seed in 0u64..10_000,
+        n in 8usize..20,
+        k in 2usize..5,
+        labels in 1u32..4,
+    ) {
+        let target = random_graph(seed, n, 0.15, labels);
+        let pattern = extract_pattern(seed ^ 0xABCD, &target, k);
+        let oracle = sge_vf2::count_matches(&pattern, &target);
+        for algo in Algorithm::ALL {
+            let result = enumerate(&pattern, &target, &MatchConfig::new(algo));
+            prop_assert_eq!(result.matches, oracle);
+        }
+    }
+
+    #[test]
+    fn prop_search_space_of_ds_family_not_larger_than_ri(
+        seed in 0u64..10_000,
+        n in 10usize..24,
+        k in 3usize..6,
+    ) {
+        // Domains only prune; RI-DS should never visit more states than RI on
+        // labeled instances (both use the same ordering heuristic family).
+        let target = random_graph(seed, n, 0.12, 4);
+        let pattern = extract_pattern(seed ^ 0x1234, &target, k);
+        let ri = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
+        let ds = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDs));
+        prop_assert_eq!(ri.matches, ds.matches);
+        prop_assert!(ds.states <= ri.states,
+            "RI-DS visited {} states, RI visited {}", ds.states, ri.states);
+    }
+}

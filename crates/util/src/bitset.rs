@@ -1,0 +1,319 @@
+//! A fixed-capacity bitset backed by `u64` words.
+//!
+//! RI-DS represents the domain `D(v_p)` of every pattern node as a bitmask over
+//! the target nodes.  Domains are intersected, tested for membership during the
+//! search, and — for the forward-checking improvement of this paper — singleton
+//! values are removed from all *other* domains.  All of these operations map to
+//! word-wide logic on this type.
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` indices in `0..len`, stored as packed bits.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Creates an empty bitset able to hold indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a bitset with every index in `0..len` set.
+    pub fn full(len: usize) -> Self {
+        let mut set = Bitset::new(len);
+        for word in set.words.iter_mut() {
+            *word = u64::MAX;
+        }
+        set.clear_tail();
+        set
+    }
+
+    /// Number of indices this bitset can hold (the universe size, not the count
+    /// of set bits).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests whether `idx` is set.
+    ///
+    /// # Panics
+    /// Panics if `idx >= capacity()`.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets `idx`.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+    }
+
+    /// Clears `idx`. Returns whether the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / WORD_BITS];
+        let mask = 1u64 << (idx % WORD_BITS);
+        let was = *word & mask != 0;
+        *word &= !mask;
+        was
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        for word in self.words.iter_mut() {
+            *word = 0;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn difference_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// If exactly one bit is set, returns its index.
+    pub fn singleton(&self) -> Option<usize> {
+        if self.count() == 1 {
+            self.iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over the set indices in increasing order.
+    pub fn iter(&self) -> BitsetIter<'_> {
+        BitsetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+/// Iterator over set bits of a [`Bitset`].
+pub struct BitsetIter<'a> {
+    set: &'a Bitset,
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Iterator for BitsetIter<'a> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl FromIterator<usize> for Bitset {
+    /// Builds a bitset whose capacity is one past the largest inserted index.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = Bitset::new(len);
+        for idx in items {
+            set.insert(idx);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let set = Bitset::new(100);
+        assert!(set.is_empty());
+        assert_eq!(set.count(), 0);
+        assert_eq!(set.capacity(), 100);
+        assert!(!set.contains(7));
+    }
+
+    #[test]
+    fn full_sets_exactly_len_bits() {
+        for len in [0usize, 1, 63, 64, 65, 100, 128, 129] {
+            let set = Bitset::full(len);
+            assert_eq!(set.count(), len, "len={len}");
+            assert_eq!(set.iter().count(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = Bitset::new(130);
+        set.insert(0);
+        set.insert(64);
+        set.insert(129);
+        assert!(set.contains(0));
+        assert!(set.contains(64));
+        assert!(set.contains(129));
+        assert!(!set.contains(1));
+        assert_eq!(set.count(), 3);
+        assert!(set.remove(64));
+        assert!(!set.remove(64));
+        assert!(!set.contains(64));
+        assert_eq!(set.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut set = Bitset::new(200);
+        for idx in [5usize, 63, 64, 65, 199, 0] {
+            set.insert(idx);
+        }
+        let collected: Vec<usize> = set.iter().collect();
+        assert_eq!(collected, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn intersection_union_difference() {
+        let mut a = Bitset::new(70);
+        let mut b = Bitset::new(70);
+        for idx in [1usize, 3, 5, 68] {
+            a.insert(idx);
+        }
+        for idx in [3usize, 5, 7, 69] {
+            b.insert(idx);
+        }
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![3, 5]);
+
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.iter().collect::<Vec<_>>(), vec![1, 3, 5, 7, 68, 69]);
+
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![1, 68]);
+    }
+
+    #[test]
+    fn singleton_detection() {
+        let mut set = Bitset::new(80);
+        assert_eq!(set.singleton(), None);
+        set.insert(77);
+        assert_eq!(set.singleton(), Some(77));
+        set.insert(3);
+        assert_eq!(set.singleton(), None);
+    }
+
+    #[test]
+    fn from_iterator_and_first() {
+        let set: Bitset = [9usize, 2, 4].into_iter().collect();
+        assert_eq!(set.capacity(), 10);
+        assert_eq!(set.first(), Some(2));
+        let empty: Bitset = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.first(), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut set = Bitset::full(100);
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        let set = Bitset::new(10);
+        let _ = set.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn intersect_capacity_mismatch_panics() {
+        let mut a = Bitset::new(10);
+        let b = Bitset::new(11);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    fn zero_capacity_is_usable() {
+        let set = Bitset::new(0);
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+        let full = Bitset::full(0);
+        assert_eq!(full.count(), 0);
+    }
+}

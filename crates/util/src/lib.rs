@@ -1,0 +1,28 @@
+//! Utility substrate for the `sge` workspace.
+//!
+//! This crate bundles the small, dependency-free building blocks shared by the
+//! graph substrate, the sequential RI/RI-DS matchers, the work-stealing runtime
+//! and the experiment harness:
+//!
+//! * [`Bitset`] — a fixed-capacity bitset used for RI-DS domains (the paper
+//!   stores domains as bitmasks so that forward checking can clear singleton
+//!   values from every other domain with word-wide operations),
+//! * [`stats`] — running mean / standard deviation / standard error and the
+//!   geometric mean used throughout the paper's tables,
+//! * [`timing`] — phase timers separating preprocessing from matching time,
+//! * [`rng`] — a tiny deterministic SplitMix64/xorshift generator for places
+//!   where reproducibility matters more than statistical quality (e.g. victim
+//!   selection in the work-stealing scheduler).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod rng;
+pub mod stats;
+pub mod timing;
+
+pub use bitset::Bitset;
+pub use rng::SplitMix64;
+pub use stats::{geometric_mean, RunningStats, SpeedupSummary};
+pub use timing::PhaseTimer;

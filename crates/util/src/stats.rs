@@ -1,0 +1,296 @@
+//! Statistics helpers mirroring the paper's reporting conventions.
+//!
+//! The evaluation section of the paper reports, per data collection and worker
+//! count: the *arithmetic mean* speedup over total runtime (`avg`), the
+//! *geometric mean* of per-instance speedups (`gmean`), the maximum speedup
+//! (`max`), and standard errors of means (the red bars in its point plots).
+//! [`RunningStats`] and [`SpeedupSummary`] provide exactly those quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Online (Welford) accumulator of mean, variance, min and max.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (sample stddev / sqrt(n)).
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = (self.count + other.count) as f64;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total;
+        self.mean = new_mean;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Geometric mean of a slice of strictly positive values.
+///
+/// Non-positive values are clamped to a tiny epsilon, matching the paper's
+/// treatment of sub-timer-resolution measurements on very short instances.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The `avg` / `gmean` / `max` triple reported by Tables 2 and 3 of the paper.
+///
+/// * `avg` is the ratio of summed baseline time to summed variant time — i.e.
+///   the speedup of the *total* runtime over the instance group,
+/// * `gmean` is the geometric mean of per-instance speedups,
+/// * `max` is the best per-instance speedup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSummary {
+    /// Speedup of total (summed) runtime.
+    pub avg: f64,
+    /// Geometric mean of per-instance speedups.
+    pub gmean: f64,
+    /// Maximum per-instance speedup.
+    pub max: f64,
+    /// Number of instances in the group.
+    pub instances: usize,
+}
+
+impl SpeedupSummary {
+    /// Builds the summary from per-instance `(baseline_time, variant_time)` pairs.
+    ///
+    /// Times are in seconds; pairs where the variant time is zero are clamped to
+    /// a nanosecond to avoid infinities (the paper marks such entries with `*`).
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        if pairs.is_empty() {
+            return SpeedupSummary::default();
+        }
+        let base_total: f64 = pairs.iter().map(|p| p.0).sum();
+        let var_total: f64 = pairs.iter().map(|p| p.1.max(1e-9)).sum();
+        let per_instance: Vec<f64> = pairs.iter().map(|p| p.0 / p.1.max(1e-9)).collect();
+        let max = per_instance.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        SpeedupSummary {
+            avg: base_total / var_total,
+            gmean: geometric_mean(&per_instance),
+            max,
+            instances: pairs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let stats = RunningStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.stddev(), 0.0);
+        assert_eq!(stats.stderr(), 0.0);
+        assert_eq!(stats.min(), None);
+        assert_eq!(stats.max(), None);
+    }
+
+    #[test]
+    fn mean_and_variance_match_direct_formula() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut stats = RunningStats::new();
+        for v in values {
+            stats.push(v);
+        }
+        assert_close(stats.mean(), 5.0);
+        assert_close(stats.variance(), 4.0);
+        assert_close(stats.stddev(), 2.0);
+        assert_close(stats.sum(), 40.0);
+        assert_eq!(stats.min(), Some(2.0));
+        assert_eq!(stats.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let values: Vec<f64> = (1..=100).map(|x| (x as f64).sqrt()).collect();
+        let mut all = RunningStats::new();
+        for &v in &values {
+            all.push(v);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 3 == 0 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_close(left.mean(), all.mean());
+        assert_close(left.variance(), all.variance());
+        assert_close(left.min().unwrap(), all.min().unwrap());
+        assert_close(left.max().unwrap(), all.max().unwrap());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_close(a.mean(), before.mean());
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_close(empty.mean(), before.mean());
+        assert_eq!(empty.count(), before.count());
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert_close(geometric_mean(&[1.0, 4.0]), 2.0);
+        assert_close(geometric_mean(&[2.0, 2.0, 2.0]), 2.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_clamps_non_positive() {
+        let value = geometric_mean(&[0.0, 1.0]);
+        assert!(value > 0.0 && value < 1.0);
+    }
+
+    #[test]
+    fn speedup_summary_matches_paper_semantics() {
+        // Two instances: baseline 10s and 1s, variant 2s and 1s.
+        let pairs = [(10.0, 2.0), (1.0, 1.0)];
+        let summary = SpeedupSummary::from_pairs(&pairs);
+        assert_close(summary.avg, 11.0 / 3.0);
+        assert_close(summary.gmean, (5.0f64 * 1.0).sqrt());
+        assert_close(summary.max, 5.0);
+        assert_eq!(summary.instances, 2);
+    }
+
+    #[test]
+    fn speedup_summary_empty() {
+        let summary = SpeedupSummary::from_pairs(&[]);
+        assert_eq!(summary.instances, 0);
+        assert_eq!(summary.avg, 0.0);
+    }
+
+    #[test]
+    fn stderr_decreases_with_sample_size() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push((i % 5) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 5) as f64);
+        }
+        assert!(large.stderr() < small.stderr());
+    }
+}

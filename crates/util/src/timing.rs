@@ -1,0 +1,113 @@
+//! Phase timers.
+//!
+//! The paper separates *preprocessing time* (domain assignment + node ordering)
+//! from *matching time* (the search itself) and reports *total time* as their
+//! sum (Fig. 9).  [`PhaseTimer`] accumulates named phases so the experiment
+//! harness can report the same breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock durations for a fixed small set of named phases.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseTimer {
+    phases: Vec<(String, f64)>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        PhaseTimer { phases: Vec::new() }
+    }
+
+    /// Runs `f`, recording its duration under `phase`, and returns its result.
+    pub fn time<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Adds a measured duration to `phase`.
+    pub fn add(&mut self, phase: &str, duration: Duration) {
+        self.add_seconds(phase, duration.as_secs_f64());
+    }
+
+    /// Adds raw seconds to `phase`.
+    pub fn add_seconds(&mut self, phase: &str, seconds: f64) {
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _)| name == phase) {
+            entry.1 += seconds;
+        } else {
+            self.phases.push((phase.to_string(), seconds));
+        }
+    }
+
+    /// Accumulated seconds for `phase` (0.0 if never recorded).
+    pub fn seconds(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(name, _)| name == phase)
+            .map_or(0.0, |(_, secs)| *secs)
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().map(|(_, secs)| secs).sum()
+    }
+
+    /// Iterates over `(phase, seconds)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.phases.iter().map(|(name, secs)| (name.as_str(), *secs))
+    }
+
+    /// Merges another timer into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (phase, secs) in other.iter() {
+            self.add_seconds(phase, secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_named_phases() {
+        let mut timer = PhaseTimer::new();
+        timer.add_seconds("preprocess", 0.5);
+        timer.add_seconds("match", 2.0);
+        timer.add_seconds("preprocess", 0.25);
+        assert!((timer.seconds("preprocess") - 0.75).abs() < 1e-12);
+        assert!((timer.seconds("match") - 2.0).abs() < 1e-12);
+        assert!((timer.total() - 2.75).abs() < 1e-12);
+        assert_eq!(timer.seconds("unknown"), 0.0);
+    }
+
+    #[test]
+    fn time_closure_records_positive_duration() {
+        let mut timer = PhaseTimer::new();
+        let value = timer.time("work", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(value > 0);
+        assert!(timer.seconds("work") >= 0.0);
+        assert_eq!(timer.iter().count(), 1);
+    }
+
+    #[test]
+    fn merge_sums_by_phase() {
+        let mut a = PhaseTimer::new();
+        a.add_seconds("x", 1.0);
+        let mut b = PhaseTimer::new();
+        b.add_seconds("x", 2.0);
+        b.add_seconds("y", 3.0);
+        a.merge(&b);
+        assert!((a.seconds("x") - 3.0).abs() < 1e-12);
+        assert!((a.seconds("y") - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! # sge — Shared Memory Parallel Subgraph Enumeration
+//!
+//! A Rust reproduction of *"Shared Memory Parallel Subgraph Enumeration"*
+//! (Kimmig, Meyerhenke, Strash, 2017): the RI / RI-DS subgraph enumeration
+//! algorithms of Bonnici et al., the paper's RI-DS-SI / RI-DS-SI-FC
+//! preprocessing improvements, and a shared-memory parallelization based on
+//! work stealing with private deques.
+//!
+//! This crate is a thin facade re-exporting the workspace members:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`graph`] | labeled directed CSR graphs, builders, text/JSON I/O, generators |
+//! | [`ri`] | sequential RI, RI-DS, RI-DS-SI, RI-DS-SI-FC |
+//! | [`vf2`] | a VF2-style baseline used for cross-validation |
+//! | [`stealing`] | the generic private-deque work-stealing engine |
+//! | [`parallel`] | parallel RI / RI-DS-SI-FC plus ablation schedulers |
+//! | [`datasets`] | synthetic PPIS32 / GRAEMLIN32 / PDBSv1 analogues |
+//! | [`util`] | bitsets, statistics, timing |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sge::prelude::*;
+//!
+//! // Pattern: a directed triangle. Target: a 5-clique.
+//! let pattern = sge::graph::generators::directed_cycle(3, 0);
+//! let target = sge::graph::generators::clique(5, 0);
+//!
+//! // Sequential RI-DS-SI-FC.
+//! let seq = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSiFc));
+//!
+//! // Parallel RI-DS-SI-FC with 4 workers and task groups of 4.
+//! let par = enumerate_parallel(
+//!     &pattern,
+//!     &target,
+//!     &ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(4),
+//! );
+//!
+//! assert_eq!(seq.matches, 60);
+//! assert_eq!(par.matches, 60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sge_datasets as datasets;
+pub use sge_graph as graph;
+pub use sge_parallel as parallel;
+pub use sge_ri as ri;
+pub use sge_stealing as stealing;
+pub use sge_util as util;
+pub use sge_vf2 as vf2;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use sge_graph::{Graph, GraphBuilder};
+    pub use sge_parallel::{enumerate_parallel, ParallelConfig, ParallelResult};
+    pub use sge_ri::{enumerate, Algorithm, MatchConfig, MatchResult};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let pattern = crate::graph::generators::directed_path(2, 0);
+        let target = crate::graph::generators::clique(3, 0);
+        let seq = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
+        let par = enumerate_parallel(
+            &pattern,
+            &target,
+            &ParallelConfig::new(Algorithm::Ri).with_workers(2),
+        );
+        assert_eq!(seq.matches, 6);
+        assert_eq!(par.matches, 6);
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end pipeline tests: generate a synthetic collection, run every
+//! sequential and parallel algorithm variant on its instances, and check that
+//! they all agree with each other and with the independent VF2 oracle.
+
+use sge::datasets::{graemlin32_like, pdbsv1_like, ppis32_like, Collection};
+use sge::prelude::*;
+
+/// Runs every variant on a handful of instances from `collection` and checks
+/// agreement.  Instances are capped (`max_edges`, `max_instances`) so the test
+/// stays fast in debug builds.
+fn check_collection(collection: &Collection, max_edges: usize, max_instances: usize) {
+    let mut checked = 0usize;
+    for instance in &collection.instances {
+        if instance.pattern.num_edges() > max_edges {
+            continue;
+        }
+        if checked >= max_instances {
+            break;
+        }
+        checked += 1;
+        let target = collection.target_of(instance);
+
+        let oracle = sge::vf2::count_matches(&instance.pattern, target);
+        assert!(oracle >= 1, "extracted instance {} must embed", instance.id);
+
+        let mut states_by_algo = Vec::new();
+        for algorithm in Algorithm::ALL {
+            let result = enumerate(&instance.pattern, target, &MatchConfig::new(algorithm));
+            assert_eq!(
+                result.matches, oracle,
+                "{algorithm} disagrees with VF2 on {}",
+                instance.id
+            );
+            states_by_algo.push((algorithm, result.states));
+        }
+
+        // Parallel RI and parallel RI-DS-SI-FC with a couple of worker counts.
+        for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
+            for workers in [2usize, 4] {
+                let result = enumerate_parallel(
+                    &instance.pattern,
+                    target,
+                    &ParallelConfig::new(algorithm).with_workers(workers),
+                );
+                assert_eq!(
+                    result.matches, oracle,
+                    "parallel {algorithm} with {workers} workers disagrees on {}",
+                    instance.id
+                );
+                let sequential_states = states_by_algo
+                    .iter()
+                    .find(|(a, _)| *a == algorithm)
+                    .map(|(_, s)| *s)
+                    .unwrap();
+                assert_eq!(
+                    result.states, sequential_states,
+                    "parallel {algorithm} explores a different search space on {}",
+                    instance.id
+                );
+            }
+        }
+    }
+    assert!(checked > 0, "no instance satisfied the test filters");
+}
+
+#[test]
+fn pdbsv1_like_pipeline_agrees() {
+    let collection = Collection::generate(&pdbsv1_like(0.15, 31));
+    check_collection(&collection, 16, 6);
+}
+
+#[test]
+fn graemlin32_like_pipeline_agrees() {
+    let collection = Collection::generate(&graemlin32_like(0.12, 32));
+    check_collection(&collection, 8, 5);
+}
+
+#[test]
+fn ppis32_like_pipeline_agrees() {
+    let collection = Collection::generate(&ppis32_like(0.12, 33));
+    check_collection(&collection, 8, 5);
+}
+
+#[test]
+fn graph_text_format_roundtrip_preserves_match_counts() {
+    let collection = Collection::generate(&pdbsv1_like(0.12, 77));
+    let instance = &collection.instances[0];
+    let target = collection.target_of(instance);
+
+    let target_text = sge::graph::io::write_graph(target);
+    let pattern_text = sge::graph::io::write_graph(&instance.pattern);
+    // Pattern and target must share one label interner so their label ids stay
+    // consistent across the two files.
+    let mut interner = std::collections::HashMap::new();
+    let target2 = sge::graph::io::parse_graph_with_interner(&target_text, &mut interner)
+        .expect("target roundtrip");
+    let pattern2 = sge::graph::io::parse_graph_with_interner(&pattern_text, &mut interner)
+        .expect("pattern roundtrip");
+
+    let before = enumerate(&instance.pattern, target, &MatchConfig::new(Algorithm::RiDs)).matches;
+    let after = enumerate(&pattern2, &target2, &MatchConfig::new(Algorithm::RiDs)).matches;
+    assert_eq!(before, after);
+}
+
+#[test]
+fn time_limited_runs_report_consistent_lower_bounds() {
+    let collection = Collection::generate(&graemlin32_like(0.2, 55));
+    let instance = collection
+        .instances
+        .iter()
+        .max_by_key(|i| i.pattern.num_edges())
+        .unwrap();
+    let target = collection.target_of(instance);
+    let limited = enumerate(
+        &instance.pattern,
+        target,
+        &MatchConfig::new(Algorithm::RiDs).with_time_limit(std::time::Duration::from_millis(5)),
+    );
+    let full = enumerate(&instance.pattern, target, &MatchConfig::new(Algorithm::RiDs));
+    assert!(limited.matches <= full.matches);
+    assert!(limited.states <= full.states);
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the parallel scheduler's observable behaviour on
+//! randomized subgraph-enumeration instances: the match count and the search
+//! space size must be completely independent of the worker count, the task
+//! group size, the stealing switch and the scheduler seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sge::prelude::*;
+use sge::graph::{Graph, GraphBuilder};
+
+fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: u32) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(rng.gen_range(0..labels));
+    }
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(p) {
+                b.add_edge(u, v, 0);
+            }
+        }
+    }
+    b.build()
+}
+
+fn extracted_pattern(seed: u64, target: &Graph, nodes: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = rng.gen_range(0..target.num_nodes()) as u32;
+    let mut selected = vec![start];
+    for _ in 0..nodes * 8 {
+        if selected.len() >= nodes {
+            break;
+        }
+        let from = selected[rng.gen_range(0..selected.len())];
+        let neighbors = target.undirected_neighbors(from);
+        if neighbors.is_empty() {
+            break;
+        }
+        let next = neighbors[rng.gen_range(0..neighbors.len())];
+        if !selected.contains(&next) {
+            selected.push(next);
+        }
+    }
+    let mut b = GraphBuilder::new();
+    for &v in &selected {
+        b.add_node(target.label(v));
+    }
+    for (i, &u) in selected.iter().enumerate() {
+        for (j, &v) in selected.iter().enumerate() {
+            if let Some(l) = target.edge_label(u, v) {
+                b.add_edge(i as u32, j as u32, l);
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_is_schedule_invariant(
+        seed in 0u64..5_000,
+        n in 12usize..22,
+        k in 3usize..6,
+        workers in 1usize..6,
+        group_size in 1usize..9,
+        steal in proptest::bool::ANY,
+    ) {
+        let target = random_labeled_graph(seed, n, 0.15, 3);
+        let pattern = extracted_pattern(seed ^ 0xBEEF, &target, k);
+        let sequential = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSiFc));
+
+        let config = ParallelConfig::new(Algorithm::RiDsSiFc)
+            .with_workers(workers)
+            .with_task_group_size(group_size)
+            .with_stealing(steal);
+        let parallel = enumerate_parallel(&pattern, &target, &config);
+
+        prop_assert_eq!(parallel.matches, sequential.matches);
+        prop_assert_eq!(parallel.states, sequential.states);
+        prop_assert!(!parallel.timed_out);
+    }
+
+    #[test]
+    fn rayon_comparator_is_also_schedule_invariant(
+        seed in 0u64..5_000,
+        n in 10usize..18,
+        k in 3usize..5,
+        workers in 1usize..4,
+    ) {
+        let target = random_labeled_graph(seed, n, 0.18, 2);
+        let pattern = extracted_pattern(seed ^ 0xF00D, &target, k);
+        let sequential = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
+        let rayon = sge::parallel::enumerate_rayon(&pattern, &target, Algorithm::Ri, workers);
+        prop_assert_eq!(rayon.matches, sequential.matches);
+        prop_assert_eq!(rayon.states, sequential.states);
+    }
+
+    #[test]
+    fn scheduler_seed_does_not_change_results(
+        seed in 0u64..5_000,
+        scheduler_seed in 0u64..1_000,
+    ) {
+        let target = random_labeled_graph(seed, 18, 0.15, 2);
+        let pattern = extracted_pattern(seed ^ 0xCAFE, &target, 4);
+        let mut config = ParallelConfig::new(Algorithm::Ri).with_workers(3);
+        config.seed = scheduler_seed;
+        let a = enumerate_parallel(&pattern, &target, &config);
+        config.seed = scheduler_seed.wrapping_add(1);
+        let b = enumerate_parallel(&pattern, &target, &config);
+        prop_assert_eq!(a.matches, b.matches);
+        prop_assert_eq!(a.states, b.states);
+    }
+}
