@@ -1,12 +1,13 @@
 //! Criterion bench for Figs. 10/11/12: parallel RI-DS vs parallel RI-DS-SI-FC
-//! vs sequential RI-DS on GRAEMLIN32-like and PPIS32-like instances.
+//! vs sequential RI-DS on GRAEMLIN32-like and PPIS32-like instances, through
+//! the unified engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge::{Engine, RunConfig, Scheduler};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
-use sge_ri::{enumerate, Algorithm, MatchConfig};
+use sge_ri::Algorithm;
 
 fn bench_fig10(c: &mut Criterion) {
     let config = ExperimentConfig::smoke();
@@ -22,25 +23,26 @@ fn bench_fig10(c: &mut Criterion) {
         let target = coll.target_of(instance).clone();
         let pattern = instance.pattern.clone();
 
+        let rids = Engine::prepare(&pattern, &target, Algorithm::RiDs);
+        let rids_si_fc = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+
         group.bench_with_input(
             BenchmarkId::new(kind.name(), "sequential_rids"),
             &(),
             |b, _| {
                 b.iter(|| {
-                    std::hint::black_box(
-                        enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDs)).matches,
-                    )
+                    std::hint::black_box(rids.run(&RunConfig::new(Scheduler::Sequential)).matches)
                 })
             },
         );
-        for (label, algorithm) in [
-            ("parallel_rids", Algorithm::RiDs),
-            ("parallel_rids_si_fc", Algorithm::RiDsSiFc),
+        for (label, engine) in [
+            ("parallel_rids", &rids),
+            ("parallel_rids_si_fc", &rids_si_fc),
         ] {
-            group.bench_with_input(BenchmarkId::new(kind.name(), label), &algorithm, |b, &algo| {
+            group.bench_with_input(BenchmarkId::new(kind.name(), label), &(), |b, _| {
                 b.iter(|| {
-                    let cfg = ParallelConfig::new(algo).with_workers(4);
-                    std::hint::black_box(enumerate_parallel(&pattern, &target, &cfg).matches)
+                    let run = RunConfig::new(Scheduler::work_stealing(4));
+                    std::hint::black_box(engine.run(&run).matches)
                 })
             });
         }

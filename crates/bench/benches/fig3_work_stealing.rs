@@ -1,11 +1,11 @@
 //! Criterion bench for Fig. 3: the paper's scheduler with and without work
-//! stealing on a PPIS32-like instance.
+//! stealing on a PPIS32-like instance, through the unified engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sge::{Engine, RunConfig, Scheduler};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
 use sge_ri::Algorithm;
 
 fn bench_fig3(c: &mut Criterion) {
@@ -17,16 +17,19 @@ fn bench_fig3(c: &mut Criterion) {
         .max_by_key(|i| i.pattern.num_edges())
         .expect("non-empty collection");
     let target = coll.target_of(instance);
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::RiDs);
 
     let mut group = c.benchmark_group("fig3_work_stealing");
     group.sample_size(10);
     for (name, steal) in [("no_stealing", false), ("stealing", true)] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let cfg = ParallelConfig::new(Algorithm::RiDs)
-                    .with_workers(4)
-                    .with_stealing(steal);
-                std::hint::black_box(enumerate_parallel(&instance.pattern, target, &cfg).matches)
+                let run = RunConfig::new(Scheduler::WorkStealing {
+                    workers: 4,
+                    task_group_size: 4,
+                    stealing: steal,
+                });
+                std::hint::black_box(engine.run(&run).matches)
             })
         });
     }

@@ -1,10 +1,11 @@
-//! Criterion bench for Fig. 4: the task-group (coalescing) size sweep.
+//! Criterion bench for Fig. 4: the task-group (coalescing) size sweep,
+//! through the unified engine (one preparation, many group sizes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge::{Engine, RunConfig, Scheduler};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
 use sge_ri::Algorithm;
 
 fn bench_fig4(c: &mut Criterion) {
@@ -16,6 +17,7 @@ fn bench_fig4(c: &mut Criterion) {
         .max_by_key(|i| i.pattern.num_edges())
         .expect("non-empty collection");
     let target = coll.target_of(instance);
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::RiDs);
 
     let mut group = c.benchmark_group("fig4_task_groups");
     group.sample_size(10);
@@ -25,12 +27,12 @@ fn bench_fig4(c: &mut Criterion) {
             &group_size,
             |b, &size| {
                 b.iter(|| {
-                    let cfg = ParallelConfig::new(Algorithm::RiDs)
-                        .with_workers(4)
-                        .with_task_group_size(size);
-                    std::hint::black_box(
-                        enumerate_parallel(&instance.pattern, target, &cfg).matches,
-                    )
+                    let run = RunConfig::new(Scheduler::WorkStealing {
+                        workers: 4,
+                        task_group_size: size,
+                        stealing: true,
+                    });
+                    std::hint::black_box(engine.run(&run).matches)
                 })
             },
         );

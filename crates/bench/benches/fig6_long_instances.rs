@@ -1,12 +1,13 @@
-//! Criterion bench for Figs. 5/6: sequential vs parallel RI on the largest
-//! (longest-running) PDBSv1-like instance.
+//! Criterion bench for Figs. 5/6: sequential vs parallel vs rayon-style RI
+//! on the largest (longest-running) PDBSv1-like instance, through the
+//! unified engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sge::{Engine, RunConfig, Scheduler};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
-use sge_ri::{enumerate, Algorithm, MatchConfig};
+use sge_ri::Algorithm;
 
 fn bench_fig6(c: &mut Criterion) {
     let config = ExperimentConfig::smoke();
@@ -17,22 +18,19 @@ fn bench_fig6(c: &mut Criterion) {
         .max_by_key(|i| i.pattern.num_edges())
         .expect("non-empty collection");
     let target = coll.target_of(instance);
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::Ri);
 
     let mut group = c.benchmark_group("fig6_long_instances");
     group.sample_size(10);
-    group.bench_function("sequential_ri", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                enumerate(&instance.pattern, target, &MatchConfig::new(Algorithm::Ri)).matches,
-            )
-        })
-    });
-    group.bench_function("parallel_ri_4_workers", |b| {
-        b.iter(|| {
-            let cfg = ParallelConfig::new(Algorithm::Ri).with_workers(4);
-            std::hint::black_box(enumerate_parallel(&instance.pattern, target, &cfg).matches)
-        })
-    });
+    for (name, scheduler) in [
+        ("sequential_ri", Scheduler::Sequential),
+        ("parallel_ri_4_workers", Scheduler::work_stealing(4)),
+        ("rayon_style_ri_4_workers", Scheduler::Rayon { workers: 4 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(engine.run(&RunConfig::new(scheduler)).matches))
+        });
+    }
     group.finish();
 }
 

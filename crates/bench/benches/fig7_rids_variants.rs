@@ -1,11 +1,12 @@
 //! Criterion bench for Figs. 7/8/9: the sequential RI-DS variants (DS, SI,
-//! SI-FC) on one instance per collection.
+//! SI-FC) on one instance per collection, through the unified engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge::{Engine, RunConfig};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_ri::{enumerate, Algorithm, MatchConfig};
+use sge_ri::Algorithm;
 
 fn bench_fig7(c: &mut Criterion) {
     let config = ExperimentConfig::smoke();
@@ -21,16 +22,11 @@ fn bench_fig7(c: &mut Criterion) {
         let target = coll.target_of(instance).clone();
         let pattern = instance.pattern.clone();
         for algorithm in [Algorithm::RiDs, Algorithm::RiDsSi, Algorithm::RiDsSiFc] {
+            let engine = Engine::prepare(&pattern, &target, algorithm);
             group.bench_with_input(
                 BenchmarkId::new(kind.name(), algorithm.name()),
                 &algorithm,
-                |b, &algo| {
-                    b.iter(|| {
-                        std::hint::black_box(
-                            enumerate(&pattern, &target, &MatchConfig::new(algo)).states,
-                        )
-                    })
-                },
+                |b, _| b.iter(|| std::hint::black_box(engine.run(&RunConfig::default()).states)),
             );
         }
     }

@@ -1,11 +1,12 @@
 //! Criterion bench for Table 2: parallel RI on a PDBSv1-like instance across
-//! worker counts.
+//! worker counts.  The instance is prepared once with [`Engine::prepare`];
+//! the timed region is pure matching, as in the paper's speedup tables.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge::{Engine, RunConfig, Scheduler};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
 use sge_ri::Algorithm;
 
 fn bench_table2(c: &mut Criterion) {
@@ -17,14 +18,15 @@ fn bench_table2(c: &mut Criterion) {
         .max_by_key(|i| i.pattern.num_edges())
         .expect("non-empty collection");
     let target = coll.target_of(instance);
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::Ri);
 
     let mut group = c.benchmark_group("table2_parallel_ri");
     group.sample_size(10);
     for workers in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
             b.iter(|| {
-                let cfg = ParallelConfig::new(Algorithm::Ri).with_workers(w);
-                std::hint::black_box(enumerate_parallel(&instance.pattern, target, &cfg).matches)
+                let run = RunConfig::new(Scheduler::work_stealing(w));
+                std::hint::black_box(engine.run(&run).matches)
             })
         });
     }

@@ -1,11 +1,11 @@
 //! Criterion bench for Table 3: parallel RI-DS-SI-FC across worker counts on
-//! GRAEMLIN32-like and PPIS32-like instances.
+//! GRAEMLIN32-like and PPIS32-like instances, through the unified engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sge::{Engine, RunConfig, Scheduler};
 use sge_bench::experiments::collection;
 use sge_bench::ExperimentConfig;
 use sge_datasets::CollectionKind;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
 use sge_ri::Algorithm;
 
 fn bench_table3(c: &mut Criterion) {
@@ -21,17 +21,14 @@ fn bench_table3(c: &mut Criterion) {
             .expect("non-empty collection");
         let target = coll.target_of(instance).clone();
         let pattern = instance.pattern.clone();
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
         for workers in [1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), workers),
-                &workers,
-                |b, &w| {
-                    b.iter(|| {
-                        let cfg = ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(w);
-                        std::hint::black_box(enumerate_parallel(&pattern, &target, &cfg).matches)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), workers), &workers, |b, &w| {
+                b.iter(|| {
+                    let run = RunConfig::new(Scheduler::work_stealing(w));
+                    std::hint::black_box(engine.run(&run).matches)
+                })
+            });
         }
     }
     group.finish();

@@ -45,15 +45,15 @@ fn main() {
             "--workers" => config.workers = parse_list(&take_value()),
             "--group-sizes" => config.task_group_sizes = parse_list(&take_value()),
             "--time-limit-secs" => {
-                config.time_limit =
-                    Duration::from_secs_f64(take_value().parse().expect("invalid --time-limit-secs"))
+                config.time_limit = Duration::from_secs_f64(
+                    take_value().parse().expect("invalid --time-limit-secs"),
+                )
             }
             "--long-threshold" => {
                 config.long_threshold_secs = take_value().parse().expect("invalid --long-threshold")
             }
             "--max-instances" => {
-                config.max_instances =
-                    Some(take_value().parse().expect("invalid --max-instances"))
+                config.max_instances = Some(take_value().parse().expect("invalid --max-instances"))
             }
             "--help" | "-h" => {
                 print_help();

@@ -1,10 +1,9 @@
 //! Harness configuration.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Knobs shared by every experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// Scale factor applied to the synthetic collections' node counts
     /// (1.0 ≈ laptop-sized; the paper's originals are 10–30x larger).

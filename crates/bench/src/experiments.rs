@@ -1,20 +1,32 @@
 //! One function per table / figure of the paper's evaluation.
 //!
 //! Every function generates its workload from the synthetic collections,
-//! executes the relevant algorithm variants and returns a rendered text table
-//! whose rows correspond to what the paper plots.  See `EXPERIMENTS.md` at the
-//! workspace root for the mapping and for a discussion of which shapes are
-//! expected to transfer to the synthetic data.
+//! executes the relevant algorithm variants through the unified `sge::Engine`
+//! and returns a rendered text table whose rows correspond to what the paper
+//! plots.  Absolute times differ from the paper (synthetic data, different
+//! hardware); the targeted quantities are the *shapes*: which variant wins,
+//! how the search space shrinks from RI-DS to RI-DS-SI-FC, how steal counts
+//! react to the task-group size, and how speedups split short/long.
 
 use crate::config::ExperimentConfig;
 use crate::records::{
-    run_instances_parallel, run_instances_sequential, speedup_pairs, split_short_long,
-    totals_by_instance, InstanceRecord,
+    run_instances_matrix, run_instances_parallel, run_instances_sequential, speedup_pairs,
+    split_short_long, totals_by_instance, InstanceRecord,
 };
 use crate::report::{num2, secs, Table};
+use sge::Scheduler;
 use sge_datasets::{graemlin32_like, pdbsv1_like, ppis32_like, Collection, CollectionKind};
 use sge_ri::Algorithm;
 use sge_util::{RunningStats, SpeedupSummary};
+
+/// The work-stealing scheduler with the paper's task-group default.
+fn stealing(workers: usize) -> Scheduler {
+    Scheduler::WorkStealing {
+        workers,
+        task_group_size: 4,
+        stealing: true,
+    }
+}
 
 /// Generates the synthetic analogue of one of the paper's collections.
 pub fn collection(kind: CollectionKind, config: &ExperimentConfig) -> Collection {
@@ -38,7 +50,14 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 pub fn table1(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Table 1: graph data collections (synthetic analogues)",
-        &["collection", "graphs", "|V| min/max", "|E| min/max", "deg µ", "deg σ"],
+        &[
+            "collection",
+            "graphs",
+            "|V| min/max",
+            "|E| min/max",
+            "deg µ",
+            "deg σ",
+        ],
     );
     for kind in CollectionKind::ALL {
         let coll = collection(kind, config);
@@ -62,12 +81,18 @@ pub fn fig3(config: &ExperimentConfig) -> String {
     let coll = collection(CollectionKind::Ppis32, config);
     let workers = config.max_workers();
     let mut table = Table::new(
-        format!("Fig. 3: work stealing vs none ({} workers, PPIS32 sample)", workers),
-        &["scheduler", "mean match time (s)", "mean stddev of worker states"],
+        format!(
+            "Fig. 3: work stealing vs none ({} workers, PPIS32 sample)",
+            workers
+        ),
+        &[
+            "scheduler",
+            "mean match time (s)",
+            "mean stddev of worker states",
+        ],
     );
     for (label, steal) in [("no work stealing", false), ("work stealing", true)] {
-        let records =
-            run_instances_parallel(&coll, Algorithm::RiDs, workers, 4, steal, config);
+        let records = run_instances_parallel(&coll, Algorithm::RiDs, workers, 4, steal, config);
         table.row(vec![
             label.to_string(),
             secs(mean(records.iter().map(|r| r.match_seconds))),
@@ -82,7 +107,13 @@ pub fn fig3(config: &ExperimentConfig) -> String {
 pub fn fig4(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Fig. 4: task group size vs match time and steals",
-        &["collection", "workers", "group size", "mean match time (s)", "mean steals"],
+        &[
+            "collection",
+            "workers",
+            "group size",
+            "mean match time (s)",
+            "mean steals",
+        ],
     );
     for kind in CollectionKind::ALL {
         let coll = collection(kind, config);
@@ -158,16 +189,34 @@ fn speedup_rows(
 /// short / long instances (avg, gmean, max).
 pub fn table2(config: &ExperimentConfig) -> String {
     let coll = collection(CollectionKind::PdbsV1, config);
-    let baseline = run_instances_parallel(&coll, Algorithm::Ri, 1, 4, true, config);
-    let per_workers: Vec<(usize, Vec<InstanceRecord>)> = config
-        .workers
+    // One preparation per instance, every worker count reused (the engine's
+    // amortized-preprocessing sweep).
+    let mut schedulers = vec![stealing(1)];
+    schedulers.extend(
+        config
+            .workers
+            .iter()
+            .filter(|&&w| w > 1)
+            .map(|&w| stealing(w)),
+    );
+    let mut matrix = run_instances_matrix(&coll, Algorithm::Ri, &schedulers, config);
+    let baseline = matrix.remove(0);
+    let per_workers: Vec<(usize, Vec<InstanceRecord>)> = schedulers[1..]
         .iter()
-        .filter(|&&w| w > 1)
-        .map(|&w| (w, run_instances_parallel(&coll, Algorithm::Ri, w, 4, true, config)))
+        .zip(matrix)
+        .map(|(s, records)| (s.workers(), records))
         .collect();
     let mut table = Table::new(
         "Table 2: speedup of parallel RI over 1 worker (PDBSv1)",
-        &["collection", "workers", "group", "instances", "avg", "gmean", "max"],
+        &[
+            "collection",
+            "workers",
+            "group",
+            "instances",
+            "avg",
+            "gmean",
+            "max",
+        ],
     );
     speedup_rows(
         &mut table,
@@ -194,7 +243,11 @@ pub fn fig5(config: &ExperimentConfig) -> String {
     table.row(vec![
         "sequential RI".to_string(),
         "1".to_string(),
-        sequential.iter().filter(|r| r.timed_out).count().to_string(),
+        sequential
+            .iter()
+            .filter(|r| r.timed_out)
+            .count()
+            .to_string(),
         sequential.len().to_string(),
     ]);
     for &workers in &config.workers {
@@ -236,7 +289,12 @@ pub fn fig6(config: &ExperimentConfig) -> String {
 pub fn fig7(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Fig. 7: RI-DS variants on short instances",
-        &["collection", "algorithm", "mean total time (s)", "mean search space"],
+        &[
+            "collection",
+            "algorithm",
+            "mean total time (s)",
+            "mean search space",
+        ],
     );
     for kind in CollectionKind::ALL {
         let coll = collection(kind, config);
@@ -261,7 +319,13 @@ pub fn fig7(config: &ExperimentConfig) -> String {
 pub fn fig8(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Fig. 8: RI-DS variants on long instances (search space and states/s)",
-        &["collection", "algorithm", "long instances", "mean search space", "mean states/s"],
+        &[
+            "collection",
+            "algorithm",
+            "long instances",
+            "mean search space",
+            "mean states/s",
+        ],
     );
     for kind in [CollectionKind::Ppis32, CollectionKind::Graemlin32] {
         let coll = collection(kind, config);
@@ -286,7 +350,13 @@ pub fn fig8(config: &ExperimentConfig) -> String {
 pub fn fig9(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Fig. 9: time breakdown of the RI-DS variants",
-        &["collection", "algorithm", "mean total (s)", "mean match (s)", "mean preprocessing (s)"],
+        &[
+            "collection",
+            "algorithm",
+            "mean total (s)",
+            "mean match (s)",
+            "mean preprocessing (s)",
+        ],
     );
     for kind in [CollectionKind::Ppis32, CollectionKind::Graemlin32] {
         let coll = collection(kind, config);
@@ -325,8 +395,7 @@ pub fn fig10(config: &ExperimentConfig) -> String {
             ("parallel RI-DS-SI-FC", Algorithm::RiDsSiFc),
         ] {
             for &workers in &config.workers {
-                let records =
-                    run_instances_parallel(&coll, algorithm, workers, 4, true, config);
+                let records = run_instances_parallel(&coll, algorithm, workers, 4, true, config);
                 table.row(vec![
                     kind.name().to_string(),
                     label.to_string(),
@@ -343,7 +412,14 @@ pub fn fig10(config: &ExperimentConfig) -> String {
 pub fn fig11(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Fig. 11: total time by worker count, split short/long",
-        &["collection", "algorithm", "workers", "group", "instances", "mean total time (s)"],
+        &[
+            "collection",
+            "algorithm",
+            "workers",
+            "group",
+            "instances",
+            "mean total time (s)",
+        ],
     );
     for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
         let coll = collection(kind, config);
@@ -354,10 +430,8 @@ pub fn fig11(config: &ExperimentConfig) -> String {
             ("parallel RI-DS-SI-FC", Algorithm::RiDsSiFc),
         ] {
             for &workers in &config.workers {
-                let records =
-                    run_instances_parallel(&coll, algorithm, workers, 4, true, config);
-                let (short, long) =
-                    split_short_long(&records, &totals, config.long_threshold_secs);
+                let records = run_instances_parallel(&coll, algorithm, workers, 4, true, config);
+                let (short, long) = split_short_long(&records, &totals, config.long_threshold_secs);
                 for (group, subset) in [("short", short), ("long", long)] {
                     table.row(vec![
                         kind.name().to_string(),
@@ -379,7 +453,13 @@ pub fn fig11(config: &ExperimentConfig) -> String {
 pub fn fig12(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Fig. 12: search space of RI-DS vs RI-DS-SI-FC, short/long",
-        &["collection", "algorithm", "group", "instances", "mean search space"],
+        &[
+            "collection",
+            "algorithm",
+            "group",
+            "instances",
+            "mean search space",
+        ],
     );
     for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
         let coll = collection(kind, config);
@@ -407,21 +487,32 @@ pub fn fig12(config: &ExperimentConfig) -> String {
 pub fn table3(config: &ExperimentConfig) -> String {
     let mut table = Table::new(
         "Table 3: speedup of parallel RI-DS-SI-FC over 1 worker",
-        &["collection", "workers", "group", "instances", "avg", "gmean", "max"],
+        &[
+            "collection",
+            "workers",
+            "group",
+            "instances",
+            "avg",
+            "gmean",
+            "max",
+        ],
     );
     for kind in [CollectionKind::Graemlin32, CollectionKind::Ppis32] {
         let coll = collection(kind, config);
-        let baseline = run_instances_parallel(&coll, Algorithm::RiDsSiFc, 1, 4, true, config);
-        let per_workers: Vec<(usize, Vec<InstanceRecord>)> = config
-            .workers
+        let mut schedulers = vec![stealing(1)];
+        schedulers.extend(
+            config
+                .workers
+                .iter()
+                .filter(|&&w| w > 1)
+                .map(|&w| stealing(w)),
+        );
+        let mut matrix = run_instances_matrix(&coll, Algorithm::RiDsSiFc, &schedulers, config);
+        let baseline = matrix.remove(0);
+        let per_workers: Vec<(usize, Vec<InstanceRecord>)> = schedulers[1..]
             .iter()
-            .filter(|&&w| w > 1)
-            .map(|&w| {
-                (
-                    w,
-                    run_instances_parallel(&coll, Algorithm::RiDsSiFc, w, 4, true, config),
-                )
-            })
+            .zip(matrix)
+            .map(|(s, records)| (s.workers(), records))
             .collect();
         speedup_rows(
             &mut table,
@@ -434,9 +525,12 @@ pub fn table3(config: &ExperimentConfig) -> String {
     table.render()
 }
 
+/// A named experiment: renders one table / figure from a configuration.
+pub type ExperimentFn = fn(&ExperimentConfig) -> String;
+
 /// Every experiment in paper order, concatenated.
 pub fn run_all(config: &ExperimentConfig) -> String {
-    let experiments: Vec<(&str, fn(&ExperimentConfig) -> String)> = all_experiments();
+    let experiments: Vec<(&str, ExperimentFn)> = all_experiments();
     let mut out = String::new();
     for (name, function) in experiments {
         out.push_str(&format!("\n### {name}\n\n"));
@@ -446,7 +540,7 @@ pub fn run_all(config: &ExperimentConfig) -> String {
 }
 
 /// Name → function table for the CLI.
-pub fn all_experiments() -> Vec<(&'static str, fn(&ExperimentConfig) -> String)> {
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
         ("table1", table1),
         ("fig3", fig3),

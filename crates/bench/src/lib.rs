@@ -25,5 +25,8 @@ pub mod records;
 pub mod report;
 
 pub use config::ExperimentConfig;
-pub use records::{run_instances_parallel, run_instances_sequential, InstanceRecord};
+pub use records::{
+    run_instances, run_instances_matrix, run_instances_parallel, run_instances_sequential,
+    InstanceRecord,
+};
 pub use report::Table;

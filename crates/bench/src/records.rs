@@ -1,14 +1,18 @@
 //! Per-instance measurement records and batch runners.
+//!
+//! All runners drive the unified [`sge::Engine`]: each instance is prepared
+//! **once** and then executed under whatever scheduler(s) the experiment
+//! sweeps — the paper's one-target/many-runs workloads amortize
+//! preprocessing exactly the same way.
 
 use crate::config::ExperimentConfig;
-use serde::{Deserialize, Serialize};
+use sge::{Engine, EnumerationOutcome, RunConfig, Scheduler};
 use sge_datasets::Collection;
-use sge_parallel::{enumerate_parallel, ParallelConfig};
-use sge_ri::{enumerate, Algorithm, MatchConfig};
+use sge_ri::Algorithm;
 use std::collections::HashMap;
 
 /// One measurement: an (instance, algorithm, scheduler) combination.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InstanceRecord {
     /// Instance identifier (from the dataset crate).
     pub instance_id: String,
@@ -16,29 +20,62 @@ pub struct InstanceRecord {
     pub collection: String,
     /// Algorithm variant.
     pub algorithm: Algorithm,
-    /// Worker count (1 for the sequential matcher).
+    /// Scheduler that produced the record.
+    pub scheduler: Scheduler,
+    /// Worker count (1 for the sequential scheduler).
     pub workers: usize,
-    /// Task-group size used (0 for the sequential matcher).
+    /// Task-group size used (0 outside the work-stealing scheduler).
     pub task_group_size: usize,
-    /// Whether work stealing was enabled (false for sequential runs).
+    /// Whether work stealing was enabled (false outside work stealing).
     pub stealing: bool,
     /// Number of embeddings found (a lower bound when `timed_out`).
     pub matches: u64,
     /// Search-space size (states visited).
     pub states: u64,
-    /// Preprocessing seconds.
+    /// Preprocessing seconds (paid once per prepared instance).
     pub preprocess_seconds: f64,
     /// Matching seconds.
     pub match_seconds: f64,
     /// Whether the per-instance time limit fired.
     pub timed_out: bool,
-    /// Successful steals (0 for sequential runs).
+    /// Successful steals (0 outside the work-stealing scheduler).
     pub steals: u64,
     /// Standard deviation of per-worker states (0 for sequential runs).
     pub worker_states_stddev: f64,
 }
 
 impl InstanceRecord {
+    fn from_outcome(
+        instance_id: &str,
+        collection: &str,
+        outcome: &EnumerationOutcome,
+    ) -> InstanceRecord {
+        let (task_group_size, stealing) = match outcome.scheduler {
+            Scheduler::WorkStealing {
+                task_group_size,
+                stealing,
+                ..
+            } => (task_group_size, stealing),
+            _ => (0, false),
+        };
+        InstanceRecord {
+            instance_id: instance_id.to_string(),
+            collection: collection.to_string(),
+            algorithm: outcome.algorithm,
+            scheduler: outcome.scheduler,
+            workers: outcome.workers,
+            task_group_size,
+            stealing,
+            matches: outcome.matches,
+            states: outcome.states,
+            preprocess_seconds: outcome.preprocess_seconds,
+            match_seconds: outcome.match_seconds,
+            timed_out: outcome.timed_out,
+            steals: outcome.steals,
+            worker_states_stddev: outcome.worker_states_stddev,
+        }
+    }
+
     /// Total (preprocessing + matching) seconds.
     pub fn total_seconds(&self) -> f64 {
         self.preprocess_seconds + self.match_seconds
@@ -63,41 +100,60 @@ pub fn instances<'a>(
     collection.instances.iter().take(cap)
 }
 
-/// Runs the sequential matcher over (a capped number of) the collection's
-/// instances and returns one record per instance.
-pub fn run_instances_sequential(
+/// Runs one scheduler over (a capped number of) the collection's instances
+/// and returns one record per instance.
+pub fn run_instances(
     collection: &Collection,
     algorithm: Algorithm,
+    scheduler: Scheduler,
     config: &ExperimentConfig,
 ) -> Vec<InstanceRecord> {
     instances(collection, config)
         .map(|instance| {
             let target = collection.target_of(instance);
-            let result = enumerate(
-                &instance.pattern,
-                target,
-                &MatchConfig::new(algorithm).with_time_limit(config.time_limit),
-            );
-            InstanceRecord {
-                instance_id: instance.id.clone(),
-                collection: collection.kind.name().to_string(),
-                algorithm,
-                workers: 1,
-                task_group_size: 0,
-                stealing: false,
-                matches: result.matches,
-                states: result.states,
-                preprocess_seconds: result.preprocess_seconds,
-                match_seconds: result.match_seconds,
-                timed_out: result.timed_out,
-                steals: 0,
-                worker_states_stddev: 0.0,
-            }
+            let engine = Engine::prepare(&instance.pattern, target, algorithm);
+            let outcome = engine.run(&RunConfig::new(scheduler).with_time_limit(config.time_limit));
+            InstanceRecord::from_outcome(&instance.id, collection.kind.name(), &outcome)
         })
         .collect()
 }
 
-/// Runs the parallel matcher over the collection's instances.
+/// Runs *several* schedulers over the collection, preparing every instance
+/// exactly once — the amortized sweep used by the speedup tables.  Returns
+/// one record vector per scheduler, in input order.
+pub fn run_instances_matrix(
+    collection: &Collection,
+    algorithm: Algorithm,
+    schedulers: &[Scheduler],
+    config: &ExperimentConfig,
+) -> Vec<Vec<InstanceRecord>> {
+    let mut per_scheduler: Vec<Vec<InstanceRecord>> =
+        schedulers.iter().map(|_| Vec::new()).collect();
+    for instance in instances(collection, config) {
+        let target = collection.target_of(instance);
+        let engine = Engine::prepare(&instance.pattern, target, algorithm);
+        for (records, &scheduler) in per_scheduler.iter_mut().zip(schedulers) {
+            let outcome = engine.run(&RunConfig::new(scheduler).with_time_limit(config.time_limit));
+            records.push(InstanceRecord::from_outcome(
+                &instance.id,
+                collection.kind.name(),
+                &outcome,
+            ));
+        }
+    }
+    per_scheduler
+}
+
+/// Runs the sequential matcher over the collection's instances.
+pub fn run_instances_sequential(
+    collection: &Collection,
+    algorithm: Algorithm,
+    config: &ExperimentConfig,
+) -> Vec<InstanceRecord> {
+    run_instances(collection, algorithm, Scheduler::Sequential, config)
+}
+
+/// Runs the work-stealing scheduler over the collection's instances.
 pub fn run_instances_parallel(
     collection: &Collection,
     algorithm: Algorithm,
@@ -106,32 +162,16 @@ pub fn run_instances_parallel(
     stealing: bool,
     config: &ExperimentConfig,
 ) -> Vec<InstanceRecord> {
-    instances(collection, config)
-        .map(|instance| {
-            let target = collection.target_of(instance);
-            let parallel_config = ParallelConfig::new(algorithm)
-                .with_workers(workers)
-                .with_task_group_size(task_group_size)
-                .with_stealing(stealing)
-                .with_time_limit(config.time_limit);
-            let result = enumerate_parallel(&instance.pattern, target, &parallel_config);
-            InstanceRecord {
-                instance_id: instance.id.clone(),
-                collection: collection.kind.name().to_string(),
-                algorithm,
-                workers,
-                task_group_size,
-                stealing,
-                matches: result.matches,
-                states: result.states,
-                preprocess_seconds: result.preprocess_seconds,
-                match_seconds: result.match_seconds,
-                timed_out: result.timed_out,
-                steals: result.steals,
-                worker_states_stddev: result.worker_states_stddev,
-            }
-        })
-        .collect()
+    run_instances(
+        collection,
+        algorithm,
+        Scheduler::WorkStealing {
+            workers,
+            task_group_size,
+            stealing,
+        },
+        config,
+    )
 }
 
 /// Splits records into `(short, long)` according to a map of baseline total
@@ -206,8 +246,7 @@ mod tests {
         let collection = tiny_collection();
         let config = ExperimentConfig::smoke();
         let sequential = run_instances_sequential(&collection, Algorithm::RiDs, &config);
-        let parallel =
-            run_instances_parallel(&collection, Algorithm::RiDs, 2, 4, true, &config);
+        let parallel = run_instances_parallel(&collection, Algorithm::RiDs, 2, 4, true, &config);
         assert_eq!(sequential.len(), parallel.len());
         for (s, p) in sequential.iter().zip(parallel.iter()) {
             assert_eq!(s.instance_id, p.instance_id);
@@ -217,6 +256,30 @@ mod tests {
             }
             assert!(s.total_seconds() >= 0.0);
             assert!(p.states_per_second() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_prepares_once_and_agrees_with_separate_runs() {
+        let collection = tiny_collection();
+        let config = ExperimentConfig::smoke();
+        let schedulers = [
+            Scheduler::Sequential,
+            Scheduler::work_stealing(2),
+            Scheduler::Rayon { workers: 2 },
+        ];
+        let matrix = run_instances_matrix(&collection, Algorithm::Ri, &schedulers, &config);
+        assert_eq!(matrix.len(), schedulers.len());
+        for records in &matrix[1..] {
+            assert_eq!(records.len(), matrix[0].len());
+            for (a, b) in matrix[0].iter().zip(records.iter()) {
+                if !a.timed_out && !b.timed_out {
+                    assert_eq!(a.matches, b.matches, "instance {}", a.instance_id);
+                }
+                // The amortized sweep reports the same preprocessing cost for
+                // every scheduler of one instance.
+                assert_eq!(a.preprocess_seconds, b.preprocess_seconds);
+            }
         }
     }
 

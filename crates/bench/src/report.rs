@@ -94,7 +94,7 @@ mod tests {
         assert!(!table.is_empty());
         // Every data line has the same width.
         let lines: Vec<&str> = text.lines().skip(1).collect();
-        assert_eq!(lines[1].len(), lines[2].len().max(lines[1].len()) );
+        assert_eq!(lines[1].len(), lines[2].len().max(lines[1].len()));
     }
 
     #[test]
@@ -107,6 +107,6 @@ mod tests {
     #[test]
     fn number_formatting() {
         assert_eq!(secs(0.123456), "0.1235");
-        assert_eq!(num2(3.14159), "3.14");
+        assert_eq!(num2(2.46913), "2.47");
     }
 }

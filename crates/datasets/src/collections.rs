@@ -2,12 +2,11 @@
 
 use crate::pattern_gen::{extract_pattern, DensityClass};
 use crate::target_gen::{generate_target, LabelDistribution, TargetSpec};
-use serde::{Deserialize, Serialize};
 use sge_graph::stats::CollectionStats;
 use sge_graph::Graph;
 
 /// Which of the paper's collections a synthetic collection emulates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CollectionKind {
     /// Dense protein–protein interaction networks, 32 normally-distributed labels.
     Ppis32,
@@ -43,7 +42,7 @@ impl std::fmt::Display for CollectionKind {
 
 /// Full description of a synthetic collection: target specs plus the pattern
 /// extraction plan.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CollectionSpec {
     /// Which paper collection this emulates.
     pub kind: CollectionKind,
@@ -59,7 +58,7 @@ pub struct CollectionSpec {
 
 /// One query instance: a pattern plus the index of the target it is matched
 /// against.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Instance {
     /// Stable identifier (collection / target / size / replica).
     pub id: String,
@@ -74,7 +73,7 @@ pub struct Instance {
 }
 
 /// A generated collection: targets plus instances.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Collection {
     /// Which paper collection this emulates.
     pub kind: CollectionKind,
@@ -285,15 +284,6 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let collection = Collection::generate(&pdbsv1_like(0.1, 13));
-        let json = serde_json::to_string(&collection).expect("serialize");
-        let back: Collection = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back.len(), collection.len());
-        assert_eq!(back.targets.len(), collection.targets.len());
     }
 
     #[test]

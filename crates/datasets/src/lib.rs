@@ -19,8 +19,8 @@
 //!   original collections were built.
 //!
 //! Every generator is deterministic in its seed, so experiments are
-//! reproducible, and collections can be persisted through `serde` or the
-//! `sge-graph` text format.
+//! reproducible, and graphs can be persisted through the `sge-graph` text
+//! format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,8 +30,7 @@ pub mod pattern_gen;
 pub mod target_gen;
 
 pub use collections::{
-    graemlin32_like, pdbsv1_like, ppis32_like, Collection, CollectionKind, CollectionSpec,
-    Instance,
+    graemlin32_like, pdbsv1_like, ppis32_like, Collection, CollectionKind, CollectionSpec, Instance,
 };
 pub use pattern_gen::{extract_pattern, DensityClass};
 pub use target_gen::{generate_target, LabelDistribution, TargetSpec};

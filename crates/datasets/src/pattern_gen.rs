@@ -7,14 +7,12 @@
 //! makes the original collections hard: the search cannot prune the whole tree
 //! early.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sge_graph::{Graph, GraphBuilder, NodeId};
+use sge_util::SplitMix64;
 
 /// Density class of a pattern, following the original RI collections'
 /// edges-per-node classification.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DensityClass {
     /// At least two edges per node.
     Dense,
@@ -58,10 +56,10 @@ pub fn extract_pattern(target: &Graph, target_edges: usize, seed: u64) -> Option
     if target.num_nodes() == 0 {
         return None;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Prefer a start node that actually has neighbors.
     let start = (0..20)
-        .map(|_| rng.gen_range(0..target.num_nodes()) as NodeId)
+        .map(|_| rng.next_below(target.num_nodes()) as NodeId)
         .find(|&v| target.degree(v) > 0)
         .unwrap_or(0);
 
@@ -70,13 +68,13 @@ pub fn extract_pattern(target: &Graph, target_edges: usize, seed: u64) -> Option
     let mut stall = 0usize;
 
     while edge_count < target_edges && stall < 200 {
-        let &from = &selected[rng.gen_range(0..selected.len())];
+        let &from = &selected[rng.next_below(selected.len())];
         let neighbors = target.undirected_neighbors(from);
         if neighbors.is_empty() {
             stall += 1;
             continue;
         }
-        let next = neighbors[rng.gen_range(0..neighbors.len())];
+        let next = neighbors[rng.next_below(neighbors.len())];
         if selected.contains(&next) {
             stall += 1;
             continue;
@@ -142,7 +140,10 @@ mod tests {
             &sge_ri::MatchConfig::new(sge_ri::Algorithm::RiDsSiFc).with_max_matches(1),
         )
         .matches;
-        assert!(matches >= 1, "an extracted pattern must embed at least once");
+        assert!(
+            matches >= 1,
+            "an extracted pattern must embed at least once"
+        );
     }
 
     #[test]
@@ -155,7 +156,10 @@ mod tests {
 
     #[test]
     fn density_classification() {
-        assert_eq!(DensityClass::of(&generators::clique(5, 0)), DensityClass::Dense);
+        assert_eq!(
+            DensityClass::of(&generators::clique(5, 0)),
+            DensityClass::Dense
+        );
         assert_eq!(
             DensityClass::of(&generators::directed_path(6, 0)),
             DensityClass::Sparse

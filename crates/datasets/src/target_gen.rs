@@ -9,13 +9,11 @@
 //! Edges are inserted symmetrically (biochemical bonds are undirected and the
 //! RI collections store them in both directions).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sge_graph::{Graph, GraphBuilder, Label};
+use sge_util::SplitMix64;
 
 /// How node labels are assigned.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LabelDistribution {
     /// Every label equally likely (the GRAEMLIN32 / PDBS style).
     Uniform,
@@ -25,7 +23,7 @@ pub enum LabelDistribution {
 }
 
 /// Parameters of one synthetic target graph.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TargetSpec {
     /// Number of nodes.
     pub nodes: usize,
@@ -58,16 +56,16 @@ impl TargetSpec {
 }
 
 /// Approximately standard-normal variate via the Irwin–Hall construction
-/// (sum of 12 uniforms minus 6); avoids pulling in `rand_distr`.
-fn approx_standard_normal(rng: &mut StdRng) -> f64 {
-    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+/// (sum of 12 uniforms minus 6); keeps the generator dependency-free.
+fn approx_standard_normal(rng: &mut SplitMix64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.next_f64()).sum();
     sum - 6.0
 }
 
 /// Draws a node label according to the spec's distribution.
-fn sample_label(rng: &mut StdRng, labels: u32, distribution: LabelDistribution) -> Label {
+fn sample_label(rng: &mut SplitMix64, labels: u32, distribution: LabelDistribution) -> Label {
     match distribution {
-        LabelDistribution::Uniform => rng.gen_range(0..labels),
+        LabelDistribution::Uniform => rng.next_below(labels as usize) as Label,
         LabelDistribution::Normal => {
             let mean = (labels as f64 - 1.0) / 2.0;
             let sigma = (labels as f64 / 6.0).max(0.5);
@@ -80,7 +78,7 @@ fn sample_label(rng: &mut StdRng, labels: u32, distribution: LabelDistribution) 
 /// Generates a synthetic target graph according to `spec`, deterministically
 /// in `seed`.
 pub fn generate_target(spec: &TargetSpec, seed: u64, name: &str) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let n = spec.nodes;
     let mut builder = GraphBuilder::with_capacity(n, (n as f64 * spec.avg_out_degree) as usize)
         .name(name.to_string());
@@ -106,8 +104,8 @@ pub fn generate_target(spec: &TargetSpec, seed: u64, name: &str) -> Graph {
     }
     let total = acc;
 
-    let pick = |rng: &mut StdRng, cumulative: &[f64]| -> usize {
-        let x = rng.gen::<f64>() * total;
+    let pick = |rng: &mut SplitMix64, cumulative: &[f64]| -> usize {
+        let x = rng.next_f64() * total;
         match cumulative.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
             Ok(idx) => idx,
             Err(idx) => idx.min(cumulative.len() - 1),
@@ -126,7 +124,7 @@ pub fn generate_target(spec: &TargetSpec, seed: u64, name: &str) -> Graph {
         let label = if edge_labels == 1 {
             0
         } else {
-            rng.gen_range(0..edge_labels)
+            rng.next_below(edge_labels as usize) as Label
         };
         builder.add_undirected_edge(u, v, label);
     }
@@ -172,7 +170,11 @@ mod tests {
     fn edges_are_symmetric() {
         let g = generate_target(&TargetSpec::small(), 3, "t");
         for (u, v, l) in g.edges() {
-            assert_eq!(g.edge_label(v, u), Some(l), "missing reverse edge ({v},{u})");
+            assert_eq!(
+                g.edge_label(v, u),
+                Some(l),
+                "missing reverse edge ({v},{u})"
+            );
         }
     }
 

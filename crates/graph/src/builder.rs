@@ -46,8 +46,7 @@ impl GraphBuilder {
     /// Adds `count` nodes all carrying `label`; returns the id of the first.
     pub fn add_nodes(&mut self, count: usize, label: Label) -> NodeId {
         let first = self.node_labels.len() as NodeId;
-        self.node_labels
-            .extend(std::iter::repeat(label).take(count));
+        self.node_labels.extend(std::iter::repeat_n(label, count));
         first
     }
 
@@ -62,7 +61,10 @@ impl GraphBuilder {
     /// Panics if either endpoint has not been added.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: Label) {
         let n = self.node_labels.len() as NodeId;
-        assert!(u < n && v < n, "edge ({u}, {v}) references unknown node (n={n})");
+        assert!(
+            u < n && v < n,
+            "edge ({u}, {v}) references unknown node (n={n})"
+        );
         self.edges.push((u, v, label));
     }
 

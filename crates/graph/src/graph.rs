@@ -1,7 +1,5 @@
 //! The immutable CSR graph used by every matcher in the workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// Node identifier. Targets in the paper's collections have at most ~33k nodes,
 /// so 32 bits keep adjacency arrays and mappings compact.
 pub type NodeId = u32;
@@ -14,7 +12,7 @@ pub type Label = u32;
 pub const DEFAULT_EDGE_LABEL: Label = 0;
 
 /// A directed labeled edge as seen from one endpoint.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EdgeRef {
     /// The other endpoint (head for out-edges, tail for in-edges).
     pub node: NodeId,
@@ -27,7 +25,7 @@ pub struct EdgeRef {
 /// node id.
 ///
 /// Construct via [`crate::GraphBuilder`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     pub(crate) node_labels: Vec<Label>,
     pub(crate) out_offsets: Vec<u32>,
@@ -134,16 +132,13 @@ impl Graph {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Iterator over all directed edges as `(tail, head, label)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Label)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.out_edges(u)
-                .iter()
-                .map(move |e| (u, e.node, e.label))
-        })
+        self.nodes()
+            .flat_map(move |u| self.out_edges(u).iter().map(move |e| (u, e.node, e.label)))
     }
 
     /// The distinct neighbors of `v` ignoring edge direction, sorted and

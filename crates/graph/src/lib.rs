@@ -18,7 +18,7 @@
 //! The crate also provides:
 //! * [`builder::GraphBuilder`] — mutable construction with deduplication,
 //! * [`io`] — a plain-text exchange format in the spirit of RI's `.gfu`/`.gfd`
-//!   files plus serde support,
+//!   files,
 //! * [`generators`] — small deterministic graphs used by tests and examples,
 //! * [`stats`] — the per-collection statistics reported in Table 1.
 

@@ -1,13 +1,12 @@
 //! Graph statistics in the shape of the paper's Table 1.
 
 use crate::graph::Graph;
-use serde::{Deserialize, Serialize};
 use sge_util::RunningStats;
 
 /// Summary statistics of one graph: node/edge counts and the mean / standard
 /// deviation of the total degree, plus the number of distinct node labels.
 /// Table 1 of the paper reports exactly these quantities per collection.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphStats {
     /// Number of nodes.
     pub nodes: usize,
@@ -50,7 +49,7 @@ impl GraphStats {
 /// Aggregate statistics over a collection of graphs: the min/max node and edge
 /// counts and the degree mean/σ pooled over all nodes of all graphs, matching
 /// how Table 1 summarizes each data collection.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CollectionStats {
     /// Number of graphs in the collection.
     pub graphs: usize,
@@ -133,7 +132,7 @@ mod tests {
 
     #[test]
     fn collection_stats_pool_over_graphs() {
-        let graphs = vec![generators::clique(3, 0), generators::clique(5, 0)];
+        let graphs = [generators::clique(3, 0), generators::clique(5, 0)];
         let s = CollectionStats::of(graphs.iter());
         assert_eq!(s.graphs, 2);
         assert_eq!(s.nodes_min, 3);

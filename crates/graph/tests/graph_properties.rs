@@ -1,9 +1,9 @@
 //! Property-based tests of the graph substrate: CSR construction, adjacency
 //! queries and the text format must agree with a naive edge-list model for
-//! arbitrary random graphs.
+//! randomized graphs (deterministic seeds, so failures reproduce exactly).
 
-use proptest::prelude::*;
 use sge_graph::{io, GraphBuilder};
+use sge_util::SplitMix64;
 use std::collections::{HashMap, HashSet};
 
 /// A raw random graph description: node labels plus an edge list.
@@ -13,15 +13,21 @@ struct RawGraph {
     edges: Vec<(u32, u32, u32)>,
 }
 
-fn raw_graph_strategy() -> impl Strategy<Value = RawGraph> {
-    (2usize..30).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..5, n);
-        let edges = proptest::collection::vec(
-            (0u32..n as u32, 0u32..n as u32, 0u32..3),
-            0..(n * 3),
-        );
-        (labels, edges).prop_map(|(labels, edges)| RawGraph { labels, edges })
-    })
+fn random_raw_graph(seed: u64) -> RawGraph {
+    let mut rng = SplitMix64::new(seed);
+    let n = 2 + rng.next_below(28);
+    let labels = (0..n).map(|_| rng.next_below(5) as u32).collect();
+    let num_edges = rng.next_below(n * 3);
+    let edges = (0..num_edges)
+        .map(|_| {
+            (
+                rng.next_below(n) as u32,
+                rng.next_below(n) as u32,
+                rng.next_below(3) as u32,
+            )
+        })
+        .collect();
+    RawGraph { labels, edges }
 }
 
 fn build(raw: &RawGraph) -> sge_graph::Graph {
@@ -35,87 +41,95 @@ fn build(raw: &RawGraph) -> sge_graph::Graph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_agrees_with_edge_list_model(raw in raw_graph_strategy()) {
+#[test]
+fn csr_agrees_with_edge_list_model() {
+    for seed in 0..64u64 {
+        let raw = random_raw_graph(seed);
         let graph = build(&raw);
         // Model: first label per (u,v) wins, duplicates collapsed.
         let mut model: HashMap<(u32, u32), u32> = HashMap::new();
         for &(u, v, l) in &raw.edges {
             model.entry((u, v)).or_insert(l);
         }
-        prop_assert_eq!(graph.num_nodes(), raw.labels.len());
-        prop_assert_eq!(graph.num_edges(), model.len());
+        assert_eq!(graph.num_nodes(), raw.labels.len());
+        assert_eq!(graph.num_edges(), model.len());
         for (&(u, v), &l) in &model {
-            prop_assert_eq!(graph.edge_label(u, v), Some(l));
+            assert_eq!(graph.edge_label(u, v), Some(l));
         }
         // Degrees must match the model.
         for v in 0..raw.labels.len() as u32 {
             let out = model.keys().filter(|(a, _)| *a == v).count();
             let inn = model.keys().filter(|(_, b)| *b == v).count();
-            prop_assert_eq!(graph.out_degree(v), out);
-            prop_assert_eq!(graph.in_degree(v), inn);
-            prop_assert_eq!(graph.degree(v), out + inn);
+            assert_eq!(graph.out_degree(v), out);
+            assert_eq!(graph.in_degree(v), inn);
+            assert_eq!(graph.degree(v), out + inn);
         }
         // Adjacency lists are sorted and edges() covers exactly the model.
         let edges: HashSet<(u32, u32, u32)> = graph.edges().collect();
-        prop_assert_eq!(edges.len(), model.len());
+        assert_eq!(edges.len(), model.len());
         for (u, v, l) in edges {
-            prop_assert_eq!(model.get(&(u, v)), Some(&l));
+            assert_eq!(model.get(&(u, v)), Some(&l));
         }
         for v in 0..raw.labels.len() as u32 {
             let out: Vec<u32> = graph.out_edges(v).iter().map(|e| e.node).collect();
             let mut sorted = out.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(out, sorted);
+            assert_eq!(out, sorted);
         }
     }
+}
 
-    #[test]
-    fn undirected_neighbors_are_symmetric(raw in raw_graph_strategy()) {
+#[test]
+fn undirected_neighbors_are_symmetric() {
+    for seed in 100..164u64 {
+        let raw = random_raw_graph(seed);
         let graph = build(&raw);
         for u in 0..graph.num_nodes() as u32 {
             for &v in &graph.undirected_neighbors(u) {
-                prop_assert!(graph.undirected_neighbors(v).contains(&u));
-                prop_assert!(graph.adjacent(u, v));
+                assert!(graph.undirected_neighbors(v).contains(&u));
+                assert!(graph.adjacent(u, v));
             }
         }
     }
+}
 
-    #[test]
-    fn text_format_roundtrip_preserves_structure(raw in raw_graph_strategy()) {
+#[test]
+fn text_format_roundtrip_preserves_structure() {
+    for seed in 200..264u64 {
+        let raw = random_raw_graph(seed);
         let graph = build(&raw);
         let text = io::write_graph(&graph);
         let (parsed, _) = io::parse_graph(&text).expect("roundtrip parse");
-        prop_assert_eq!(parsed.num_nodes(), graph.num_nodes());
-        prop_assert_eq!(parsed.num_edges(), graph.num_edges());
+        assert_eq!(parsed.num_nodes(), graph.num_nodes());
+        assert_eq!(parsed.num_edges(), graph.num_edges());
         for (u, v, l) in graph.edges() {
-            prop_assert_eq!(parsed.edge_label(u, v), Some(l));
+            assert_eq!(parsed.edge_label(u, v), Some(l));
         }
         // Labels are re-interned but must preserve the equality relation.
         for a in 0..graph.num_nodes() as u32 {
             for b in 0..graph.num_nodes() as u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     graph.label(a) == graph.label(b),
                     parsed.label(a) == parsed.label(b)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn stats_are_internally_consistent(raw in raw_graph_strategy()) {
+#[test]
+fn stats_are_internally_consistent() {
+    for seed in 300..364u64 {
+        let raw = random_raw_graph(seed);
         let graph = build(&raw);
         let stats = sge_graph::GraphStats::of(&graph);
-        prop_assert_eq!(stats.nodes, graph.num_nodes());
-        prop_assert_eq!(stats.edges, graph.num_edges());
-        prop_assert!(stats.degree_min <= stats.degree_max);
-        prop_assert!(stats.degree_mean >= stats.degree_min as f64 - 1e-9);
-        prop_assert!(stats.degree_mean <= stats.degree_max as f64 + 1e-9);
+        assert_eq!(stats.nodes, graph.num_nodes());
+        assert_eq!(stats.edges, graph.num_edges());
+        assert!(stats.degree_min <= stats.degree_max);
+        assert!(stats.degree_mean >= stats.degree_min as f64 - 1e-9);
+        assert!(stats.degree_mean <= stats.degree_max as f64 + 1e-9);
         // Handshake lemma: sum of total degrees = 2 * directed edge count.
         let total: usize = (0..graph.num_nodes() as u32).map(|v| graph.degree(v)).sum();
-        prop_assert_eq!(total, 2 * graph.num_edges());
+        assert_eq!(total, 2 * graph.num_edges());
     }
 }

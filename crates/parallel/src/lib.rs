@@ -17,10 +17,15 @@
 //!
 //! * [`no_stealing`] — the same initial distribution with stealing disabled
 //!   (the "no work stealing" baseline of Fig. 3),
-//! * [`rayon_pool`] — a straightforward rayon `par_iter` over the root
+//! * [`rayon_pool`] — first-level dynamic parallelism over the root
 //!   candidates, each expanded with the sequential matcher (what you get "for
-//!   free" from a library scheduler; useful to quantify what the paper's
-//!   bespoke scheme adds).
+//!   free" from a library scheduler such as rayon; useful to quantify what
+//!   the paper's bespoke scheme adds).
+//!
+//! Every scheduler accepts a prepared [`sge_ri::SearchContext`] through the
+//! `*_prepared` entry points, so preprocessing is paid once per instance no
+//! matter how many runs are executed — this is what the unified `sge::Engine`
+//! builds on.
 //!
 //! # Example
 //!
@@ -44,5 +49,7 @@ pub mod rayon_pool;
 pub mod runner;
 
 pub use problem::SubgraphProblem;
-pub use rayon_pool::enumerate_rayon;
-pub use runner::{enumerate_parallel, no_stealing, ParallelConfig, ParallelResult};
+pub use rayon_pool::{enumerate_rayon, enumerate_rayon_prepared};
+pub use runner::{
+    enumerate_parallel, enumerate_prepared, no_stealing, ParallelConfig, ParallelResult,
+};

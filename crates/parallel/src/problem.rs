@@ -1,8 +1,7 @@
 //! Adapter exposing the RI search as a [`BacktrackProblem`].
 
-use parking_lot::Mutex;
 use sge_graph::NodeId;
-use sge_ri::{SearchContext, WorkerState};
+use sge_ri::{CollectingVisitor, MatchVisitor, SearchContext, WorkerState};
 use sge_stealing::BacktrackProblem;
 
 /// The RI / RI-DS state-space search wrapped for the work-stealing engine.
@@ -14,8 +13,8 @@ use sge_stealing::BacktrackProblem;
 /// mapping only for stolen tasks".
 pub struct SubgraphProblem<'a> {
     ctx: &'a SearchContext<'a>,
-    collector: Option<Mutex<Vec<Vec<NodeId>>>>,
-    collect_limit: usize,
+    collector: Option<CollectingVisitor>,
+    visitor: Option<&'a dyn MatchVisitor>,
 }
 
 impl<'a> SubgraphProblem<'a> {
@@ -24,15 +23,21 @@ impl<'a> SubgraphProblem<'a> {
         SubgraphProblem {
             ctx,
             collector: None,
-            collect_limit: 0,
+            visitor: None,
         }
     }
 
     /// Additionally collect up to `limit` full mappings (pattern node → target
     /// node).  Collection uses a mutex and is meant for modest limits.
     pub fn with_collection(mut self, limit: usize) -> Self {
-        self.collector = Some(Mutex::new(Vec::new()));
-        self.collect_limit = limit;
+        self.collector = Some(CollectingVisitor::new(limit));
+        self
+    }
+
+    /// Streams every match to `visitor` (called concurrently from worker
+    /// threads).
+    pub fn with_visitor(mut self, visitor: &'a dyn MatchVisitor) -> Self {
+        self.visitor = Some(visitor);
         self
     }
 
@@ -40,7 +45,7 @@ impl<'a> SubgraphProblem<'a> {
     pub fn take_collected(&self) -> Vec<Vec<NodeId>> {
         self.collector
             .as_ref()
-            .map(|m| std::mem::take(&mut *m.lock()))
+            .map(|c| c.take())
             .unwrap_or_default()
     }
 }
@@ -73,12 +78,19 @@ impl BacktrackProblem for SubgraphProblem<'_> {
         state.unassign(level);
     }
 
-    fn on_solution(&self, _worker_id: usize, state: &WorkerState) {
-        if let Some(collector) = &self.collector {
-            let mut guard = collector.lock();
-            if guard.len() < self.collect_limit {
-                guard.push(self.ctx.mapping_by_pattern_node(state));
-            }
+    fn on_solution(&self, worker_id: usize, state: &WorkerState) {
+        // Build the mapping only for observers that still want it: once the
+        // collector is full, a visitor-less run stops allocating per match.
+        let collector = self.collector.as_ref().filter(|c| !c.is_full());
+        if self.visitor.is_none() && collector.is_none() {
+            return;
+        }
+        let mapping = self.ctx.mapping_by_pattern_node(state);
+        if let Some(visitor) = self.visitor {
+            visitor.on_match(worker_id, &mapping);
+        }
+        if let Some(collector) = collector {
+            collector.on_match(worker_id, &mapping);
         }
     }
 }
@@ -94,11 +106,8 @@ mod tests {
     fn problem_counts_match_sequential() {
         let pattern = generators::directed_cycle(3, 0);
         let target = generators::clique(5, 0);
-        let sequential = sge_ri::enumerate(
-            &pattern,
-            &target,
-            &sge_ri::MatchConfig::new(Algorithm::Ri),
-        );
+        let sequential =
+            sge_ri::enumerate(&pattern, &target, &sge_ri::MatchConfig::new(Algorithm::Ri));
         let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
         let problem = SubgraphProblem::new(&ctx);
         let result = run(&problem, &EngineConfig::with_workers(2));

@@ -1,59 +1,243 @@
-//! Rayon-based comparator scheduler.
+//! Library-scheduler comparator: first-level dynamic parallelism.
 //!
 //! The paper's scheduler is a bespoke private-deque work-stealing runtime.  A
-//! natural question for a Rust reproduction is how much of its benefit one gets
-//! "for free" from [rayon]'s work-stealing thread pool.  This module
-//! parallelizes only the *first level* of the state-space tree: each root task
-//! (`µ1 ↦ v_t`) is a rayon job that runs the sequential search over its
-//! subtree.  Rayon balances those jobs across threads, but — unlike the
-//! paper's engine — cannot split a single large subtree once it is running,
-//! which is exactly the situation the paper's Fig. 3/4 analysis shows matters
-//! on irregular instances.
+//! natural question for a Rust reproduction is how much of its benefit one
+//! gets "for free" from a generic library scheduler à la rayon.  This module
+//! parallelizes only the *first level* of the state-space tree: the root
+//! tasks (`µ1 ↦ v_t`) form a shared queue that worker threads drain with an
+//! atomic cursor — exactly the load-balancing granularity `rayon::par_iter`
+//! achieves on this workload — and each claimed subtree is searched
+//! sequentially.  Unlike the paper's engine, a single large subtree can never
+//! be split once it is running, which is the situation the paper's Fig. 3/4
+//! analysis shows matters on irregular instances.
 //!
-//! The experiment harness uses this as an ablation baseline; it is not part of
-//! the reproduction of any specific figure.
+//! (The build environment is offline, so the real `rayon` crate is not a
+//! dependency; the scheduler below reproduces its observable behaviour on
+//! this first-level workload with `std::thread` and an atomic cursor.)
+//!
+//! The experiment harness uses this as an ablation baseline; it is not part
+//! of the reproduction of any specific figure.
 
-use crate::runner::ParallelResult;
-use rayon::prelude::*;
+use crate::runner::{ParallelConfig, ParallelResult};
 use sge_graph::{Graph, NodeId};
-use sge_ri::{Algorithm, SearchContext, WorkerState};
-use sge_util::PhaseTimer;
+use sge_ri::{Algorithm, CollectingVisitor, MatchVisitor, SearchContext, WorkerState};
+use sge_stealing::WorkerStats;
+use sge_util::{MatchBudget, PhaseTimer};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Recursively explores the subtree rooted at `depth` and returns
-/// `(matches, states)`.
-fn explore(
-    ctx: &SearchContext<'_>,
-    state: &mut WorkerState,
-    depth: usize,
-    buffers: &mut Vec<Vec<NodeId>>,
-) -> (u64, u64) {
-    let np = ctx.num_positions();
-    let mut matches = 0u64;
-    let mut states = 0u64;
-    let mut candidates = std::mem::take(&mut buffers[depth]);
-    ctx.candidates(depth, state, &mut candidates);
-    for &vt in &candidates {
-        states += 1;
-        if !ctx.is_consistent(depth, vt, state) {
-            continue;
-        }
-        state.assign(depth, vt);
-        if depth + 1 == np {
-            matches += 1;
-        } else {
-            let (m, s) = explore(ctx, state, depth + 1, buffers);
-            matches += m;
-            states += s;
-        }
-        state.unassign(depth);
-    }
-    buffers[depth] = candidates;
-    (matches, states)
+/// How often (in visited states) a worker consults the wall clock.
+const DEADLINE_CHECK_INTERVAL: u64 = 4096;
+
+/// Shared early-stop state: match budget, deadline and the stop flag.
+struct Stop {
+    flag: AtomicBool,
+    timed_out: AtomicBool,
+    budget: MatchBudget,
+    deadline: Option<Instant>,
 }
 
-/// Enumerates embeddings using a rayon pool with `workers` threads: the root
-/// candidates are distributed by rayon, each subtree is searched sequentially.
+impl Stop {
+    fn new(config: &ParallelConfig, start: Instant) -> Self {
+        Stop {
+            flag: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            budget: MatchBudget::new(config.max_matches),
+            deadline: config.time_limit.map(|limit| start + limit),
+        }
+    }
+
+    #[inline]
+    fn stopped(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Claims one slot of the match budget; `true` means "count this match".
+    fn claim(&self) -> bool {
+        let counted = self.budget.claim();
+        if self.budget.is_exhausted() {
+            self.flag.store(true, Ordering::SeqCst);
+        }
+        counted
+    }
+
+    fn check_deadline(&self) {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.timed_out.store(true, Ordering::SeqCst);
+                self.flag.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+struct Explorer<'a, 'g> {
+    ctx: &'a SearchContext<'g>,
+    stop: &'a Stop,
+    visitor: Option<&'a dyn MatchVisitor>,
+    collector: Option<&'a CollectingVisitor>,
+    worker_id: usize,
+    buffers: Vec<Vec<NodeId>>,
+    matches: u64,
+    states: u64,
+}
+
+impl Explorer<'_, '_> {
+    /// Recursively explores the subtree rooted at `depth`.
+    fn explore(&mut self, state: &mut WorkerState, depth: usize) {
+        let np = self.ctx.num_positions();
+        let mut candidates = std::mem::take(&mut self.buffers[depth]);
+        self.ctx.candidates(depth, state, &mut candidates);
+        for &vt in &candidates {
+            if self.stop.stopped() {
+                break;
+            }
+            self.states += 1;
+            if self.states.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+                self.stop.check_deadline();
+            }
+            if !self.ctx.is_consistent(depth, vt, state) {
+                continue;
+            }
+            state.assign(depth, vt);
+            if depth + 1 == np {
+                self.record_match(state);
+            } else {
+                self.explore(state, depth + 1);
+            }
+            state.unassign(depth);
+        }
+        self.buffers[depth] = candidates;
+    }
+
+    fn record_match(&mut self, state: &WorkerState) {
+        if !self.stop.claim() {
+            return;
+        }
+        self.matches += 1;
+        // Build the mapping only for observers that still want it: once the
+        // collector is full, a visitor-less run stops allocating per match.
+        let collector = self.collector.filter(|c| !c.is_full());
+        if self.visitor.is_none() && collector.is_none() {
+            return;
+        }
+        let mapping = self.ctx.mapping_by_pattern_node(state);
+        if let Some(visitor) = self.visitor {
+            visitor.on_match(self.worker_id, &mapping);
+        }
+        if let Some(collector) = collector {
+            collector.on_match(self.worker_id, &mapping);
+        }
+    }
+}
+
+/// Runs the first-level dynamic scheduler over an already-prepared
+/// [`SearchContext`] (preprocessing is not re-paid; `preprocess_seconds` is
+/// 0).  Honors `workers`, `max_matches`, `time_limit` and `collect_limit`
+/// from `config`; `task_group_size`, `steal_enabled` and `seed` do not apply
+/// to this scheduler.  Steal counters in the result are always 0.
+pub fn enumerate_rayon_prepared(
+    ctx: &SearchContext<'_>,
+    config: &ParallelConfig,
+    visitor: Option<&dyn MatchVisitor>,
+) -> ParallelResult {
+    let workers = config.workers.max(1);
+    let mut result = ParallelResult::empty(ctx.algorithm(), workers);
+
+    if ctx.num_positions() == 0 {
+        crate::runner::empty_pattern_outcome(config, visitor, &mut result);
+        return result;
+    }
+    if ctx.impossible() {
+        return result;
+    }
+
+    let start = Instant::now();
+    let np = ctx.num_positions();
+    let mut roots: Vec<NodeId> = Vec::new();
+    ctx.candidates(0, &ctx.new_state(), &mut roots);
+
+    let collector = CollectingVisitor::new(config.collect_limit);
+    let stop = Stop::new(config, start);
+    let cursor = AtomicUsize::new(0);
+
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker_id| {
+                let roots = &roots;
+                let stop = &stop;
+                let cursor = &cursor;
+                let collector = &collector;
+                scope.spawn(move || {
+                    let mut explorer = Explorer {
+                        ctx,
+                        stop,
+                        visitor,
+                        collector: (config.collect_limit > 0).then_some(collector),
+                        worker_id,
+                        buffers: vec![Vec::new(); np],
+                        matches: 0,
+                        states: 0,
+                    };
+                    let mut state = ctx.new_state();
+                    loop {
+                        if stop.stopped() {
+                            break;
+                        }
+                        let index = cursor.fetch_add(1, Ordering::SeqCst);
+                        let Some(&root) = roots.get(index) else {
+                            break;
+                        };
+                        // The root consistency check counts as a state, as in
+                        // the sequential driver and the stealing engine.
+                        explorer.states += 1;
+                        if !ctx.is_consistent(0, root, &state) {
+                            continue;
+                        }
+                        state.assign(0, root);
+                        if np == 1 {
+                            explorer.record_match(&state);
+                        } else {
+                            explorer.explore(&mut state, 1);
+                        }
+                        state.unassign(0);
+                    }
+                    WorkerStats {
+                        worker_id,
+                        states: explorer.states,
+                        solutions: explorer.matches,
+                        ..WorkerStats::default()
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("rayon-pool worker panicked"))
+            .collect()
+    });
+
+    let run = sge_stealing::RunResult::from_workers(
+        worker_stats,
+        start.elapsed().as_secs_f64(),
+        stop.timed_out.load(Ordering::SeqCst),
+    );
+    result.matches = run.solutions;
+    result.states = run.states;
+    result.match_seconds = run.elapsed_seconds;
+    result.timed_out = run.timed_out;
+    result.limit_hit = stop.budget.is_exhausted();
+    result.worker_states_stddev = run.worker_states_stddev();
+    result.worker_stats = run.workers;
+    result.mappings = collector.take();
+    result.mappings.sort_unstable();
+    result
+}
+
+/// Enumerates embeddings with the first-level dynamic pool: root candidates
+/// are claimed by `workers` threads, each subtree is searched sequentially.
+///
+/// Thin shim over [`SearchContext::prepare`] + [`enumerate_rayon_prepared`].
 pub fn enumerate_rayon(
     pattern: &Graph,
     target: &Graph,
@@ -64,67 +248,9 @@ pub fn enumerate_rayon(
     let ctx = timer.time("preprocess", || {
         SearchContext::prepare(pattern, target, algorithm)
     });
-
-    let mut result = ParallelResult {
-        algorithm,
-        workers,
-        matches: 0,
-        states: 0,
-        preprocess_seconds: timer.seconds("preprocess"),
-        match_seconds: 0.0,
-        timed_out: false,
-        steals: 0,
-        steal_requests: 0,
-        worker_states_stddev: 0.0,
-        worker_stats: Vec::new(),
-        mappings: Vec::new(),
-    };
-
-    if ctx.num_positions() == 0 {
-        result.matches = 1;
-        return result;
-    }
-    if ctx.impossible() {
-        return result;
-    }
-
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(workers.max(1))
-        .build()
-        .expect("failed to build rayon pool");
-
-    let start = Instant::now();
-    let np = ctx.num_positions();
-    let mut roots: Vec<NodeId> = Vec::new();
-    ctx.candidates(0, &ctx.new_state(), &mut roots);
-
-    let (matches, states) = pool.install(|| {
-        roots
-            .par_iter()
-            .map(|&root| {
-                let mut state = ctx.new_state();
-                let mut buffers = vec![Vec::new(); np];
-                let mut matches = 0u64;
-                let mut states = 1u64; // the root consistency check below
-                if ctx.is_consistent(0, root, &state) {
-                    state.assign(0, root);
-                    if np == 1 {
-                        matches += 1;
-                    } else {
-                        let (m, s) = explore(&ctx, &mut state, 1, &mut buffers);
-                        matches += m;
-                        states += s;
-                    }
-                    state.unassign(0);
-                }
-                (matches, states)
-            })
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
-    });
-
-    result.matches = matches;
-    result.states = states;
-    result.match_seconds = start.elapsed().as_secs_f64();
+    let config = ParallelConfig::new(algorithm).with_workers(workers);
+    let mut result = enumerate_rayon_prepared(&ctx, &config, None);
+    result.preprocess_seconds = timer.seconds("preprocess");
     result
 }
 
@@ -133,14 +259,14 @@ mod tests {
     use super::*;
     use sge_graph::generators;
     use sge_ri::MatchConfig;
+    use std::time::Duration;
 
     #[test]
     fn rayon_counts_match_sequential() {
         let pattern = generators::directed_cycle(3, 0);
         let target = generators::clique(6, 0);
         for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
-            let sequential =
-                sge_ri::enumerate(&pattern, &target, &MatchConfig::new(algorithm));
+            let sequential = sge_ri::enumerate(&pattern, &target, &MatchConfig::new(algorithm));
             let result = enumerate_rayon(&pattern, &target, algorithm, 2);
             assert_eq!(result.matches, sequential.matches, "{algorithm}");
             assert_eq!(result.states, sequential.states, "{algorithm}");
@@ -151,7 +277,10 @@ mod tests {
     fn rayon_handles_empty_and_impossible_patterns() {
         let empty = sge_graph::GraphBuilder::new().build();
         let target = generators::clique(4, 0);
-        assert_eq!(enumerate_rayon(&empty, &target, Algorithm::Ri, 2).matches, 1);
+        assert_eq!(
+            enumerate_rayon(&empty, &target, Algorithm::Ri, 2).matches,
+            1
+        );
 
         let mut pb = sge_graph::GraphBuilder::new();
         pb.add_node(99);
@@ -160,5 +289,64 @@ mod tests {
             enumerate_rayon(&impossible, &target, Algorithm::RiDs, 2).matches,
             0
         );
+    }
+
+    #[test]
+    fn rayon_respects_max_matches() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(10, 0); // 90 embeddings
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        for workers in [1usize, 3] {
+            let config = ParallelConfig::new(Algorithm::Ri)
+                .with_workers(workers)
+                .with_max_matches(11);
+            let result = enumerate_rayon_prepared(&ctx, &config, None);
+            assert_eq!(result.matches, 11, "workers={workers}");
+            assert!(result.limit_hit);
+        }
+    }
+
+    #[test]
+    fn rayon_collects_sorted_mappings() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(4, 0); // 24 embeddings
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::RiDs);
+        let config = ParallelConfig::new(Algorithm::RiDs)
+            .with_workers(3)
+            .with_collected_mappings(100);
+        let result = enumerate_rayon_prepared(&ctx, &config, None);
+        assert_eq!(result.mappings.len(), 24);
+        let mut sorted = result.mappings.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, result.mappings);
+        for mapping in &result.mappings {
+            for (u, v, l) in pattern.edges() {
+                assert_eq!(
+                    target.edge_label(mapping[u as usize], mapping[v as usize]),
+                    Some(l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rayon_time_limit_is_reported() {
+        let pattern = generators::undirected_cycle(6, 0);
+        let target = generators::grid(5, 5);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let config = ParallelConfig::new(Algorithm::Ri)
+            .with_workers(2)
+            .with_time_limit(Duration::from_millis(1));
+        let limited = enumerate_rayon_prepared(&ctx, &config, None);
+        let full = enumerate_rayon_prepared(
+            &ctx,
+            &ParallelConfig::new(Algorithm::Ri).with_workers(2),
+            None,
+        );
+        if limited.timed_out {
+            assert!(limited.matches <= full.matches);
+        } else {
+            assert_eq!(limited.matches, full.matches);
+        }
     }
 }

@@ -1,15 +1,14 @@
 //! High-level parallel enumeration API.
 
 use crate::problem::SubgraphProblem;
-use serde::{Deserialize, Serialize};
 use sge_graph::{Graph, NodeId};
-use sge_ri::{Algorithm, SearchContext};
+use sge_ri::{Algorithm, MatchVisitor, SearchContext};
 use sge_stealing::{run, EngineConfig, WorkerStats};
 use sge_util::PhaseTimer;
 use std::time::Duration;
 
 /// Configuration of a parallel enumeration run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ParallelConfig {
     /// Which member of the RI family performs the search.
     pub algorithm: Algorithm,
@@ -20,6 +19,9 @@ pub struct ParallelConfig {
     /// Work stealing on (the paper's scheduler) or off (static initial
     /// partition, the Fig. 3 baseline).
     pub steal_enabled: bool,
+    /// Stop cooperatively after this many matches (`None` = enumerate all).
+    /// The reported count is exactly `min(max_matches, total)`.
+    pub max_matches: Option<u64>,
     /// Optional wall-clock limit for the matching phase.
     pub time_limit: Option<Duration>,
     /// Collect up to this many full mappings in the result.
@@ -30,7 +32,7 @@ pub struct ParallelConfig {
 
 impl ParallelConfig {
     /// Default parallel configuration: all available cores, task groups of 4,
-    /// stealing enabled, no time limit.
+    /// stealing enabled, no match or time limit.
     pub fn new(algorithm: Algorithm) -> Self {
         ParallelConfig {
             algorithm,
@@ -39,6 +41,7 @@ impl ParallelConfig {
                 .unwrap_or(1),
             task_group_size: 4,
             steal_enabled: true,
+            max_matches: None,
             time_limit: None,
             collect_limit: 0,
             seed: 0xC0FF_EE00,
@@ -63,6 +66,12 @@ impl ParallelConfig {
         self
     }
 
+    /// Sets a match-count limit (cooperative early stop across all workers).
+    pub fn with_max_matches(mut self, limit: u64) -> Self {
+        self.max_matches = Some(limit);
+        self
+    }
+
     /// Sets a matching-phase time limit.
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
@@ -77,7 +86,7 @@ impl ParallelConfig {
 }
 
 /// Outcome of a parallel enumeration run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ParallelResult {
     /// Algorithm used.
     pub algorithm: Algorithm,
@@ -87,12 +96,15 @@ pub struct ParallelResult {
     pub matches: u64,
     /// Total states visited across all workers.
     pub states: u64,
-    /// Preprocessing time (domains + ordering) in seconds.
+    /// Preprocessing time (domains + ordering) in seconds; `0.0` when the run
+    /// reused an externally prepared [`SearchContext`].
     pub preprocess_seconds: f64,
     /// Matching (parallel search) wall-clock time in seconds.
     pub match_seconds: f64,
     /// Whether the time limit cut the search short.
     pub timed_out: bool,
+    /// Whether the match limit stopped the search early.
+    pub limit_hit: bool,
     /// Total successful steals.
     pub steals: u64,
     /// Total steal requests issued.
@@ -102,11 +114,31 @@ pub struct ParallelResult {
     pub worker_states_stddev: f64,
     /// Per-worker counters.
     pub worker_stats: Vec<WorkerStats>,
-    /// Collected mappings, if requested.
+    /// Collected mappings, if requested — sorted lexicographically, so that a
+    /// complete (non-truncated) collection is byte-identical across worker
+    /// counts, task-group sizes and scheduler seeds.
     pub mappings: Vec<Vec<NodeId>>,
 }
 
 impl ParallelResult {
+    pub(crate) fn empty(algorithm: Algorithm, workers: usize) -> Self {
+        ParallelResult {
+            algorithm,
+            workers,
+            matches: 0,
+            states: 0,
+            preprocess_seconds: 0.0,
+            match_seconds: 0.0,
+            timed_out: false,
+            limit_hit: false,
+            steals: 0,
+            steal_requests: 0,
+            worker_states_stddev: 0.0,
+            worker_stats: Vec::new(),
+            mappings: Vec::new(),
+        }
+    }
+
     /// Total time (preprocessing + matching).
     pub fn total_seconds(&self) -> f64 {
         self.preprocess_seconds + self.match_seconds
@@ -122,41 +154,58 @@ impl ParallelResult {
     }
 }
 
-/// Enumerates all embeddings of `pattern` in `target` with the private-deque
-/// work-stealing scheduler (parallel RI / parallel RI-DS / parallel
-/// RI-DS-SI-FC, depending on `config.algorithm`).
-pub fn enumerate_parallel(pattern: &Graph, target: &Graph, config: &ParallelConfig) -> ParallelResult {
-    let mut timer = PhaseTimer::new();
-    let ctx = timer.time("preprocess", || {
-        SearchContext::prepare(pattern, target, config.algorithm)
-    });
+/// Uniform handling of the zero-position (empty pattern) edge case: exactly
+/// one empty embedding exists, it counts against the match budget, and the
+/// visitor / collector observe it like any other match — so every scheduler
+/// agrees with the sequential matcher.
+pub(crate) fn empty_pattern_outcome(
+    config: &ParallelConfig,
+    visitor: Option<&dyn MatchVisitor>,
+    result: &mut ParallelResult,
+) {
+    if config.max_matches == Some(0) {
+        result.limit_hit = true;
+        return;
+    }
+    result.matches = 1;
+    result.limit_hit = config.max_matches == Some(1);
+    let mapping: Vec<NodeId> = Vec::new();
+    if let Some(visitor) = visitor {
+        visitor.on_match(0, &mapping);
+    }
+    if config.collect_limit > 0 {
+        result.mappings.push(mapping);
+    }
+}
 
-    let mut result = ParallelResult {
-        algorithm: config.algorithm,
-        workers: config.workers,
-        matches: 0,
-        states: 0,
-        preprocess_seconds: timer.seconds("preprocess"),
-        match_seconds: 0.0,
-        timed_out: false,
-        steals: 0,
-        steal_requests: 0,
-        worker_states_stddev: 0.0,
-        worker_stats: Vec::new(),
-        mappings: Vec::new(),
-    };
+/// Runs the work-stealing scheduler over an already-prepared
+/// [`SearchContext`] — the prepared-artifact entry point the unified
+/// `sge::Engine` builds on.  Preprocessing cost is *not* re-paid here;
+/// `result.preprocess_seconds` is 0.
+///
+/// `config.algorithm` is ignored in favor of the context's algorithm.  When
+/// `visitor` is given it observes every match from whichever worker found it.
+pub fn enumerate_prepared(
+    ctx: &SearchContext<'_>,
+    config: &ParallelConfig,
+    visitor: Option<&dyn MatchVisitor>,
+) -> ParallelResult {
+    let mut result = ParallelResult::empty(ctx.algorithm(), config.workers);
 
     if ctx.num_positions() == 0 {
-        result.matches = 1;
+        empty_pattern_outcome(config, visitor, &mut result);
         return result;
     }
     if ctx.impossible() {
         return result;
     }
 
-    let mut problem = SubgraphProblem::new(&ctx);
+    let mut problem = SubgraphProblem::new(ctx);
     if config.collect_limit > 0 {
         problem = problem.with_collection(config.collect_limit);
+    }
+    if let Some(visitor) = visitor {
+        problem = problem.with_visitor(visitor);
     }
 
     let mut engine = EngineConfig::with_workers(config.workers)
@@ -166,6 +215,9 @@ pub fn enumerate_parallel(pattern: &Graph, target: &Graph, config: &ParallelConf
     if let Some(limit) = config.time_limit {
         engine = engine.time_limit(limit);
     }
+    if let Some(limit) = config.max_matches {
+        engine = engine.max_solutions(limit);
+    }
 
     let run_result = run(&problem, &engine);
 
@@ -173,11 +225,36 @@ pub fn enumerate_parallel(pattern: &Graph, target: &Graph, config: &ParallelConf
     result.states = run_result.states;
     result.match_seconds = run_result.elapsed_seconds;
     result.timed_out = run_result.timed_out;
+    result.limit_hit = run_result.limit_hit;
     result.steals = run_result.steals;
     result.steal_requests = run_result.steal_requests;
     result.worker_states_stddev = run_result.worker_states_stddev();
     result.worker_stats = run_result.workers;
     result.mappings = problem.take_collected();
+    // Workers race for the collector, so the raw order is schedule-dependent;
+    // sorting restores determinism (see `ParallelResult::mappings`).
+    result.mappings.sort_unstable();
+    result
+}
+
+/// Enumerates all embeddings of `pattern` in `target` with the private-deque
+/// work-stealing scheduler (parallel RI / parallel RI-DS / parallel
+/// RI-DS-SI-FC, depending on `config.algorithm`).
+///
+/// Thin shim over [`SearchContext::prepare`] + [`enumerate_prepared`];
+/// callers that run the same instance repeatedly should prepare once (or use
+/// `sge::Engine`) to amortize preprocessing.
+pub fn enumerate_parallel(
+    pattern: &Graph,
+    target: &Graph,
+    config: &ParallelConfig,
+) -> ParallelResult {
+    let mut timer = PhaseTimer::new();
+    let ctx = timer.time("preprocess", || {
+        SearchContext::prepare(pattern, target, config.algorithm)
+    });
+    let mut result = enumerate_prepared(&ctx, config, None);
+    result.preprocess_seconds = timer.seconds("preprocess");
     result
 }
 
@@ -212,6 +289,21 @@ mod tests {
                 assert_eq!(result.states, states, "{algorithm} workers={workers}");
                 assert!(!result.timed_out);
             }
+        }
+    }
+
+    #[test]
+    fn prepared_context_is_reusable_across_runs() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(6, 0);
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+        let (matches, states) = sequential_matches(&pattern, &target, Algorithm::RiDsSiFc);
+        for workers in [1usize, 2, 3] {
+            let config = ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(workers);
+            let result = enumerate_prepared(&ctx, &config, None);
+            assert_eq!(result.matches, matches, "workers={workers}");
+            assert_eq!(result.states, states, "workers={workers}");
+            assert_eq!(result.preprocess_seconds, 0.0);
         }
     }
 
@@ -263,7 +355,22 @@ mod tests {
     }
 
     #[test]
-    fn collected_mappings_are_embeddings() {
+    fn max_matches_stops_workers_cooperatively() {
+        // A single directed edge in K12 has 132 embeddings; ask for 17.
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(12, 0);
+        for workers in [1usize, 2, 4] {
+            let config = ParallelConfig::new(Algorithm::Ri)
+                .with_workers(workers)
+                .with_max_matches(17);
+            let result = enumerate_parallel(&pattern, &target, &config);
+            assert_eq!(result.matches, 17, "workers={workers}");
+            assert!(result.limit_hit);
+        }
+    }
+
+    #[test]
+    fn collected_mappings_are_embeddings_and_sorted() {
         let pattern = generators::directed_cycle(3, 0);
         let target = generators::clique(5, 0);
         let config = ParallelConfig::new(Algorithm::RiDs)
@@ -271,6 +378,9 @@ mod tests {
             .with_collected_mappings(7);
         let result = enumerate_parallel(&pattern, &target, &config);
         assert_eq!(result.mappings.len(), 7);
+        let mut sorted = result.mappings.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, result.mappings, "mappings must come back sorted");
         for mapping in &result.mappings {
             for (u, v, l) in pattern.edges() {
                 assert_eq!(
@@ -278,6 +388,31 @@ mod tests {
                     Some(l)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn complete_collections_are_identical_across_worker_counts() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0);
+        // 60 matches; collect them all under several schedules.
+        let reference = enumerate_parallel(
+            &pattern,
+            &target,
+            &ParallelConfig::new(Algorithm::Ri)
+                .with_workers(1)
+                .with_collected_mappings(100),
+        );
+        assert_eq!(reference.mappings.len(), 60);
+        for workers in [2usize, 4] {
+            let result = enumerate_parallel(
+                &pattern,
+                &target,
+                &ParallelConfig::new(Algorithm::Ri)
+                    .with_workers(workers)
+                    .with_collected_mappings(100),
+            );
+            assert_eq!(result.mappings, reference.mappings, "workers={workers}");
         }
     }
 

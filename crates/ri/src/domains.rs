@@ -14,12 +14,11 @@
 //! this paper (removing a singleton's value from every other domain) is a
 //! word-parallel operation.
 
-use serde::{Deserialize, Serialize};
 use sge_graph::{Graph, NodeId};
 use sge_util::Bitset;
 
 /// Per-pattern-node candidate sets over the target nodes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Domains {
     sets: Vec<Bitset>,
     target_nodes: usize,
@@ -79,18 +78,20 @@ impl Domains {
     fn supported(&self, pattern: &Graph, target: &Graph, vp: NodeId, vt: NodeId) -> bool {
         for e in pattern.out_edges(vp) {
             let wp = e.node;
-            let found = target.out_edges(vt).iter().any(|te| {
-                te.label == e.label && self.sets[wp as usize].contains(te.node as usize)
-            });
+            let found = target
+                .out_edges(vt)
+                .iter()
+                .any(|te| te.label == e.label && self.sets[wp as usize].contains(te.node as usize));
             if !found {
                 return false;
             }
         }
         for e in pattern.in_edges(vp) {
             let wp = e.node;
-            let found = target.in_edges(vt).iter().any(|te| {
-                te.label == e.label && self.sets[wp as usize].contains(te.node as usize)
-            });
+            let found = target
+                .in_edges(vt)
+                .iter()
+                .any(|te| te.label == e.label && self.sets[wp as usize].contains(te.node as usize));
             if !found {
                 return false;
             }

@@ -42,8 +42,13 @@ pub mod domains;
 pub mod matcher;
 pub mod ordering;
 pub mod search;
+pub mod visitor;
 
 pub use domains::Domains;
-pub use matcher::{enumerate, enumerate_with, Algorithm, MatchConfig, MatchResult};
+pub use matcher::{
+    enumerate, enumerate_with, search_prepared, Algorithm, MatchConfig, MatchResult, SearchLimits,
+    SearchRun,
+};
 pub use ordering::{greatest_constraint_first, MatchOrder, ParentLink};
 pub use search::{SearchContext, WorkerState};
+pub use visitor::{CollectingVisitor, MatchVisitor, NoopVisitor};

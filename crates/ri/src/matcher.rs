@@ -7,13 +7,12 @@
 //! total time, and whether a time limit was hit.
 
 use crate::search::{SearchContext, WorkerState};
-use serde::{Deserialize, Serialize};
 use sge_graph::{Graph, NodeId};
 use sge_util::PhaseTimer;
 use std::time::{Duration, Instant};
 
 /// Which member of the RI family to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Plain RI: static GreatestConstraintFirst ordering, no domains.
     Ri,
@@ -67,7 +66,7 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// Configuration of one enumeration run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MatchConfig {
     /// Algorithm variant.
     pub algorithm: Algorithm,
@@ -109,10 +108,18 @@ impl MatchConfig {
         self.collect_limit = limit;
         self
     }
+
+    /// The search-phase knobs of this configuration, for prepared runs.
+    pub fn limits(&self) -> SearchLimits {
+        SearchLimits {
+            max_matches: self.max_matches,
+            time_limit: self.time_limit,
+        }
+    }
 }
 
 /// Outcome of one enumeration run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MatchResult {
     /// Algorithm that produced this result.
     pub algorithm: Algorithm,
@@ -149,6 +156,32 @@ impl MatchResult {
     }
 }
 
+/// Search-phase knobs of one prepared run — everything *except* the
+/// preprocessing choices, which are fixed once a [`SearchContext`] exists.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchLimits {
+    /// Stop after this many matches (`None` = enumerate all).
+    pub max_matches: Option<u64>,
+    /// Wall-clock budget for the matching phase.
+    pub time_limit: Option<Duration>,
+}
+
+/// Raw outcome of one prepared sequential search (no preprocessing figures —
+/// preprocessing happened when the [`SearchContext`] was built).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchRun {
+    /// Number of embeddings found.
+    pub matches: u64,
+    /// States visited (consistency checks performed).
+    pub states: u64,
+    /// Matching wall-clock seconds.
+    pub match_seconds: f64,
+    /// Whether the time limit interrupted the search.
+    pub timed_out: bool,
+    /// Whether the match limit stopped the search early.
+    pub limit_hit: bool,
+}
+
 struct SearchDriver<'a, F> {
     ctx: &'a SearchContext<'a>,
     state: WorkerState,
@@ -178,7 +211,7 @@ impl<'a, F: FnMut(&SearchContext<'a>, &WorkerState)> SearchDriver<'a, F> {
         if let Some(deadline) = self.deadline {
             // Only consult the clock every 4096 states; Instant::now is cheap
             // but not free, and the paper measures in whole milliseconds.
-            if self.states % 4096 == 0 && Instant::now() >= deadline {
+            if self.states.is_multiple_of(4096) && Instant::now() >= deadline {
                 self.timed_out = true;
             }
         }
@@ -210,17 +243,81 @@ impl<'a, F: FnMut(&SearchContext<'a>, &WorkerState)> SearchDriver<'a, F> {
     }
 }
 
-/// Enumerates all subgraphs of `target` isomorphic to `pattern` and invokes
-/// `visitor` for every match with the search context and the complete worker
-/// state (use [`SearchContext::mapping_by_pattern_node`] to extract the
-/// mapping).
+/// Runs the depth-first search over an already-prepared [`SearchContext`],
+/// invoking `visitor` for every match with the context and the complete
+/// worker state (use [`SearchContext::mapping_by_pattern_node`] to extract
+/// the mapping).
 ///
-/// An empty pattern has exactly one (empty) embedding.
+/// This is the prepared-artifact entry point the unified `sge::Engine` and
+/// the parallel runtime build on: preprocessing (domains, forward checking,
+/// GCF ordering) happened once when the context was built and is amortized
+/// across repeated calls.  An empty pattern has exactly one (empty)
+/// embedding; a context whose preprocessing proved infeasibility returns
+/// immediately with zero matches.
+pub fn search_prepared<F>(
+    ctx: &SearchContext<'_>,
+    limits: &SearchLimits,
+    mut visitor: F,
+) -> SearchRun
+where
+    F: FnMut(&SearchContext<'_>, &WorkerState),
+{
+    let mut run = SearchRun::default();
+    if ctx.num_positions() == 0 {
+        // The empty pattern has exactly one embedding: the empty mapping.
+        // It is subject to the match limit and observed by the visitor like
+        // any other match, so every scheduler agrees on this edge case.
+        if limits.max_matches == Some(0) {
+            run.limit_hit = true;
+            return run;
+        }
+        run.matches = 1;
+        run.limit_hit = limits.max_matches == Some(1);
+        visitor(ctx, &ctx.new_state());
+        return run;
+    }
+    if ctx.impossible() {
+        return run;
+    }
+
+    let match_start = Instant::now();
+    let deadline = limits.time_limit.map(|limit| match_start + limit);
+    let state = ctx.new_state();
+    let np = ctx.num_positions();
+    let mut driver = SearchDriver {
+        ctx,
+        state,
+        candidate_buffers: vec![Vec::new(); np],
+        states: 0,
+        matches: 0,
+        deadline,
+        timed_out: false,
+        max_matches: limits.max_matches,
+        visitor: |ctx: &SearchContext<'_>, state: &WorkerState| visitor(ctx, state),
+    };
+    driver.search(0);
+
+    run.matches = driver.matches;
+    run.states = driver.states;
+    run.timed_out = driver.timed_out;
+    run.limit_hit = limits
+        .max_matches
+        .is_some_and(|limit| driver.matches >= limit);
+    run.match_seconds = match_start.elapsed().as_secs_f64();
+    run
+}
+
+/// Enumerates all subgraphs of `target` isomorphic to `pattern` and invokes
+/// `visitor` for every match.
+///
+/// Thin shim over [`SearchContext::prepare`] + [`search_prepared`]; callers
+/// that run the same instance repeatedly should prepare once and call
+/// [`search_prepared`] (or use `sge::Engine`) to amortize preprocessing.
 pub fn enumerate_with<F>(
     pattern: &Graph,
     target: &Graph,
     config: &MatchConfig,
-    mut visitor: F,
+    visitor: F,
 ) -> MatchResult
 where
     F: FnMut(&SearchContext<'_>, &WorkerState),
@@ -229,48 +326,16 @@ where
     let ctx = timer.time("preprocess", || {
         SearchContext::prepare(pattern, target, config.algorithm)
     });
-
-    let mut result = MatchResult {
+    let run = search_prepared(&ctx, &config.limits(), visitor);
+    MatchResult {
         algorithm: config.algorithm,
-        matches: 0,
-        states: 0,
+        matches: run.matches,
+        states: run.states,
         preprocess_seconds: timer.seconds("preprocess"),
-        match_seconds: 0.0,
-        timed_out: false,
+        match_seconds: run.match_seconds,
+        timed_out: run.timed_out,
         mappings: Vec::new(),
-    };
-
-    if ctx.num_positions() == 0 {
-        // The empty pattern has exactly one embedding: the empty mapping.
-        result.matches = 1;
-        return result;
     }
-    if ctx.impossible() {
-        return result;
-    }
-
-    let match_start = Instant::now();
-    let deadline = config.time_limit.map(|limit| match_start + limit);
-    let state = ctx.new_state();
-    let np = ctx.num_positions();
-    let mut driver = SearchDriver {
-        ctx: &ctx,
-        state,
-        candidate_buffers: vec![Vec::new(); np],
-        states: 0,
-        matches: 0,
-        deadline,
-        timed_out: false,
-        max_matches: config.max_matches,
-        visitor: |ctx: &SearchContext<'_>, state: &WorkerState| visitor(ctx, state),
-    };
-    driver.search(0);
-
-    result.matches = driver.matches;
-    result.states = driver.states;
-    result.timed_out = driver.timed_out;
-    result.match_seconds = match_start.elapsed().as_secs_f64();
-    result
 }
 
 /// Enumerates all subgraphs of `target` isomorphic to `pattern`, optionally
@@ -442,7 +507,10 @@ mod tests {
             assert_eq!(sorted.len(), mapping.len());
             // Edge-preserving.
             for (u, v, l) in pattern.edges() {
-                assert_eq!(target.edge_label(mapping[u as usize], mapping[v as usize]), Some(l));
+                assert_eq!(
+                    target.edge_label(mapping[u as usize], mapping[v as usize]),
+                    Some(l)
+                );
             }
         }
     }
@@ -469,7 +537,10 @@ mod tests {
         let fc = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSiFc));
         assert_eq!(ds.matches, si.matches);
         assert_eq!(ds.matches, fc.matches);
-        assert!(fc.states <= ds.states.max(si.states) * 2, "FC should not blow up the search space");
+        assert!(
+            fc.states <= ds.states.max(si.states) * 2,
+            "FC should not blow up the search space"
+        );
     }
 
     #[test]

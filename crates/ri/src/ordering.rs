@@ -23,11 +23,10 @@
 //! in-neighborhood depending on the pattern edge direction).
 
 use crate::domains::Domains;
-use serde::{Deserialize, Serialize};
 use sge_graph::{Graph, NodeId};
 
 /// How candidates for a position are generated from its parent's image.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParentLink {
     /// Position (index into [`MatchOrder::positions`]) of the parent.
     pub parent_pos: usize,
@@ -39,7 +38,7 @@ pub struct ParentLink {
 
 /// A static matching order over the pattern nodes plus the parent links used
 /// for candidate generation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MatchOrder {
     /// `positions[i]` is the pattern node matched at depth `i`.
     pub positions: Vec<NodeId>,
@@ -87,9 +86,7 @@ pub fn greatest_constraint_first(
 
     // RI-DS: singleton-domain nodes first (their assignment is forced).
     if let Some(doms) = domains {
-        let mut singletons: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&v| doms.size(v) == 1)
-            .collect();
+        let mut singletons: Vec<NodeId> = (0..n as NodeId).filter(|&v| doms.size(v) == 1).collect();
         singletons.sort_unstable();
         for v in singletons {
             in_order[v as usize] = true;
@@ -114,9 +111,7 @@ pub fn greatest_constraint_first(
                 .iter()
                 .filter(|&&w| {
                     !in_order[w as usize]
-                        && neighbors[w as usize]
-                            .iter()
-                            .any(|&x| in_order[x as usize])
+                        && neighbors[w as usize].iter().any(|&x| in_order[x as usize])
                 })
                 .count();
             let degree = pattern.degree(v);
@@ -165,8 +160,7 @@ pub fn finish_order(pattern: &Graph, positions: Vec<NodeId>) -> MatchOrder {
     for (i, &v) in positions.iter().enumerate() {
         let mut parent: Option<ParentLink> = None;
         // Earliest ordered neighbor becomes the parent.
-        for j in 0..i {
-            let u = positions[j];
+        for (j, &u) in positions.iter().enumerate().take(i) {
             if pattern.has_edge(u, v) {
                 parent = Some(ParentLink {
                     parent_pos: j,

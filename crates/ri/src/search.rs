@@ -22,6 +22,7 @@ use sge_graph::{Graph, NodeId};
 pub struct SearchContext<'a> {
     pattern: &'a Graph,
     target: &'a Graph,
+    algorithm: Algorithm,
     order: MatchOrder,
     domains: Option<Domains>,
     /// `true` when the preprocessing already proved that no match exists
@@ -39,9 +40,9 @@ impl<'a> SearchContext<'a> {
         let mut impossible = false;
         let domains = if algorithm.uses_domains() {
             let mut domains = Domains::compute(pattern, target);
-            if domains.any_empty() {
-                impossible = true;
-            } else if algorithm.uses_forward_checking() && !domains.forward_check() {
+            if domains.any_empty()
+                || (algorithm.uses_forward_checking() && !domains.forward_check())
+            {
                 impossible = true;
             }
             Some(domains)
@@ -56,6 +57,7 @@ impl<'a> SearchContext<'a> {
         SearchContext {
             pattern,
             target,
+            algorithm,
             order,
             domains,
             impossible,
@@ -68,6 +70,7 @@ impl<'a> SearchContext<'a> {
     pub fn from_parts(
         pattern: &'a Graph,
         target: &'a Graph,
+        algorithm: Algorithm,
         order: MatchOrder,
         domains: Option<Domains>,
         check_degrees: bool,
@@ -76,6 +79,7 @@ impl<'a> SearchContext<'a> {
         SearchContext {
             pattern,
             target,
+            algorithm,
             order,
             domains,
             impossible,
@@ -86,6 +90,11 @@ impl<'a> SearchContext<'a> {
     /// The pattern graph.
     pub fn pattern(&self) -> &Graph {
         self.pattern
+    }
+
+    /// The algorithm variant this context was prepared for.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
     }
 
     /// The target graph.
@@ -307,7 +316,11 @@ mod tests {
 
         let mut roots = Vec::new();
         ctx.candidates(0, &state, &mut roots);
-        assert_eq!(roots.len(), target.num_nodes(), "RI roots = all target nodes");
+        assert_eq!(
+            roots.len(),
+            target.num_nodes(),
+            "RI roots = all target nodes"
+        );
 
         // Map the first pattern node (the path tail, degree-max is node 0 or 1;
         // ordering picks a max-degree node first) onto the star center and

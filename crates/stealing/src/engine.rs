@@ -26,9 +26,9 @@ use crate::problem::BacktrackProblem;
 use crate::stats::{RunResult, WorkerStats};
 use crate::task::{PrivateDeque, TaskGroup, Transfer};
 use crate::termination::Termination;
-use parking_lot::Mutex;
-use sge_util::SplitMix64;
+use sge_util::{MatchBudget, SplitMix64};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Sentinel meaning "no pending steal request".
@@ -50,6 +50,11 @@ pub struct EngineConfig {
     pub steal_enabled: bool,
     /// Optional wall-clock limit for the whole parallel phase.
     pub time_limit: Option<Duration>,
+    /// Stop cooperatively once this many solutions have been recorded across
+    /// all workers (`None` = run to exhaustion).  The engine guarantees that
+    /// exactly `min(max_solutions, total)` solutions are counted and reported
+    /// to [`BacktrackProblem::on_solution`].
+    pub max_solutions: Option<u64>,
     /// Seed for the (deterministic per worker) victim-selection RNG.
     pub seed: u64,
 }
@@ -63,6 +68,7 @@ impl Default for EngineConfig {
             task_group_size: 4,
             steal_enabled: true,
             time_limit: None,
+            max_solutions: None,
             seed: 0x5EED_1234_ABCD,
         }
     }
@@ -95,6 +101,12 @@ impl EngineConfig {
         self.time_limit = Some(limit);
         self
     }
+
+    /// Stops the run cooperatively after `limit` solutions.
+    pub fn max_solutions(mut self, limit: u64) -> Self {
+        self.max_solutions = Some(limit);
+        self
+    }
 }
 
 /// One thief's transfer mailbox.
@@ -115,17 +127,23 @@ struct Shared<C> {
     termination: Termination,
     deadline: Option<Instant>,
     timed_out: AtomicBool,
+    /// Budget of countable solutions (`EngineConfig::max_solutions`); claims
+    /// beyond it are discarded, so the counted total is exact.
+    budget: MatchBudget,
 }
 
 impl<C> Shared<C> {
-    fn new(workers: usize, deadline: Option<Instant>) -> Self {
+    fn new(workers: usize, deadline: Option<Instant>, max_solutions: Option<u64>) -> Self {
         Shared {
             work_available: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             requests: (0..workers).map(|_| AtomicUsize::new(NO_REQUEST)).collect(),
-            transfers: (0..workers).map(|_| Mutex::new(TransferCell::Empty)).collect(),
+            transfers: (0..workers)
+                .map(|_| Mutex::new(TransferCell::Empty))
+                .collect(),
             termination: Termination::new(workers),
             deadline,
             timed_out: AtomicBool::new(false),
+            budget: MatchBudget::new(max_solutions),
         }
     }
 
@@ -209,8 +227,10 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
         self.path.push(choice);
 
         if depth + 1 == self.total_depth {
-            self.stats.solutions += 1;
-            self.problem.on_solution(self.id, &self.state);
+            if self.claim_solution() {
+                self.stats.solutions += 1;
+                self.problem.on_solution(self.id, &self.state);
+            }
             return;
         }
 
@@ -242,6 +262,18 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
         }
     }
 
+    /// Claims one slot of the shared solution budget.  Returns `true` when the
+    /// solution should be counted; once the budget is exhausted termination is
+    /// forced so all workers stop promptly, and over-claims are discarded —
+    /// the run reports exactly `min(max_solutions, total)` solutions.
+    fn claim_solution(&mut self) -> bool {
+        let counted = self.shared.budget.claim();
+        if self.shared.budget.is_exhausted() {
+            self.shared.termination.force();
+        }
+        counted
+    }
+
     /// Answers at most one pending steal request: hand over the back group (and
     /// the prefix of choices it needs) if we have one to spare, reject
     /// otherwise.
@@ -265,7 +297,7 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
                 None => TransferCell::Reject,
             }
         };
-        *self.shared.transfers[thief].lock() = answer;
+        *self.shared.transfers[thief].lock().expect("mutex poisoned") = answer;
         // Accept new requests only after the answer is visible to the thief.
         self.shared.requests[self.id].store(NO_REQUEST, Ordering::SeqCst);
         self.shared.work_available[self.id].store(!self.deque.is_empty(), Ordering::SeqCst);
@@ -284,7 +316,7 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
 
     fn tick(&mut self) {
         self.ticks += 1;
-        if self.ticks % DEADLINE_CHECK_INTERVAL == 0 {
+        if self.ticks.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
             self.shared.check_deadline();
         }
     }
@@ -327,12 +359,14 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
                         if self.shared.termination.poll_idle(self.id) {
                             return false;
                         }
-                        let mut cell = self.shared.transfers[self.id].lock();
+                        let mut cell = self.shared.transfers[self.id]
+                            .lock()
+                            .expect("mutex poisoned");
                         match std::mem::replace(&mut *cell, TransferCell::Empty) {
                             TransferCell::Empty => {
                                 drop(cell);
                                 waits += 1;
-                                if waits % 8 == 0 {
+                                if waits.is_multiple_of(8) {
                                     // Oversubscribed hosts (fewer cores than
                                     // workers) need the victim to get CPU time
                                     // to answer; yield rather than burn quanta.
@@ -354,7 +388,7 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
             }
 
             spins += 1;
-            if spins % 8 == 0 {
+            if spins.is_multiple_of(8) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -380,10 +414,7 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
                 }
                 continue;
             }
-            let (depth, choice, checked) = self
-                .deque
-                .pop_task()
-                .expect("deque reported non-empty");
+            let (depth, choice, checked) = self.deque.pop_task().expect("deque reported non-empty");
             self.shared.work_available[self.id].store(!self.deque.is_empty(), Ordering::SeqCst);
             self.process_requests();
             self.execute(depth, choice, checked);
@@ -411,8 +442,15 @@ pub fn run<P: BacktrackProblem>(problem: &P, config: &EngineConfig) -> RunResult
         for (id, w) in stats.iter_mut().enumerate() {
             w.worker_id = id;
         }
-        stats[0].solutions = 1;
-        return RunResult::from_workers(stats, start.elapsed().as_secs_f64(), false);
+        // The empty problem has one (empty) solution, unless the budget is 0.
+        let budget = MatchBudget::new(config.max_solutions);
+        if budget.claim() {
+            stats[0].solutions = 1;
+            problem.on_solution(0, &problem.new_state());
+        }
+        let mut result = RunResult::from_workers(stats, start.elapsed().as_secs_f64(), false);
+        result.limit_hit = budget.is_exhausted();
+        return result;
     }
 
     // Initial work distribution: one task per child of the root, dealt
@@ -426,7 +464,7 @@ pub fn run<P: BacktrackProblem>(problem: &P, config: &EngineConfig) -> RunResult
     }
 
     let deadline = config.time_limit.map(|limit| start + limit);
-    let shared: Shared<P::Choice> = Shared::new(workers, deadline);
+    let shared: Shared<P::Choice> = Shared::new(workers, deadline, config.max_solutions);
     let group_size = config.task_group_size.max(1);
 
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -454,11 +492,13 @@ pub fn run<P: BacktrackProblem>(problem: &P, config: &EngineConfig) -> RunResult
             .collect()
     });
 
-    RunResult::from_workers(
+    let mut result = RunResult::from_workers(
         worker_stats,
         start.elapsed().as_secs_f64(),
         shared.timed_out.load(Ordering::SeqCst),
-    )
+    );
+    result.limit_hit = shared.budget.is_exhausted();
+    result
 }
 
 #[cfg(test)]
@@ -494,9 +534,14 @@ mod tests {
         }
 
         fn is_consistent(&self, level: usize, choice: u32, state: &QueensState) -> bool {
-            state.columns.iter().enumerate().take(level).all(|(row, &col)| {
-                col != choice && (level - row) as i64 != (choice as i64 - col as i64).abs()
-            })
+            state
+                .columns
+                .iter()
+                .enumerate()
+                .take(level)
+                .all(|(row, &col)| {
+                    col != choice && (level - row) as i64 != (choice as i64 - col as i64).abs()
+                })
         }
 
         fn apply(&self, _level: usize, choice: u32, state: &mut QueensState) {
@@ -601,6 +646,32 @@ mod tests {
         let problem = NQueens { n: 0 };
         let result = run(&problem, &EngineConfig::with_workers(4));
         assert_eq!(result.solutions, 1);
+    }
+
+    #[test]
+    fn solution_budget_stops_early_and_is_exact() {
+        let problem = NQueens { n: 8 };
+        for workers in [1usize, 3, 6] {
+            let config = EngineConfig::with_workers(workers).max_solutions(10);
+            let result = run(&problem, &config);
+            assert_eq!(result.solutions, 10, "workers={workers}");
+            assert!(result.limit_hit);
+            let counted: u64 = result.workers.iter().map(|w| w.solutions).sum();
+            assert_eq!(counted, 10);
+        }
+        // A budget larger than the solution count changes nothing.
+        let config = EngineConfig::with_workers(2).max_solutions(1000);
+        let result = run(&problem, &config);
+        assert_eq!(result.solutions, 92);
+        assert!(!result.limit_hit);
+        // A zero budget yields zero solutions, even for zero-depth problems.
+        let result = run(&problem, &EngineConfig::with_workers(2).max_solutions(0));
+        assert_eq!(result.solutions, 0);
+        let result = run(
+            &NQueens { n: 0 },
+            &EngineConfig::with_workers(2).max_solutions(0),
+        );
+        assert_eq!(result.solutions, 0);
     }
 
     #[test]

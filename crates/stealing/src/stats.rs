@@ -6,10 +6,8 @@
 //! steals* per task-group size.  Every worker therefore keeps its own counters
 //! and the engine aggregates them into a [`RunResult`].
 
-use serde::{Deserialize, Serialize};
-
 /// Counters collected by one worker during a run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerStats {
     /// Worker index.
     pub worker_id: usize,
@@ -30,7 +28,7 @@ pub struct WorkerStats {
 }
 
 /// Aggregated outcome of one parallel run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunResult {
     /// Total number of solutions found.
     pub solutions: u64,
@@ -44,6 +42,9 @@ pub struct RunResult {
     pub elapsed_seconds: f64,
     /// `true` when the run was cut short by the configured time limit.
     pub timed_out: bool,
+    /// `true` when the run stopped because the solution budget
+    /// (`EngineConfig::max_solutions`) was exhausted.
+    pub limit_hit: bool,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerStats>,
 }
@@ -62,6 +63,7 @@ impl RunResult {
             steal_requests,
             elapsed_seconds,
             timed_out,
+            limit_hit: false,
             workers,
         }
     }
@@ -112,11 +114,8 @@ mod tests {
 
     #[test]
     fn aggregation_sums_counters() {
-        let result = RunResult::from_workers(
-            vec![worker(0, 10, 1, 2), worker(1, 30, 3, 4)],
-            2.0,
-            false,
-        );
+        let result =
+            RunResult::from_workers(vec![worker(0, 10, 1, 2), worker(1, 30, 3, 4)], 2.0, false);
         assert_eq!(result.states, 40);
         assert_eq!(result.steals, 4);
         assert_eq!(result.solutions, 6);
@@ -126,13 +125,15 @@ mod tests {
 
     #[test]
     fn stddev_zero_for_balanced_workers() {
-        let result = RunResult::from_workers(vec![worker(0, 50, 0, 0), worker(1, 50, 0, 0)], 1.0, false);
+        let result =
+            RunResult::from_workers(vec![worker(0, 50, 0, 0), worker(1, 50, 0, 0)], 1.0, false);
         assert!(result.worker_states_stddev().abs() < 1e-12);
     }
 
     #[test]
     fn stddev_positive_for_imbalanced_workers() {
-        let result = RunResult::from_workers(vec![worker(0, 0, 0, 0), worker(1, 100, 0, 0)], 1.0, false);
+        let result =
+            RunResult::from_workers(vec![worker(0, 0, 0, 0), worker(1, 100, 0, 0)], 1.0, false);
         assert!((result.worker_states_stddev() - 50.0).abs() < 1e-12);
     }
 

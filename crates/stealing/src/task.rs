@@ -146,7 +146,11 @@ impl<C: Copy> PrivateDeque<C> {
 
     /// Depth of the shallowest (stealable) group, if any.
     pub fn back_depth(&self) -> Option<usize> {
-        self.groups.iter().rev().find(|g| !g.is_exhausted()).map(|g| g.depth)
+        self.groups
+            .iter()
+            .rev()
+            .find(|g| !g.is_exhausted())
+            .map(|g| g.depth)
     }
 }
 

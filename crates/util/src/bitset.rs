@@ -6,12 +6,10 @@
 //! values are removed from all *other* domains.  All of these operations map to
 //! word-wide logic on this type.
 
-use serde::{Deserialize, Serialize};
-
 const WORD_BITS: usize = 64;
 
 /// A fixed-capacity set of `usize` indices in `0..len`, stored as packed bits.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bitset {
     words: Vec<u64>,
     len: usize,

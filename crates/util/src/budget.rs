@@ -1,0 +1,99 @@
+//! A shared, exact solution budget for cooperative early termination.
+//!
+//! Parallel schedulers must report *exactly* `min(limit, total)` solutions
+//! when a match limit is set, even while many workers discover solutions
+//! concurrently.  [`MatchBudget`] implements the claim protocol once so every
+//! scheduler shares identical semantics: a worker calls [`MatchBudget::claim`]
+//! *before* counting a solution; `true` means "count it", `false` means the
+//! budget was already exhausted and the solution must be discarded.  The
+//! moment the last slot is claimed the budget reports
+//! [`MatchBudget::is_exhausted`], which callers use to stop their workers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared solution budget (see module docs).  `limit = None` never exhausts.
+#[derive(Debug)]
+pub struct MatchBudget {
+    limit: Option<u64>,
+    claimed: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+impl MatchBudget {
+    /// A budget of `limit` solutions (`None` = unlimited).
+    pub fn new(limit: Option<u64>) -> Self {
+        MatchBudget {
+            limit,
+            claimed: AtomicU64::new(0),
+            exhausted: AtomicBool::new(limit == Some(0)),
+        }
+    }
+
+    /// Claims one slot.  Returns `true` when the solution should be counted;
+    /// over-claims past the limit return `false` and are discarded by the
+    /// caller, so the counted total is exactly `min(limit, total)`.
+    #[inline]
+    pub fn claim(&self) -> bool {
+        let Some(limit) = self.limit else {
+            return true;
+        };
+        let prev = self.claimed.fetch_add(1, Ordering::SeqCst);
+        if prev + 1 >= limit {
+            self.exhausted.store(true, Ordering::SeqCst);
+        }
+        prev < limit
+    }
+
+    /// `true` once every slot has been claimed (workers should stop).  Also
+    /// the `limit_hit` flag reported by results.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let budget = MatchBudget::new(None);
+        for _ in 0..1000 {
+            assert!(budget.claim());
+        }
+        assert!(!budget.is_exhausted());
+    }
+
+    #[test]
+    fn exact_count_under_contention() {
+        let budget = MatchBudget::new(Some(100));
+        let counted: u64 = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| (0..1000).filter(|_| budget.claim()).count() as u64))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(counted, 100);
+        assert!(budget.is_exhausted());
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted_from_the_start() {
+        let budget = MatchBudget::new(Some(0));
+        assert!(budget.is_exhausted());
+        assert!(!budget.claim());
+    }
+
+    #[test]
+    fn exhaustion_fires_exactly_at_the_limit() {
+        let budget = MatchBudget::new(Some(2));
+        assert!(budget.claim());
+        assert!(!budget.is_exhausted());
+        assert!(budget.claim());
+        assert!(budget.is_exhausted());
+        assert!(!budget.claim());
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`stats`] — running mean / standard deviation / standard error and the
 //!   geometric mean used throughout the paper's tables,
 //! * [`timing`] — phase timers separating preprocessing from matching time,
+//! * [`budget`] — the shared exact solution budget used for cooperative
+//!   early termination by every parallel scheduler,
 //! * [`rng`] — a tiny deterministic SplitMix64/xorshift generator for places
 //!   where reproducibility matters more than statistical quality (e.g. victim
 //!   selection in the work-stealing scheduler).
@@ -18,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod budget;
 pub mod rng;
 pub mod stats;
 pub mod timing;
 
 pub use bitset::Bitset;
+pub use budget::MatchBudget;
 pub use rng::SplitMix64;
 pub use stats::{geometric_mean, RunningStats, SpeedupSummary};
 pub use timing::PhaseTimer;

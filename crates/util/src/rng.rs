@@ -5,11 +5,9 @@
 //! determinism per worker and zero shared state matter, so we use SplitMix64
 //! rather than pulling `rand` into the hot loop of the runtime.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 generator (Steele, Lea, Flood 2014) — 64 bits of state, passes
 /// BigCrush, and is trivially seedable.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -42,6 +40,12 @@ impl SplitMix64 {
     #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -82,6 +86,15 @@ mod tests {
                 assert!(rng.next_below(bound) < bound);
             }
         }
+    }
+
+    #[test]
+    fn next_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(21);
+        let hits = (0..10_000).filter(|_| rng.next_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits");
+        assert!(!rng.next_bool(0.0));
+        assert!(rng.next_bool(1.0));
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! (`max`), and standard errors of means (the red bars in its point plots).
 //! [`RunningStats`] and [`SpeedupSummary`] provide exactly those quantities.
 
-use serde::{Deserialize, Serialize};
-
 /// Online (Welford) accumulator of mean, variance, min and max.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -143,7 +141,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 ///   the speedup of the *total* runtime over the instance group,
 /// * `gmean` is the geometric mean of per-instance speedups,
 /// * `max` is the best per-instance speedup.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SpeedupSummary {
     /// Speedup of total (summed) runtime.
     pub avg: f64,
@@ -167,7 +165,10 @@ impl SpeedupSummary {
         let base_total: f64 = pairs.iter().map(|p| p.0).sum();
         let var_total: f64 = pairs.iter().map(|p| p.1.max(1e-9)).sum();
         let per_instance: Vec<f64> = pairs.iter().map(|p| p.0 / p.1.max(1e-9)).collect();
-        let max = per_instance.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = per_instance
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         SpeedupSummary {
             avg: base_total / var_total,
             gmean: geometric_mean(&per_instance),

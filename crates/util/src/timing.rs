@@ -5,11 +5,10 @@
 //! sum (Fig. 9).  [`PhaseTimer`] accumulates named phases so the experiment
 //! harness can report the same breakdown.
 
-use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Accumulates wall-clock durations for a fixed small set of named phases.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PhaseTimer {
     phases: Vec<(String, f64)>,
 }
@@ -57,7 +56,9 @@ impl PhaseTimer {
 
     /// Iterates over `(phase, seconds)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.phases.iter().map(|(name, secs)| (name.as_str(), *secs))
+        self.phases
+            .iter()
+            .map(|(name, secs)| (name.as_str(), *secs))
     }
 
     /// Merges another timer into this one.

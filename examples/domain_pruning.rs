@@ -44,16 +44,20 @@ fn main() {
     // The SI ordering prefers small domains when degrees tie.
     let plain = greatest_constraint_first(pattern, Some(&domains), false);
     let si = greatest_constraint_first(pattern, Some(&domains), true);
-    println!("\nGreatestConstraintFirst order (RI-DS): {:?}", plain.positions);
+    println!(
+        "\nGreatestConstraintFirst order (RI-DS): {:?}",
+        plain.positions
+    );
     println!("GreatestConstraintFirst order (SI):    {:?}", si.positions);
 
-    // Effect on the search space.
+    // Effect on the search space, through the unified engine.
     println!(
         "\n{:<14} {:>10} {:>12} {:>12}",
         "algorithm", "matches", "states", "total (s)"
     );
     for algorithm in Algorithm::ALL {
-        let result = enumerate(pattern, target, &MatchConfig::new(algorithm));
+        let engine = Engine::prepare(pattern, target, algorithm);
+        let result = engine.run(&RunConfig::new(Scheduler::Sequential));
         println!(
             "{:<14} {:>10} {:>12} {:>12.4}",
             algorithm.name(),

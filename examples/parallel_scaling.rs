@@ -3,9 +3,11 @@
 //! Reproduces, on one instance, what the paper's Tables 2/3 report per
 //! collection: the speedup of the work-stealing parallelization as the worker
 //! count grows, together with the number of steals and the per-worker load
-//! balance.  (On a single-core host the wall-clock speedup will stay near 1;
-//! the steal counts and the balanced per-worker state counts still demonstrate
-//! the scheduler.)
+//! balance.  The instance is prepared **once**; every worker count reuses the
+//! same [`Engine`], so preprocessing is excluded from the comparison by
+//! construction.  (On a single-core host the wall-clock speedup will stay
+//! near 1; the steal counts and the balanced per-worker state counts still
+//! demonstrate the scheduler.)
 //!
 //! Run with:
 //! ```text
@@ -34,11 +36,13 @@ fn main() {
         target.num_edges()
     );
 
-    let baseline = enumerate_parallel(
-        &instance.pattern,
-        target,
-        &ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(1),
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::RiDsSiFc);
+    println!(
+        "preprocessing: {:.6} s (paid once, reused below)",
+        engine.preprocess_seconds()
     );
+
+    let baseline = engine.run(&RunConfig::new(Scheduler::work_stealing(1)));
     println!(
         "\n1 worker reference: {} matches, {} states, {:.4} s match time\n",
         baseline.matches, baseline.states, baseline.match_seconds
@@ -49,12 +53,11 @@ fn main() {
         "workers", "match (s)", "speedup", "steals", "states σ/worker", "matches"
     );
     for workers in [1usize, 2, 4, 8, 16] {
-        let result = enumerate_parallel(
-            &instance.pattern,
-            target,
-            &ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(workers),
+        let result = engine.run(&RunConfig::new(Scheduler::work_stealing(workers)));
+        assert_eq!(
+            result.matches, baseline.matches,
+            "parallel count must not depend on workers"
         );
-        assert_eq!(result.matches, baseline.matches, "parallel count must not depend on workers");
         let speedup = baseline.match_seconds / result.match_seconds.max(1e-9);
         println!(
             "{workers:>8} {:>12.4} {:>10.2} {:>12} {:>14.1} {:>12}",
@@ -65,4 +68,11 @@ fn main() {
             result.matches
         );
     }
+
+    // What a library scheduler gets you on the same prepared instance.
+    let rayon = engine.run(&RunConfig::new(Scheduler::Rayon { workers: 4 }));
+    println!(
+        "\nrayon-style comparator (4 workers): {} matches, {:.4} s match time",
+        rayon.matches, rayon.match_seconds
+    );
 }

@@ -3,7 +3,7 @@
 //! This mirrors the workload the paper's introduction motivates: a dense,
 //! labeled biochemical target (our PPIS32 analogue) queried with patterns
 //! extracted from it, comparing RI-DS with this paper's improved
-//! RI-DS-SI-FC preprocessing.
+//! RI-DS-SI-FC preprocessing — all through the unified [`Engine`].
 //!
 //! Run with:
 //! ```text
@@ -55,9 +55,13 @@ fn main() {
         domains.total_size()
     );
 
-    println!("\n{:<14} {:>10} {:>12} {:>12} {:>12}", "algorithm", "matches", "states", "total (s)", "states/s");
+    println!(
+        "\n{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "algorithm", "matches", "states", "total (s)", "states/s"
+    );
     for algorithm in [Algorithm::RiDs, Algorithm::RiDsSi, Algorithm::RiDsSiFc] {
-        let result = enumerate(&instance.pattern, target, &MatchConfig::new(algorithm));
+        let engine = Engine::prepare(&instance.pattern, target, algorithm);
+        let result = engine.run(&RunConfig::new(Scheduler::Sequential));
         println!(
             "{:<14} {:>10} {:>12} {:>12.4} {:>12.0}",
             algorithm.name(),
@@ -68,17 +72,25 @@ fn main() {
         );
     }
 
-    // And the parallel version of the best variant.
-    let parallel = enumerate_parallel(
-        &instance.pattern,
-        target,
-        &ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(4),
+    // And the parallel schedulers on the best variant: prepare once, run both.
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::RiDsSiFc);
+    let stealing = engine.run(&RunConfig::new(Scheduler::work_stealing(4)));
+    println!(
+        "\nwork-stealing RI-DS-SI-FC (4 workers): {} matches, {} states, {} steals, {:.4} s total",
+        stealing.matches,
+        stealing.states,
+        stealing.steals,
+        stealing.total_seconds()
+    );
+    // Stream the first few matches instead of collecting everything.
+    let first = engine.run(
+        &RunConfig::new(Scheduler::work_stealing(4))
+            .with_max_matches(3)
+            .with_collected_mappings(3),
     );
     println!(
-        "\nparallel RI-DS-SI-FC (4 workers): {} matches, {} states, {} steals, {:.4} s total",
-        parallel.matches,
-        parallel.states,
-        parallel.steals,
-        parallel.total_seconds()
+        "first {} mappings (sorted): {:?}",
+        first.mappings.len(),
+        first.mappings
     );
 }

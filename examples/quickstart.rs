@@ -1,14 +1,15 @@
-//! Quickstart: enumerate a small pattern in a small target, sequentially and
-//! in parallel, and print what the paper's evaluation measures for every
-//! instance (matches, search-space size, preprocessing vs matching time).
+//! Quickstart: prepare a small instance once with the unified [`Engine`],
+//! then run it sequentially and in parallel, printing what the paper's
+//! evaluation measures for every instance (matches, search-space size,
+//! preprocessing vs matching time).
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use sge::prelude::*;
 use sge::graph::generators;
+use sge::prelude::*;
 
 fn main() {
     // Pattern: an undirected 4-cycle (stored as symmetric directed edges).
@@ -16,13 +17,26 @@ fn main() {
     let pattern = generators::undirected_cycle(4, 0);
     let target = generators::grid(6, 6);
 
-    println!("pattern: {} nodes / {} edges", pattern.num_nodes(), pattern.num_edges());
-    println!("target:  {} nodes / {} edges", target.num_nodes(), target.num_edges());
+    println!(
+        "pattern: {} nodes / {} edges",
+        pattern.num_nodes(),
+        pattern.num_edges()
+    );
+    println!(
+        "target:  {} nodes / {} edges",
+        target.num_nodes(),
+        target.num_edges()
+    );
     println!();
 
-    println!("{:<14} {:>10} {:>12} {:>12} {:>12}", "algorithm", "matches", "states", "preproc (s)", "match (s)");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "algorithm", "matches", "states", "preproc (s)", "match (s)"
+    );
     for algorithm in Algorithm::ALL {
-        let result = enumerate(&pattern, &target, &MatchConfig::new(algorithm));
+        // Preprocessing runs once per algorithm; every scheduler below reuses it.
+        let engine = Engine::prepare(&pattern, &target, algorithm);
+        let result = engine.run(&RunConfig::new(Scheduler::Sequential));
         println!(
             "{:<14} {:>10} {:>12} {:>12.6} {:>12.6}",
             algorithm.name(),
@@ -34,13 +48,19 @@ fn main() {
     }
     println!();
 
-    // The same instance with the paper's parallel scheduler.
+    // The same instance with the paper's parallel scheduler and the
+    // rayon-style comparator — one engine, three schedulers.
+    let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
     for workers in [1usize, 2, 4] {
-        let config = ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(workers);
-        let result = enumerate_parallel(&pattern, &target, &config);
+        let result = engine.run(&RunConfig::new(Scheduler::work_stealing(workers)));
         println!(
-            "parallel RI-DS-SI-FC, {workers:>2} workers: {} matches, {} states, {} steals, {:.6} s",
+            "work-stealing RI-DS-SI-FC, {workers:>2} workers: {} matches, {} states, {} steals, {:.6} s",
             result.matches, result.states, result.steals, result.match_seconds
         );
     }
+    let rayon = engine.run(&RunConfig::new(Scheduler::Rayon { workers: 4 }));
+    println!(
+        "rayon-style   RI-DS-SI-FC,  4 workers: {} matches, {} states, {} steals, {:.6} s",
+        rayon.matches, rayon.states, rayon.steals, rayon.match_seconds
+    );
 }

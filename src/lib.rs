@@ -6,11 +6,17 @@
 //! preprocessing improvements, and a shared-memory parallelization based on
 //! work stealing with private deques.
 //!
+//! The public API is the unified [`Engine`]: prepare an instance once, then
+//! run it under any [`Scheduler`] — sequential, the paper's work-stealing
+//! runtime, or a rayon-style first-level pool — with one knob set and one
+//! result shape.  See the [`engine`] module for the scheduler-equivalence
+//! contract.
+//!
 //! This crate is a thin facade re-exporting the workspace members:
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`graph`] | labeled directed CSR graphs, builders, text/JSON I/O, generators |
+//! | [`graph`] | labeled directed CSR graphs, builders, text I/O, generators |
 //! | [`ri`] | sequential RI, RI-DS, RI-DS-SI, RI-DS-SI-FC |
 //! | [`vf2`] | a VF2-style baseline used for cross-validation |
 //! | [`stealing`] | the generic private-deque work-stealing engine |
@@ -27,22 +33,30 @@
 //! let pattern = sge::graph::generators::directed_cycle(3, 0);
 //! let target = sge::graph::generators::clique(5, 0);
 //!
-//! // Sequential RI-DS-SI-FC.
-//! let seq = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSiFc));
+//! // Preprocess once (domains, forward checking, ordering)…
+//! let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
 //!
-//! // Parallel RI-DS-SI-FC with 4 workers and task groups of 4.
-//! let par = enumerate_parallel(
-//!     &pattern,
-//!     &target,
-//!     &ParallelConfig::new(Algorithm::RiDsSiFc).with_workers(4),
-//! );
+//! // …then run under any scheduler with the same knobs and result shape.
+//! let seq = engine.run(&RunConfig::new(Scheduler::Sequential));
+//! let par = engine.run(&RunConfig::new(Scheduler::work_stealing(4)));
+//! let ray = engine.run(&RunConfig::new(Scheduler::Rayon { workers: 4 }));
 //!
 //! assert_eq!(seq.matches, 60);
 //! assert_eq!(par.matches, 60);
+//! assert_eq!(ray.matches, 60);
+//! // Same search tree under every scheduler:
+//! assert_eq!(seq.states, par.states);
+//! assert_eq!(seq.states, ray.states);
+//!
+//! // The full knob set works uniformly — e.g. stop after 10 matches:
+//! let first10 = engine.run(&RunConfig::new(Scheduler::work_stealing(2)).with_max_matches(10));
+//! assert_eq!(first10.matches, 10);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod engine;
 
 pub use sge_datasets as datasets;
 pub use sge_graph as graph;
@@ -52,11 +66,18 @@ pub use sge_stealing as stealing;
 pub use sge_util as util;
 pub use sge_vf2 as vf2;
 
+pub use engine::{Engine, EnumerationOutcome, RunConfig, Scheduler};
+
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use crate::engine::{Engine, EnumerationOutcome, RunConfig, Scheduler};
     pub use sge_graph::{Graph, GraphBuilder};
+    pub use sge_ri::{Algorithm, MatchVisitor};
+
+    // Legacy per-crate entry points, kept as thin shims over the engine
+    // machinery for existing callers.
     pub use sge_parallel::{enumerate_parallel, ParallelConfig, ParallelResult};
-    pub use sge_ri::{enumerate, Algorithm, MatchConfig, MatchResult};
+    pub use sge_ri::{enumerate, MatchConfig, MatchResult};
 }
 
 #[cfg(test)]
@@ -67,13 +88,20 @@ mod tests {
     fn facade_reexports_work_together() {
         let pattern = crate::graph::generators::directed_path(2, 0);
         let target = crate::graph::generators::clique(3, 0);
-        let seq = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
-        let par = enumerate_parallel(
+        let engine = Engine::prepare(&pattern, &target, Algorithm::Ri);
+        let seq = engine.run(&RunConfig::new(Scheduler::Sequential));
+        let par = engine.run(&RunConfig::new(Scheduler::work_stealing(2)));
+        assert_eq!(seq.matches, 6);
+        assert_eq!(par.matches, 6);
+
+        // The legacy shims still agree with the engine.
+        let legacy_seq = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
+        let legacy_par = enumerate_parallel(
             &pattern,
             &target,
             &ParallelConfig::new(Algorithm::Ri).with_workers(2),
         );
-        assert_eq!(seq.matches, 6);
-        assert_eq!(par.matches, 6);
+        assert_eq!(legacy_seq.matches, 6);
+        assert_eq!(legacy_par.matches, 6);
     }
 }

@@ -1,6 +1,7 @@
 //! End-to-end pipeline tests: generate a synthetic collection, run every
-//! sequential and parallel algorithm variant on its instances, and check that
-//! they all agree with each other and with the independent VF2 oracle.
+//! algorithm variant through the unified engine under several schedulers, and
+//! check that they all agree with each other and with the independent VF2
+//! oracle.
 
 use sge::datasets::{graemlin32_like, pdbsv1_like, ppis32_like, Collection};
 use sge::prelude::*;
@@ -23,38 +24,31 @@ fn check_collection(collection: &Collection, max_edges: usize, max_instances: us
         let oracle = sge::vf2::count_matches(&instance.pattern, target);
         assert!(oracle >= 1, "extracted instance {} must embed", instance.id);
 
-        let mut states_by_algo = Vec::new();
         for algorithm in Algorithm::ALL {
-            let result = enumerate(&instance.pattern, target, &MatchConfig::new(algorithm));
+            // One preparation per (instance, algorithm); every scheduler
+            // reuses it.
+            let engine = Engine::prepare(&instance.pattern, target, algorithm);
+            let sequential = engine.run(&RunConfig::default());
             assert_eq!(
-                result.matches, oracle,
+                sequential.matches, oracle,
                 "{algorithm} disagrees with VF2 on {}",
                 instance.id
             );
-            states_by_algo.push((algorithm, result.states));
-        }
 
-        // Parallel RI and parallel RI-DS-SI-FC with a couple of worker counts.
-        for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
-            for workers in [2usize, 4] {
-                let result = enumerate_parallel(
-                    &instance.pattern,
-                    target,
-                    &ParallelConfig::new(algorithm).with_workers(workers),
-                );
+            for scheduler in [
+                Scheduler::work_stealing(2),
+                Scheduler::work_stealing(4),
+                Scheduler::Rayon { workers: 2 },
+            ] {
+                let outcome = engine.run(&RunConfig::new(scheduler));
                 assert_eq!(
-                    result.matches, oracle,
-                    "parallel {algorithm} with {workers} workers disagrees on {}",
+                    outcome.matches, oracle,
+                    "{scheduler} {algorithm} disagrees on {}",
                     instance.id
                 );
-                let sequential_states = states_by_algo
-                    .iter()
-                    .find(|(a, _)| *a == algorithm)
-                    .map(|(_, s)| *s)
-                    .unwrap();
                 assert_eq!(
-                    result.states, sequential_states,
-                    "parallel {algorithm} explores a different search space on {}",
+                    outcome.states, sequential.states,
+                    "{scheduler} {algorithm} explores a different search space on {}",
                     instance.id
                 );
             }
@@ -97,8 +91,8 @@ fn graph_text_format_roundtrip_preserves_match_counts() {
     let pattern2 = sge::graph::io::parse_graph_with_interner(&pattern_text, &mut interner)
         .expect("pattern roundtrip");
 
-    let before = enumerate(&instance.pattern, target, &MatchConfig::new(Algorithm::RiDs)).matches;
-    let after = enumerate(&pattern2, &target2, &MatchConfig::new(Algorithm::RiDs)).matches;
+    let before = Engine::prepare(&instance.pattern, target, Algorithm::RiDs).count();
+    let after = Engine::prepare(&pattern2, &target2, Algorithm::RiDs).count();
     assert_eq!(before, after);
 }
 
@@ -111,12 +105,10 @@ fn time_limited_runs_report_consistent_lower_bounds() {
         .max_by_key(|i| i.pattern.num_edges())
         .unwrap();
     let target = collection.target_of(instance);
-    let limited = enumerate(
-        &instance.pattern,
-        target,
-        &MatchConfig::new(Algorithm::RiDs).with_time_limit(std::time::Duration::from_millis(5)),
-    );
-    let full = enumerate(&instance.pattern, target, &MatchConfig::new(Algorithm::RiDs));
+    let engine = Engine::prepare(&instance.pattern, target, Algorithm::RiDs);
+    let limited =
+        engine.run(&RunConfig::default().with_time_limit(std::time::Duration::from_millis(5)));
+    let full = engine.run(&RunConfig::default());
     assert!(limited.matches <= full.matches);
     assert!(limited.states <= full.states);
 }

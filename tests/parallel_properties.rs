@@ -1,23 +1,24 @@
-//! Property-based tests of the parallel scheduler's observable behaviour on
-//! randomized subgraph-enumeration instances: the match count and the search
-//! space size must be completely independent of the worker count, the task
-//! group size, the stealing switch and the scheduler seed.
+//! Scheduler-parity property tests of the unified engine: for randomized
+//! subgraph-enumeration instances, `Sequential`, `WorkStealing` (1/2/4
+//! workers, stealing on and off) and `Rayon` must report identical `matches`,
+//! the parallel schedulers must preserve the sequential search-space size
+//! (the paper's schedule-invariance), and on small instances the counts are
+//! cross-validated against the independent `sge_vf2` oracle.
+//!
+//! Seeds are deterministic, so any failure reproduces exactly.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sge::prelude::*;
-use sge::graph::{Graph, GraphBuilder};
+use sge::util::SplitMix64;
 
-fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: u32) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: usize) -> Graph {
+    let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new();
     for _ in 0..n {
-        b.add_node(rng.gen_range(0..labels));
+        b.add_node(rng.next_below(labels) as u32);
     }
     for u in 0..n as u32 {
         for v in 0..n as u32 {
-            if u != v && rng.gen_bool(p) {
+            if u != v && rng.next_bool(p) {
                 b.add_edge(u, v, 0);
             }
         }
@@ -26,19 +27,19 @@ fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: u32) -> Graph {
 }
 
 fn extracted_pattern(seed: u64, target: &Graph, nodes: usize) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let start = rng.gen_range(0..target.num_nodes()) as u32;
+    let mut rng = SplitMix64::new(seed);
+    let start = rng.next_below(target.num_nodes()) as u32;
     let mut selected = vec![start];
     for _ in 0..nodes * 8 {
         if selected.len() >= nodes {
             break;
         }
-        let from = selected[rng.gen_range(0..selected.len())];
+        let from = selected[rng.next_below(selected.len())];
         let neighbors = target.undirected_neighbors(from);
         if neighbors.is_empty() {
             break;
         }
-        let next = neighbors[rng.gen_range(0..neighbors.len())];
+        let next = neighbors[rng.next_below(neighbors.len())];
         if !selected.contains(&next) {
             selected.push(next);
         }
@@ -57,61 +58,132 @@ fn extracted_pattern(seed: u64, target: &Graph, nodes: usize) -> Graph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn parallel_is_schedule_invariant(
-        seed in 0u64..5_000,
-        n in 12usize..22,
-        k in 3usize..6,
-        workers in 1usize..6,
-        group_size in 1usize..9,
-        steal in proptest::bool::ANY,
-    ) {
-        let target = random_labeled_graph(seed, n, 0.15, 3);
-        let pattern = extracted_pattern(seed ^ 0xBEEF, &target, k);
-        let sequential = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::RiDsSiFc));
-
-        let config = ParallelConfig::new(Algorithm::RiDsSiFc)
-            .with_workers(workers)
-            .with_task_group_size(group_size)
-            .with_stealing(steal);
-        let parallel = enumerate_parallel(&pattern, &target, &config);
-
-        prop_assert_eq!(parallel.matches, sequential.matches);
-        prop_assert_eq!(parallel.states, sequential.states);
-        prop_assert!(!parallel.timed_out);
+/// Every scheduler variant exercised by the parity sweep.
+fn all_schedulers(task_group_size: usize) -> Vec<Scheduler> {
+    let mut schedulers = vec![Scheduler::Sequential];
+    for workers in [1usize, 2, 4] {
+        for stealing in [true, false] {
+            schedulers.push(Scheduler::WorkStealing {
+                workers,
+                task_group_size,
+                stealing,
+            });
+        }
     }
+    schedulers.push(Scheduler::Rayon { workers: 3 });
+    schedulers
+}
 
-    #[test]
-    fn rayon_comparator_is_also_schedule_invariant(
-        seed in 0u64..5_000,
-        n in 10usize..18,
-        k in 3usize..5,
-        workers in 1usize..4,
-    ) {
-        let target = random_labeled_graph(seed, n, 0.18, 2);
-        let pattern = extracted_pattern(seed ^ 0xF00D, &target, k);
-        let sequential = enumerate(&pattern, &target, &MatchConfig::new(Algorithm::Ri));
-        let rayon = sge::parallel::enumerate_rayon(&pattern, &target, Algorithm::Ri, workers);
-        prop_assert_eq!(rayon.matches, sequential.matches);
-        prop_assert_eq!(rayon.states, sequential.states);
+#[test]
+fn all_schedulers_agree_on_random_instances() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0x5EED ^ case);
+        let n = 12 + rng.next_below(10);
+        let k = 3 + rng.next_below(3);
+        let group_size = 1 + rng.next_below(8);
+        let target = random_labeled_graph(rng.next_u64(), n, 0.15, 3);
+        let pattern = extracted_pattern(rng.next_u64(), &target, k);
+
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+        let reference = engine.run(&RunConfig::default());
+        for scheduler in all_schedulers(group_size) {
+            let outcome = engine.run(&RunConfig::new(scheduler));
+            assert_eq!(
+                outcome.matches, reference.matches,
+                "case={case} {scheduler}: match count diverged"
+            );
+            // The work-stealing and rayon-style schedulers explore exactly
+            // the sequential search tree, so the total number of consistency
+            // checks is schedule-invariant.
+            assert_eq!(
+                outcome.states, reference.states,
+                "case={case} {scheduler}: search space diverged"
+            );
+            assert!(!outcome.timed_out, "case={case} {scheduler}");
+        }
     }
+}
 
-    #[test]
-    fn scheduler_seed_does_not_change_results(
-        seed in 0u64..5_000,
-        scheduler_seed in 0u64..1_000,
-    ) {
-        let target = random_labeled_graph(seed, 18, 0.15, 2);
-        let pattern = extracted_pattern(seed ^ 0xCAFE, &target, 4);
-        let mut config = ParallelConfig::new(Algorithm::Ri).with_workers(3);
-        config.seed = scheduler_seed;
-        let a = enumerate_parallel(&pattern, &target, &config);
-        config.seed = scheduler_seed.wrapping_add(1);
-        let b = enumerate_parallel(&pattern, &target, &config);
-        prop_assert_eq!(a.matches, b.matches);
-        prop_assert_eq!(a.states, b.states);
+#[test]
+fn scheduler_counts_cross_validate_against_vf2() {
+    for case in 0..10u64 {
+        let mut rng = SplitMix64::new(0xFACE ^ case);
+        let n = 10 + rng.next_below(8);
+        let target = random_labeled_graph(rng.next_u64(), n, 0.18, 2);
+        let pattern = extracted_pattern(rng.next_u64(), &target, 4);
+        let oracle = sge::vf2::count_matches(&pattern, &target);
+        for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
+            let engine = Engine::prepare(&pattern, &target, algorithm);
+            for scheduler in [
+                Scheduler::Sequential,
+                Scheduler::work_stealing(2),
+                Scheduler::Rayon { workers: 2 },
+            ] {
+                let outcome = engine.run(&RunConfig::new(scheduler));
+                assert_eq!(
+                    outcome.matches, oracle,
+                    "case={case} {algorithm} {scheduler} disagrees with VF2"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_seed_does_not_change_results() {
+    for case in 0..6u64 {
+        let mut rng = SplitMix64::new(0xCAFE ^ case);
+        let target = random_labeled_graph(rng.next_u64(), 18, 0.15, 2);
+        let pattern = extracted_pattern(rng.next_u64(), &target, 4);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::Ri);
+        let scheduler = Scheduler::work_stealing(3);
+        let a = engine.run(&RunConfig::new(scheduler).with_seed(case));
+        let b = engine.run(&RunConfig::new(scheduler).with_seed(case.wrapping_add(1)));
+        assert_eq!(a.matches, b.matches, "case={case}");
+        assert_eq!(a.states, b.states, "case={case}");
+    }
+}
+
+#[test]
+fn max_matches_stops_at_n_on_a_large_clique() {
+    // The dedicated early-termination check: a triangle in K16 has
+    // 16*15*14 = 3360 embeddings; every scheduler must stop at exactly N.
+    let pattern = sge::graph::generators::directed_cycle(3, 0);
+    let target = sge::graph::generators::clique(16, 0);
+    let engine = Engine::prepare(&pattern, &target, Algorithm::Ri);
+    let full = engine.run(&RunConfig::default());
+    assert_eq!(full.matches, 3360);
+    for n in [1u64, 25, 500] {
+        for scheduler in all_schedulers(4) {
+            let outcome = engine.run(&RunConfig::new(scheduler).with_max_matches(n));
+            assert_eq!(outcome.matches, n, "{scheduler} n={n}");
+            assert!(outcome.limit_hit, "{scheduler} n={n}");
+            assert!(
+                outcome.states <= full.states,
+                "{scheduler} n={n}: a limited run must not search more than a full one"
+            );
+        }
+    }
+    // A budget above the total is never hit.
+    let outcome = engine.run(&RunConfig::new(Scheduler::work_stealing(4)).with_max_matches(10_000));
+    assert_eq!(outcome.matches, 3360);
+    assert!(!outcome.limit_hit);
+}
+
+#[test]
+fn collected_mappings_are_deterministic_across_schedulers() {
+    for case in 0..4u64 {
+        let mut rng = SplitMix64::new(0xD00D ^ case);
+        let target = random_labeled_graph(rng.next_u64(), 14, 0.2, 2);
+        let pattern = extracted_pattern(rng.next_u64(), &target, 3);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDs);
+        let total = engine.run(&RunConfig::default()).matches as usize;
+        let config_for = |s: Scheduler| RunConfig::new(s).with_collected_mappings(total + 1);
+        let reference = engine.run(&config_for(Scheduler::Sequential)).mappings;
+        assert_eq!(reference.len(), total);
+        for scheduler in all_schedulers(4) {
+            let mappings = engine.run(&config_for(scheduler)).mappings;
+            assert_eq!(mappings, reference, "case={case} {scheduler}");
+        }
     }
 }

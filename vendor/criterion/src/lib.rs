@@ -1,0 +1,205 @@
+//! A minimal, offline drop-in replacement for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real criterion
+//! cannot be vendored wholesale.  This shim keeps the bench sources idiomatic
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::iter`, `BenchmarkId`) while providing a deliberately simple
+//! measurement loop: a short warm-up, then a fixed number of timed batches,
+//! reporting min / mean / max per iteration.  It is good enough to compare
+//! configurations on one machine and to keep `cargo bench` compiling and
+//! running; it does not do criterion's statistical analysis, outlier
+//! rejection or HTML reports.  Swapping back to the real crate is a one-line
+//! `Cargo.toml` change — no bench source needs to be touched.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` like the real crate.
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BATCHES: u64 = 10;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: MEASURE_BATCHES,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), MEASURE_BATCHES, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches (criterion's sample count analogue).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value, mirroring criterion's
+    /// `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut adapted = |b: &mut Bencher| f(b, input);
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut adapted,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Id that is just the parameter, e.g. a worker count.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Hands the closure-under-test to the measurement loop.
+pub struct Bencher {
+    batch: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, once per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.batch = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, batches: u64, f: &mut F) {
+    let mut bencher = Bencher {
+        batch: Duration::ZERO,
+    };
+    for _ in 0..WARMUP_ITERS {
+        f(&mut bencher);
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    for _ in 0..batches {
+        f(&mut bencher);
+        let t = bencher.batch;
+        total += t;
+        min = min.min(t);
+        max = max.max(t);
+    }
+    let mean = total / batches as u32;
+    println!("{label:<48} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+}
+
+/// Declares a named group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(4).0, "4");
+        assert_eq!(BenchmarkId::new("f", 4).0, "f/4");
+    }
+
+    #[test]
+    fn measurement_loop_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("shim_selftest");
+            group.sample_size(2);
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        // 3 warm-up + 2 measured batches.
+        assert_eq!(calls, 5);
+    }
+}
