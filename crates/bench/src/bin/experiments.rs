@@ -18,11 +18,27 @@ use sge_bench::experiments::{all_experiments, run_all};
 use sge_bench::ExperimentConfig;
 use std::time::Duration;
 
-fn parse_list(text: &str) -> Vec<usize> {
+/// Reports a CLI usage error and exits nonzero (no panics on bad input).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    print_help();
+    std::process::exit(2);
+}
+
+fn parse_list(flag: &str, text: &str) -> Vec<usize> {
     text.split(',')
         .filter(|s| !s.is_empty())
-        .map(|s| s.trim().parse().expect("invalid integer list"))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("invalid integer list for {flag}")))
+        })
         .collect()
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, text: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| usage_error(&format!("invalid value '{text}' for {flag}")))
 }
 
 fn main() {
@@ -36,25 +52,19 @@ fn main() {
         let mut take_value = || {
             i += 1;
             args.get(i)
-                .unwrap_or_else(|| panic!("missing value for {arg}"))
+                .unwrap_or_else(|| usage_error(&format!("missing value for {arg}")))
                 .clone()
         };
         match arg.as_str() {
-            "--scale" => config.scale = take_value().parse().expect("invalid --scale"),
-            "--seed" => config.seed = take_value().parse().expect("invalid --seed"),
-            "--workers" => config.workers = parse_list(&take_value()),
-            "--group-sizes" => config.task_group_sizes = parse_list(&take_value()),
+            "--scale" => config.scale = parse_value(arg, &take_value()),
+            "--seed" => config.seed = parse_value(arg, &take_value()),
+            "--workers" => config.workers = parse_list("--workers", &take_value()),
+            "--group-sizes" => config.task_group_sizes = parse_list("--group-sizes", &take_value()),
             "--time-limit-secs" => {
-                config.time_limit = Duration::from_secs_f64(
-                    take_value().parse().expect("invalid --time-limit-secs"),
-                )
+                config.time_limit = Duration::from_secs_f64(parse_value(arg, &take_value()))
             }
-            "--long-threshold" => {
-                config.long_threshold_secs = take_value().parse().expect("invalid --long-threshold")
-            }
-            "--max-instances" => {
-                config.max_instances = Some(take_value().parse().expect("invalid --max-instances"))
-            }
+            "--long-threshold" => config.long_threshold_secs = parse_value(arg, &take_value()),
+            "--max-instances" => config.max_instances = Some(parse_value(arg, &take_value())),
             "--help" | "-h" => {
                 print_help();
                 return;

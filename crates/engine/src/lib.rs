@@ -1,0 +1,899 @@
+//! The unified enumeration engine: one entry point for every scheduler.
+//!
+//! The paper frames RI, RI-DS-SI(-FC) and their work-stealing
+//! parallelization as *one* family sharing the same search machinery.  This
+//! crate exposes them that way:
+//!
+//! 1. [`Engine::prepare`] runs preprocessing (domains, forward checking,
+//!    GreatestConstraintFirst ordering) **once** and keeps the resulting
+//!    [`SearchContext`] as a reusable prepared artifact — the paper's
+//!    one-target/many-runs PDBSv1 workload amortizes this across runs,
+//! 2. [`Engine::run`] executes the search under any [`Scheduler`] with one
+//!    [`RunConfig`] knob set (`max_matches`, `time_limit`, mapping
+//!    collection) and returns one [`EnumerationOutcome`] shape,
+//! 3. [`Engine::run_with`] additionally streams every match to a
+//!    [`MatchVisitor`],
+//! 4. [`PreparedEngine`] is the *owned* counterpart of [`Engine`]: it keeps
+//!    the graphs alive behind [`Arc`]s so a prepared instance can outlive
+//!    the scope that built it — the shape a query-serving cache needs.
+//!
+//! # The scheduler-equivalence contract
+//!
+//! Every scheduler explores **the same search tree** — the candidate
+//! generation and consistency checks of [`SearchContext`] — so for any
+//! prepared engine and any two run configurations that differ only in their
+//! scheduler (and are not truncated by `max_matches`/`time_limit`):
+//!
+//! * `matches` is identical,
+//! * `states` is identical (the total number of consistency checks is
+//!   schedule-invariant),
+//! * a complete collected-mapping set is byte-identical (mappings are
+//!   returned sorted lexicographically).
+//!
+//! Only scheduling artifacts (steal counts, per-worker breakdowns, wall-clock
+//! times) may differ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sge_graph::{Graph, NodeId};
+use sge_parallel::{enumerate_prepared, enumerate_rayon_prepared, ParallelConfig};
+use sge_ri::{
+    search_prepared, Algorithm, CollectingVisitor, MatchVisitor, PreparedParts, SearchContext,
+    SearchLimits,
+};
+use sge_stealing::WorkerStats;
+use sge_util::PhaseTimer;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which execution strategy drives the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// The sequential depth-first matcher.
+    Sequential,
+    /// The paper's private-deque work-stealing runtime.
+    WorkStealing {
+        /// Number of worker threads.
+        workers: usize,
+        /// Task-group (coalescing) size; the paper settles on 4.
+        task_group_size: usize,
+        /// `false` freezes the initial round-robin partition (the Fig. 3
+        /// "no work stealing" baseline).
+        stealing: bool,
+    },
+    /// First-level dynamic parallelism (the library-scheduler comparator —
+    /// what a rayon-style `par_iter` over root candidates achieves).
+    Rayon {
+        /// Number of worker threads.
+        workers: usize,
+    },
+}
+
+impl Scheduler {
+    /// Work stealing with the paper's defaults (task groups of 4, stealing
+    /// enabled).
+    pub fn work_stealing(workers: usize) -> Self {
+        Scheduler::WorkStealing {
+            workers,
+            task_group_size: 4,
+            stealing: true,
+        }
+    }
+
+    /// Number of worker threads this scheduler uses (1 for sequential).
+    pub fn workers(&self) -> usize {
+        match *self {
+            Scheduler::Sequential => 1,
+            Scheduler::WorkStealing { workers, .. } | Scheduler::Rayon { workers } => {
+                workers.max(1)
+            }
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduler::Sequential => "sequential",
+            Scheduler::WorkStealing { stealing: true, .. } => "work-stealing",
+            Scheduler::WorkStealing {
+                stealing: false, ..
+            } => "static-partition",
+            Scheduler::Rayon { .. } => "rayon-style",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Scheduler::Sequential => f.write_str("sequential"),
+            Scheduler::WorkStealing {
+                workers,
+                task_group_size,
+                stealing,
+            } => write!(
+                f,
+                "work-stealing(workers={workers}, group={task_group_size}, steal={stealing})"
+            ),
+            Scheduler::Rayon { workers } => write!(f, "rayon-style(workers={workers})"),
+        }
+    }
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+
+    /// Parses the compact scheduler grammar used by the serving wire
+    /// protocol and CLI tools:
+    ///
+    /// * `seq` / `sequential`
+    /// * `ws:<workers>` — work stealing with the paper's defaults
+    /// * `ws:<workers>:<group>` — explicit task-group size
+    /// * `ws:<workers>:<group>:nosteal` — the static-partition baseline
+    /// * `rayon:<workers>` — the rayon-style first-level pool
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let lower = text.to_ascii_lowercase();
+        if lower == "seq" || lower == "sequential" {
+            return Ok(Scheduler::Sequential);
+        }
+        let mut parts = lower.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let workers = match parts.next() {
+            Some(w) => w
+                .parse::<usize>()
+                .map_err(|_| format!("invalid worker count '{w}' in scheduler '{text}'"))?,
+            None => return Err(format!("scheduler '{text}' is missing a worker count")),
+        };
+        match kind {
+            "ws" | "work-stealing" => {
+                let task_group_size = match parts.next() {
+                    Some(g) => g
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid group size '{g}' in scheduler '{text}'"))?,
+                    None => 4,
+                };
+                let stealing = match parts.next() {
+                    None | Some("steal") => true,
+                    Some("nosteal") => false,
+                    Some(other) => {
+                        return Err(format!("unknown stealing flag '{other}' in '{text}'"))
+                    }
+                };
+                if parts.next().is_some() {
+                    return Err(format!("trailing tokens in scheduler '{text}'"));
+                }
+                Ok(Scheduler::WorkStealing {
+                    workers,
+                    task_group_size,
+                    stealing,
+                })
+            }
+            "rayon" => {
+                if parts.next().is_some() {
+                    return Err(format!("trailing tokens in scheduler '{text}'"));
+                }
+                Ok(Scheduler::Rayon { workers })
+            }
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected seq, ws:<n> or rayon:<n>)"
+            )),
+        }
+    }
+}
+
+/// One run's knob set, honored uniformly by every scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Execution strategy.
+    pub scheduler: Scheduler,
+    /// Stop cooperatively after this many matches (`None` = enumerate all).
+    /// Every scheduler reports exactly `min(max_matches, total)`.
+    pub max_matches: Option<u64>,
+    /// Wall-clock budget for the matching phase.
+    pub time_limit: Option<Duration>,
+    /// Collect up to this many full mappings in the outcome (0 = none).
+    pub collect_mappings: usize,
+    /// Seed for scheduling decisions (victim selection under work stealing;
+    /// never affects *what* is enumerated, only who enumerates it).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::new(Scheduler::Sequential)
+    }
+}
+
+impl RunConfig {
+    /// A run under `scheduler` with no limits and no mapping collection.
+    pub fn new(scheduler: Scheduler) -> Self {
+        RunConfig {
+            scheduler,
+            max_matches: None,
+            time_limit: None,
+            collect_mappings: 0,
+            seed: 0xC0FF_EE00,
+        }
+    }
+
+    /// Sets the scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Stops after `limit` matches.
+    pub fn with_max_matches(mut self, limit: u64) -> Self {
+        self.max_matches = Some(limit);
+        self
+    }
+
+    /// Sets the matching-phase time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Collects up to `limit` full mappings.
+    pub fn with_collected_mappings(mut self, limit: usize) -> Self {
+        self.collect_mappings = limit;
+        self
+    }
+
+    /// Sets the scheduling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The unified result shape every scheduler produces.
+#[derive(Clone, Debug)]
+pub struct EnumerationOutcome {
+    /// Algorithm variant that ran.
+    pub algorithm: Algorithm,
+    /// Scheduler that ran it.
+    pub scheduler: Scheduler,
+    /// Worker threads used (1 for sequential).
+    pub workers: usize,
+    /// Number of embeddings found (exactly `min(max_matches, total)` when a
+    /// match limit is set).
+    pub matches: u64,
+    /// Search-space size: consistency checks performed, summed over workers.
+    /// Schedule-invariant on complete runs.
+    pub states: u64,
+    /// Preprocessing seconds — paid once at [`Engine::prepare`] and reported
+    /// unchanged by every run of the same engine.
+    pub preprocess_seconds: f64,
+    /// Matching wall-clock seconds of this run.
+    pub match_seconds: f64,
+    /// Whether the time limit cut the run short.
+    pub timed_out: bool,
+    /// Whether the match limit stopped the run early.
+    pub limit_hit: bool,
+    /// Successful steals (work-stealing scheduler only; 0 otherwise).
+    pub steals: u64,
+    /// Steal requests issued (work-stealing scheduler only; 0 otherwise).
+    pub steal_requests: u64,
+    /// Population standard deviation of per-worker states — the Fig. 3 load
+    /// imbalance metric (0 for sequential).
+    pub worker_states_stddev: f64,
+    /// Per-worker counters (one entry for sequential).
+    pub worker_stats: Vec<WorkerStats>,
+    /// Collected mappings (`mapping[p]` = target node of pattern node `p`),
+    /// **sorted lexicographically** under every scheduler: a complete
+    /// (non-truncated) collection is byte-identical across schedulers, worker
+    /// counts and seeds.  Truncated collections (`collect_mappings` smaller
+    /// than the match count, or a limited run) are sorted but which matches
+    /// they contain is schedule-dependent.
+    pub mappings: Vec<Vec<NodeId>>,
+}
+
+impl EnumerationOutcome {
+    /// Total time: preprocessing + matching.
+    pub fn total_seconds(&self) -> f64 {
+        self.preprocess_seconds + self.match_seconds
+    }
+
+    /// States visited per second of matching time.
+    pub fn states_per_second(&self) -> f64 {
+        if self.match_seconds > 0.0 {
+            self.states as f64 / self.match_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A prepared enumeration instance: preprocessing done, ready to run under
+/// any scheduler, any number of times.
+///
+/// ```
+/// use sge_engine::{Engine, RunConfig, Scheduler};
+/// use sge_ri::Algorithm;
+///
+/// let pattern = sge_graph::generators::directed_cycle(3, 0);
+/// let target = sge_graph::generators::clique(5, 0);
+/// let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+///
+/// let seq = engine.run(&RunConfig::new(Scheduler::Sequential));
+/// let par = engine.run(&RunConfig::new(Scheduler::work_stealing(4)));
+/// assert_eq!(seq.matches, 60);
+/// assert_eq!(par.matches, 60);
+/// assert_eq!(seq.states, par.states); // same search tree under every scheduler
+/// ```
+pub struct Engine<'g> {
+    ctx: SearchContext<'g>,
+    preprocess_seconds: f64,
+}
+
+impl<'g> Engine<'g> {
+    /// Runs the preprocessing phase of `algorithm` (domain computation,
+    /// forward checking, node ordering) once and returns a reusable engine.
+    pub fn prepare(pattern: &'g Graph, target: &'g Graph, algorithm: Algorithm) -> Self {
+        let mut timer = PhaseTimer::new();
+        let ctx = timer.time("preprocess", || {
+            SearchContext::prepare(pattern, target, algorithm)
+        });
+        Engine {
+            ctx,
+            preprocess_seconds: timer.seconds("preprocess"),
+        }
+    }
+
+    /// Wraps an externally prepared context (preprocessing cost reported as
+    /// 0).
+    pub fn from_context(ctx: SearchContext<'g>) -> Self {
+        Engine {
+            ctx,
+            preprocess_seconds: 0.0,
+        }
+    }
+
+    /// Wraps an externally prepared context, reporting `preprocess_seconds`
+    /// as the (already paid) preprocessing cost.
+    pub fn from_context_with_cost(ctx: SearchContext<'g>, preprocess_seconds: f64) -> Self {
+        Engine {
+            ctx,
+            preprocess_seconds,
+        }
+    }
+
+    /// The algorithm this engine was prepared for.
+    pub fn algorithm(&self) -> Algorithm {
+        self.ctx.algorithm()
+    }
+
+    /// The prepared search context (ordering, domains, candidate machinery).
+    pub fn context(&self) -> &SearchContext<'g> {
+        &self.ctx
+    }
+
+    /// Seconds spent in [`Engine::prepare`].
+    pub fn preprocess_seconds(&self) -> f64 {
+        self.preprocess_seconds
+    }
+
+    /// `true` when preprocessing already proved there are no matches.
+    pub fn impossible(&self) -> bool {
+        self.ctx.impossible()
+    }
+
+    /// Executes one run under `config.scheduler`.
+    pub fn run(&self, config: &RunConfig) -> EnumerationOutcome {
+        self.execute(config, None)
+    }
+
+    /// Executes one run, streaming every match to `visitor` (called from
+    /// worker threads under the parallel schedulers; from the calling thread,
+    /// as worker 0, under the sequential one).
+    pub fn run_with(&self, config: &RunConfig, visitor: &dyn MatchVisitor) -> EnumerationOutcome {
+        self.execute(config, Some(visitor))
+    }
+
+    /// Convenience: count all matches sequentially.
+    pub fn count(&self) -> u64 {
+        self.run(&RunConfig::default()).matches
+    }
+
+    fn execute(
+        &self,
+        config: &RunConfig,
+        visitor: Option<&dyn MatchVisitor>,
+    ) -> EnumerationOutcome {
+        let mut outcome = match config.scheduler {
+            Scheduler::Sequential => self.run_sequential(config, visitor),
+            Scheduler::WorkStealing {
+                workers,
+                task_group_size,
+                stealing,
+            } => {
+                let parallel = ParallelConfig {
+                    algorithm: self.ctx.algorithm(),
+                    workers: workers.max(1),
+                    task_group_size: task_group_size.max(1),
+                    steal_enabled: stealing,
+                    max_matches: config.max_matches,
+                    time_limit: config.time_limit,
+                    collect_limit: config.collect_mappings,
+                    seed: config.seed,
+                };
+                let result = enumerate_prepared(&self.ctx, &parallel, visitor);
+                Self::from_parallel(config, result)
+            }
+            Scheduler::Rayon { workers } => {
+                let parallel = ParallelConfig {
+                    algorithm: self.ctx.algorithm(),
+                    workers: workers.max(1),
+                    task_group_size: 1,
+                    steal_enabled: false,
+                    max_matches: config.max_matches,
+                    time_limit: config.time_limit,
+                    collect_limit: config.collect_mappings,
+                    seed: config.seed,
+                };
+                let result = enumerate_rayon_prepared(&self.ctx, &parallel, visitor);
+                Self::from_parallel(config, result)
+            }
+        };
+        outcome.preprocess_seconds = self.preprocess_seconds;
+        outcome
+    }
+
+    fn run_sequential(
+        &self,
+        config: &RunConfig,
+        visitor: Option<&dyn MatchVisitor>,
+    ) -> EnumerationOutcome {
+        let limits = SearchLimits {
+            max_matches: config.max_matches,
+            time_limit: config.time_limit,
+        };
+        let collector = CollectingVisitor::new(config.collect_mappings);
+        let run = search_prepared(&self.ctx, &limits, |ctx, state| {
+            // Build the mapping only for observers that still want it: once
+            // the collector is full, a visitor-less run stops allocating.
+            let collecting = !collector.is_full();
+            if visitor.is_none() && !collecting {
+                return;
+            }
+            let mapping = ctx.mapping_by_pattern_node(state);
+            if let Some(v) = visitor {
+                v.on_match(0, &mapping);
+            }
+            if collecting {
+                collector.on_match(0, &mapping);
+            }
+        });
+        let mut mappings = collector.take();
+        // The sequential collector sees matches in DFS order; sorting gives
+        // the same order contract as the parallel schedulers.
+        mappings.sort_unstable();
+        EnumerationOutcome {
+            algorithm: self.ctx.algorithm(),
+            scheduler: config.scheduler,
+            workers: 1,
+            matches: run.matches,
+            states: run.states,
+            preprocess_seconds: 0.0,
+            match_seconds: run.match_seconds,
+            timed_out: run.timed_out,
+            limit_hit: run.limit_hit,
+            steals: 0,
+            steal_requests: 0,
+            worker_states_stddev: 0.0,
+            worker_stats: vec![WorkerStats {
+                worker_id: 0,
+                states: run.states,
+                solutions: run.matches,
+                busy_seconds: run.match_seconds,
+                ..WorkerStats::default()
+            }],
+            mappings,
+        }
+    }
+
+    fn from_parallel(
+        config: &RunConfig,
+        result: sge_parallel::ParallelResult,
+    ) -> EnumerationOutcome {
+        EnumerationOutcome {
+            algorithm: result.algorithm,
+            scheduler: config.scheduler,
+            workers: result.workers,
+            matches: result.matches,
+            states: result.states,
+            preprocess_seconds: 0.0,
+            match_seconds: result.match_seconds,
+            timed_out: result.timed_out,
+            limit_hit: result.limit_hit,
+            steals: result.steals,
+            steal_requests: result.steal_requests,
+            worker_states_stddev: result.worker_states_stddev,
+            worker_stats: result.worker_stats,
+            mappings: result.mappings,
+        }
+    }
+}
+
+/// An **owned** prepared enumeration instance.
+///
+/// [`Engine`] borrows its graphs, which ties a prepared instance to the
+/// scope that owns them.  `PreparedEngine` instead shares ownership of the
+/// pattern and target behind [`Arc`]s and keeps the preprocessing artifacts
+/// ([`PreparedParts`]) alongside, so it can live in a long-running cache and
+/// serve concurrent queries from many threads (`PreparedEngine` is `Send +
+/// Sync`; runs take `&self`).
+///
+/// ```
+/// use sge_engine::{PreparedEngine, RunConfig, Scheduler};
+/// use sge_ri::Algorithm;
+/// use std::sync::Arc;
+///
+/// let pattern = Arc::new(sge_graph::generators::directed_cycle(3, 0));
+/// let target = Arc::new(sge_graph::generators::clique(5, 0));
+/// let prepared = PreparedEngine::prepare(pattern, target, Algorithm::RiDsSiFc);
+///
+/// // The instance owns everything it needs — hand it to any thread.
+/// assert_eq!(prepared.run(&RunConfig::new(Scheduler::Sequential)).matches, 60);
+/// assert_eq!(prepared.run(&RunConfig::new(Scheduler::work_stealing(2))).matches, 60);
+/// ```
+pub struct PreparedEngine {
+    pattern: Arc<Graph>,
+    target: Arc<Graph>,
+    parts: PreparedParts,
+    preprocess_seconds: f64,
+}
+
+impl PreparedEngine {
+    /// Runs preprocessing once and returns a self-contained prepared
+    /// instance sharing ownership of both graphs.
+    pub fn prepare(pattern: Arc<Graph>, target: Arc<Graph>, algorithm: Algorithm) -> Self {
+        let mut timer = PhaseTimer::new();
+        let parts = timer.time("preprocess", || {
+            PreparedParts::extract(&SearchContext::prepare(&pattern, &target, algorithm))
+        });
+        PreparedEngine {
+            pattern,
+            target,
+            parts,
+            preprocess_seconds: timer.seconds("preprocess"),
+        }
+    }
+
+    /// Materializes a borrowing [`Engine`] view (cheap: the domains are
+    /// shared, only the ordering vectors are copied).  The view reports this
+    /// instance's preprocessing cost in its outcomes.
+    pub fn engine(&self) -> Engine<'_> {
+        Engine::from_context_with_cost(
+            self.parts.context(&self.pattern, &self.target),
+            self.preprocess_seconds,
+        )
+    }
+
+    /// Executes one run under `config.scheduler`.
+    pub fn run(&self, config: &RunConfig) -> EnumerationOutcome {
+        self.engine().run(config)
+    }
+
+    /// Executes one run, streaming every match to `visitor`.
+    pub fn run_with(&self, config: &RunConfig, visitor: &dyn MatchVisitor) -> EnumerationOutcome {
+        self.engine().run_with(config, visitor)
+    }
+
+    /// Convenience: count all matches sequentially.
+    pub fn count(&self) -> u64 {
+        self.run(&RunConfig::default()).matches
+    }
+
+    /// The pattern graph.
+    pub fn pattern(&self) -> &Arc<Graph> {
+        &self.pattern
+    }
+
+    /// The target graph.
+    pub fn target(&self) -> &Arc<Graph> {
+        &self.target
+    }
+
+    /// The algorithm this instance was prepared for.
+    pub fn algorithm(&self) -> Algorithm {
+        self.parts.algorithm()
+    }
+
+    /// Seconds spent in [`PreparedEngine::prepare`].
+    pub fn preprocess_seconds(&self) -> f64 {
+        self.preprocess_seconds
+    }
+
+    /// `true` when preprocessing already proved there are no matches.
+    pub fn impossible(&self) -> bool {
+        self.parts.impossible() || self.pattern.num_nodes() > self.target.num_nodes()
+    }
+}
+
+// The serving layer shares engines across threads; fail at compile time if a
+// field ever loses these bounds.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedEngine>();
+    assert_send_sync::<Engine<'static>>();
+    assert_send_sync::<EnumerationOutcome>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_graph::generators;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn schedulers() -> Vec<Scheduler> {
+        vec![
+            Scheduler::Sequential,
+            Scheduler::work_stealing(1),
+            Scheduler::work_stealing(2),
+            Scheduler::work_stealing(4),
+            Scheduler::WorkStealing {
+                workers: 4,
+                task_group_size: 2,
+                stealing: false,
+            },
+            Scheduler::Rayon { workers: 3 },
+        ]
+    }
+
+    #[test]
+    fn every_scheduler_agrees_on_matches_and_states() {
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        for algorithm in Algorithm::ALL {
+            let engine = Engine::prepare(&pattern, &target, algorithm);
+            let reference = engine.run(&RunConfig::default());
+            for scheduler in schedulers() {
+                let outcome = engine.run(&RunConfig::new(scheduler));
+                assert_eq!(
+                    outcome.matches, reference.matches,
+                    "{algorithm} {scheduler}"
+                );
+                assert_eq!(outcome.states, reference.states, "{algorithm} {scheduler}");
+                assert_eq!(outcome.workers, scheduler.workers());
+            }
+        }
+    }
+
+    #[test]
+    fn max_matches_is_exact_under_every_scheduler() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(10, 0); // 90 embeddings
+        let engine = Engine::prepare(&pattern, &target, Algorithm::Ri);
+        for scheduler in schedulers() {
+            let outcome = engine.run(&RunConfig::new(scheduler).with_max_matches(13));
+            assert_eq!(outcome.matches, 13, "{scheduler}");
+            assert!(outcome.limit_hit, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn complete_collections_are_identical_across_schedulers() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0); // 60 embeddings
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDs);
+        let reference = engine
+            .run(&RunConfig::default().with_collected_mappings(100))
+            .mappings;
+        assert_eq!(reference.len(), 60);
+        for scheduler in schedulers() {
+            let mappings = engine
+                .run(&RunConfig::new(scheduler).with_collected_mappings(100))
+                .mappings;
+            assert_eq!(mappings, reference, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn visitor_streams_every_match() {
+        struct Counter(AtomicU64);
+        impl MatchVisitor for Counter {
+            fn on_match(&self, _worker: usize, mapping: &[sge_graph::NodeId]) {
+                assert_eq!(mapping.len(), 3);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+        for scheduler in schedulers() {
+            let counter = Counter(AtomicU64::new(0));
+            let outcome = engine.run_with(&RunConfig::new(scheduler), &counter);
+            assert_eq!(
+                counter.0.load(Ordering::Relaxed),
+                outcome.matches,
+                "{scheduler}"
+            );
+            assert_eq!(outcome.matches, 60, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn preprocessing_is_amortized_across_runs() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(6, 0);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+        let first = engine.run(&RunConfig::default());
+        let second = engine.run(&RunConfig::new(Scheduler::work_stealing(2)));
+        assert_eq!(first.preprocess_seconds, engine.preprocess_seconds());
+        assert_eq!(second.preprocess_seconds, engine.preprocess_seconds());
+        assert_eq!(engine.count(), first.matches);
+    }
+
+    #[test]
+    fn degenerate_instances_are_uniform_across_schedulers() {
+        let empty = sge_graph::GraphBuilder::new().build();
+        let target = generators::clique(4, 0);
+        let engine = Engine::prepare(&empty, &target, Algorithm::Ri);
+        for scheduler in schedulers() {
+            // The empty embedding counts, is collected, and honors the budget
+            // identically under every scheduler.
+            let outcome = engine.run(&RunConfig::new(scheduler).with_collected_mappings(5));
+            assert_eq!(outcome.matches, 1, "{scheduler}");
+            assert_eq!(
+                outcome.mappings,
+                vec![Vec::<sge_graph::NodeId>::new()],
+                "{scheduler}"
+            );
+            let limited = engine.run(&RunConfig::new(scheduler).with_max_matches(0));
+            assert_eq!(limited.matches, 0, "{scheduler}");
+            assert!(limited.limit_hit, "{scheduler}");
+            struct Counter(AtomicU64);
+            impl MatchVisitor for Counter {
+                fn on_match(&self, _w: usize, mapping: &[sge_graph::NodeId]) {
+                    assert!(mapping.is_empty());
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let counter = Counter(AtomicU64::new(0));
+            let streamed = engine.run_with(&RunConfig::new(scheduler), &counter);
+            assert_eq!(streamed.matches, 1, "{scheduler}");
+            assert_eq!(counter.0.load(Ordering::Relaxed), 1, "{scheduler}");
+        }
+
+        let mut pb = sge_graph::GraphBuilder::new();
+        pb.add_node(42);
+        let impossible = pb.build();
+        let engine = Engine::prepare(&impossible, &target, Algorithm::RiDs);
+        assert!(engine.impossible());
+        for scheduler in schedulers() {
+            assert_eq!(
+                engine.run(&RunConfig::new(scheduler)).matches,
+                0,
+                "{scheduler}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_display_and_names() {
+        assert_eq!(Scheduler::Sequential.to_string(), "sequential");
+        assert_eq!(Scheduler::Sequential.name(), "sequential");
+        assert_eq!(Scheduler::work_stealing(4).name(), "work-stealing");
+        assert!(Scheduler::work_stealing(4)
+            .to_string()
+            .contains("workers=4"));
+        assert_eq!(
+            Scheduler::WorkStealing {
+                workers: 2,
+                task_group_size: 4,
+                stealing: false
+            }
+            .name(),
+            "static-partition"
+        );
+        assert_eq!(Scheduler::Rayon { workers: 2 }.name(), "rayon-style");
+        assert_eq!(Scheduler::Rayon { workers: 0 }.workers(), 1);
+    }
+
+    #[test]
+    fn scheduler_from_str_grammar() {
+        assert_eq!("seq".parse::<Scheduler>().unwrap(), Scheduler::Sequential);
+        assert_eq!(
+            "sequential".parse::<Scheduler>().unwrap(),
+            Scheduler::Sequential
+        );
+        assert_eq!(
+            "ws:4".parse::<Scheduler>().unwrap(),
+            Scheduler::work_stealing(4)
+        );
+        assert_eq!(
+            "ws:2:8:nosteal".parse::<Scheduler>().unwrap(),
+            Scheduler::WorkStealing {
+                workers: 2,
+                task_group_size: 8,
+                stealing: false
+            }
+        );
+        assert_eq!(
+            "rayon:3".parse::<Scheduler>().unwrap(),
+            Scheduler::Rayon { workers: 3 }
+        );
+        assert!("ws".parse::<Scheduler>().is_err());
+        assert!("ws:x".parse::<Scheduler>().is_err());
+        assert!("fibers:2".parse::<Scheduler>().is_err());
+        assert!("ws:4:2:nosteal:steal".parse::<Scheduler>().is_err());
+        assert!("rayon:2:9".parse::<Scheduler>().is_err());
+    }
+
+    #[test]
+    fn prepared_engine_matches_borrowing_engine() {
+        let pattern = Arc::new(generators::undirected_cycle(4, 0));
+        let target = Arc::new(generators::grid(4, 4));
+        for algorithm in Algorithm::ALL {
+            let borrowed = Engine::prepare(&pattern, &target, algorithm);
+            let owned =
+                PreparedEngine::prepare(Arc::clone(&pattern), Arc::clone(&target), algorithm);
+            let reference = borrowed.run(&RunConfig::default().with_collected_mappings(10_000));
+            for scheduler in schedulers() {
+                let outcome = owned.run(&RunConfig::new(scheduler).with_collected_mappings(10_000));
+                assert_eq!(
+                    outcome.matches, reference.matches,
+                    "{algorithm} {scheduler}"
+                );
+                assert_eq!(outcome.states, reference.states, "{algorithm} {scheduler}");
+                assert_eq!(
+                    outcome.mappings, reference.mappings,
+                    "{algorithm} {scheduler}"
+                );
+            }
+            assert_eq!(owned.algorithm(), algorithm);
+            assert_eq!(
+                owned.preprocess_seconds(),
+                owned.engine().preprocess_seconds()
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_agrees_between_borrowed_and_owned_engines() {
+        // Oversized pattern under plain RI: impossibility comes from the
+        // size comparison, not from domains — both entry points must agree.
+        let pattern = Arc::new(generators::clique(5, 0));
+        let target = Arc::new(generators::clique(3, 0));
+        for algorithm in Algorithm::ALL {
+            let borrowed = Engine::prepare(&pattern, &target, algorithm);
+            let owned =
+                PreparedEngine::prepare(Arc::clone(&pattern), Arc::clone(&target), algorithm);
+            assert!(borrowed.impossible(), "{algorithm}");
+            assert!(owned.impossible(), "{algorithm}");
+            assert_eq!(owned.engine().impossible(), borrowed.impossible());
+            assert_eq!(owned.run(&RunConfig::default()).matches, 0);
+        }
+    }
+
+    #[test]
+    fn prepared_engine_is_shareable_across_threads() {
+        let pattern = Arc::new(generators::directed_cycle(3, 0));
+        let target = Arc::new(generators::clique(5, 0));
+        let prepared = Arc::new(PreparedEngine::prepare(
+            pattern,
+            target,
+            Algorithm::RiDsSiFc,
+        ));
+        assert!(!prepared.impossible());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let prepared = Arc::clone(&prepared);
+                std::thread::spawn(move || {
+                    let scheduler = if i % 2 == 0 {
+                        Scheduler::Sequential
+                    } else {
+                        Scheduler::work_stealing(2)
+                    };
+                    prepared.run(&RunConfig::new(scheduler)).matches
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), 60);
+        }
+    }
+}

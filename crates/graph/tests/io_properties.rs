@@ -1,0 +1,201 @@
+//! Malformed-input property tests for the `.gfu`/`.gfd` text parser.
+//!
+//! The serving layer parses untrusted pattern text straight off a TCP
+//! socket, so the parser must be total: every corruption of a valid file —
+//! truncation, bad counts, out-of-range endpoints, random garbage — returns
+//! `ParseError::Malformed` with an accurate line number and **never**
+//! panics or over-allocates.
+
+use sge_graph::io::{parse_graph, write_graph, ParseError};
+use sge_graph::GraphBuilder;
+use sge_util::SplitMix64;
+
+/// Deterministic random graph file: optional name, string labels, random
+/// edges (possibly with explicit edge labels).  Every line is non-blank.
+fn random_graph_text(rng: &mut SplitMix64) -> String {
+    let nodes = 1 + rng.next_below(8);
+    let mut builder = GraphBuilder::new();
+    if rng.next_bool(0.5) {
+        builder = builder.name(format!("g{}", rng.next_below(1000)));
+    }
+    for _ in 0..nodes {
+        builder.add_node(rng.next_below(4) as u32);
+    }
+    let edges = rng.next_below(2 * nodes);
+    for _ in 0..edges {
+        let u = rng.next_below(nodes) as u32;
+        let v = rng.next_below(nodes) as u32;
+        let label = rng.next_below(3) as u32;
+        builder.add_edge(u, v, label);
+    }
+    write_graph(&builder.build())
+}
+
+fn expect_malformed(text: &str) -> (usize, String) {
+    match parse_graph(text) {
+        Err(ParseError::Malformed { line, message }) => (line, message),
+        Err(ParseError::Io(err)) => panic!("expected Malformed, got Io({err}) for {text:?}"),
+        Ok(_) => panic!("expected Malformed, got Ok for {text:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_is_malformed_at_the_last_line() {
+    let mut rng = SplitMix64::new(0xD15EA5E);
+    for _ in 0..50 {
+        let text = random_graph_text(&mut rng);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(parse_graph(&text).is_ok(), "untruncated parses: {text:?}");
+        for keep in 0..lines.len() {
+            let truncated = lines[..keep]
+                .iter()
+                .map(|l| format!("{l}\n"))
+                .collect::<String>();
+            let (line, message) = expect_malformed(&truncated);
+            // The reported position is exactly where the input ended (line 0
+            // for empty input), never a stale earlier line.
+            assert_eq!(
+                line, keep,
+                "truncated to {keep} lines, error said line {line} ({message}) for {truncated:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_counts_are_malformed_with_the_count_line() {
+    let mut rng = SplitMix64::new(0xBADC0DE);
+    let bad_tokens = [
+        "x",
+        "-1",
+        "3.5",
+        "",
+        "0x10",
+        "99999999999999999999999999",
+        "NaN",
+    ];
+    for _ in 0..30 {
+        let text = random_graph_text(&mut rng);
+        let lines: Vec<&str> = text.lines().collect();
+        let has_name = lines[0].starts_with('#');
+        let node_count_idx = usize::from(has_name);
+        let node_count: usize = lines[node_count_idx].parse().unwrap();
+        let edge_count_idx = node_count_idx + node_count + 1;
+
+        for idx in [node_count_idx, edge_count_idx] {
+            for bad in bad_tokens {
+                if bad.is_empty() {
+                    continue; // a blank line is skipped, not a bad count
+                }
+                let mut corrupted: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+                corrupted[idx] = bad.to_string();
+                let corrupted = corrupted.join("\n");
+                let (line, message) = expect_malformed(&corrupted);
+                assert_eq!(
+                    line,
+                    idx + 1,
+                    "{message} for count {bad:?} at line {}",
+                    idx + 1
+                );
+                assert!(
+                    message.contains("invalid node count")
+                        || message.contains("invalid edge count"),
+                    "unexpected message '{message}'"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn huge_parseable_counts_do_not_allocate_or_panic() {
+    // usize::MAX parses fine; the parser must reject it as truncation
+    // instead of reserving capacity for it.
+    for huge in ["18446744073709551615", "1000000000000"] {
+        let text = format!("{huge}\n0\n0\n");
+        let (line, message) = expect_malformed(&text);
+        assert_eq!(line, 3);
+        assert!(message.contains("unexpected end of file in node labels"));
+
+        let with_edges = format!("2\n0\n0\n{huge}\n0 1\n");
+        let (line, message) = expect_malformed(&with_edges);
+        assert_eq!(line, 5);
+        assert!(message.contains("unexpected end of file in edge list"));
+    }
+}
+
+#[test]
+fn out_of_range_endpoints_are_malformed_with_the_edge_line() {
+    let mut rng = SplitMix64::new(0x0FF5E7);
+    let mut tested = 0;
+    while tested < 30 {
+        let text = random_graph_text(&mut rng);
+        let lines: Vec<&str> = text.lines().collect();
+        let has_name = lines[0].starts_with('#');
+        let node_count_idx = usize::from(has_name);
+        let node_count: usize = lines[node_count_idx].parse().unwrap();
+        let edge_count_idx = node_count_idx + node_count + 1;
+        let edge_count: usize = lines[edge_count_idx].parse().unwrap();
+        if edge_count == 0 {
+            continue;
+        }
+        tested += 1;
+
+        let victim = edge_count_idx + 1 + rng.next_below(edge_count);
+        let mut fields: Vec<String> = lines[victim]
+            .split_whitespace()
+            .map(|f| f.to_string())
+            .collect();
+        let endpoint = rng.next_below(2); // tail or head
+        fields[endpoint] = (node_count + rng.next_below(10)).to_string();
+        let mut corrupted: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        corrupted[victim] = fields.join(" ");
+        let corrupted = corrupted.join("\n");
+
+        let (line, message) = expect_malformed(&corrupted);
+        assert_eq!(line, victim + 1, "{message}");
+        assert!(message.contains("references a node"), "{message}");
+    }
+}
+
+#[test]
+fn corrupted_edge_fields_are_malformed_never_panic() {
+    for (text, expected_line) in [
+        ("2\n0\n0\n1\nx 1\n", 5),       // non-numeric tail
+        ("2\n0\n0\n1\n0 y\n", 5),       // non-numeric head
+        ("2\n0\n0\n1\n0 1 z\n", 5),     // non-numeric edge label
+        ("2\n0\n0\n1\n-1 1\n", 5),      // negative tail
+        ("2\n0\n0\n1\n0 1 2 3 4\n", 5), // extra fields are ignored → Ok
+    ] {
+        match parse_graph(text) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, expected_line, "{text:?}"),
+            Ok(_) => assert!(text.contains("2 3 4"), "unexpected Ok for {text:?}"),
+            Err(other) => panic!("unexpected {other:?} for {text:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SplitMix64::new(0x6A12BA6E);
+    let alphabet: Vec<char> = "0123456789 #-.\nabcxyz\t".chars().collect();
+    for _ in 0..500 {
+        let len = rng.next_below(200);
+        let garbage: String = (0..len)
+            .map(|_| alphabet[rng.next_below(alphabet.len())])
+            .collect();
+        let _ = parse_graph(&garbage); // must return, never panic
+    }
+    // Structured-ish garbage: valid prefix + random tail.
+    for _ in 0..200 {
+        let mut text = random_graph_text(&mut rng);
+        let cut = rng.next_below(text.len().max(1));
+        text.truncate(cut);
+        let tail_len = rng.next_below(30);
+        let tail: String = (0..tail_len)
+            .map(|_| alphabet[rng.next_below(alphabet.len())])
+            .collect();
+        text.push_str(&tail);
+        let _ = parse_graph(&text);
+    }
+}

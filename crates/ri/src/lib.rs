@@ -50,5 +50,5 @@ pub use matcher::{
     SearchRun,
 };
 pub use ordering::{greatest_constraint_first, MatchOrder, ParentLink};
-pub use search::{SearchContext, WorkerState};
+pub use search::{PreparedParts, SearchContext, WorkerState};
 pub use visitor::{CollectingVisitor, MatchVisitor, NoopVisitor};

@@ -65,6 +65,24 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses the paper's variant names, case-insensitively; `-` and `_` are
+    /// interchangeable (`ri-ds-si-fc`, `RI_DS_SI_FC`, …).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.to_ascii_lowercase().replace('_', "-").as_str() {
+            "ri" => Ok(Algorithm::Ri),
+            "ri-ds" => Ok(Algorithm::RiDs),
+            "ri-ds-si" => Ok(Algorithm::RiDsSi),
+            "ri-ds-si-fc" => Ok(Algorithm::RiDsSiFc),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected ri, ri-ds, ri-ds-si or ri-ds-si-fc)"
+            )),
+        }
+    }
+}
+
 /// Configuration of one enumeration run.
 #[derive(Clone, Debug)]
 pub struct MatchConfig {

@@ -16,15 +16,20 @@ use crate::domains::Domains;
 use crate::matcher::Algorithm;
 use crate::ordering::{greatest_constraint_first, MatchOrder};
 use sge_graph::{Graph, NodeId};
+use std::sync::Arc;
 
 /// Read-only description of one enumeration instance: pattern, target, node
 /// ordering and (for the RI-DS family) domains.
+///
+/// Domains are held behind an [`Arc`] so that prepared instances can be
+/// rebuilt against long-lived owned graphs (see [`PreparedParts`]) without
+/// re-running or copying the domain computation.
 pub struct SearchContext<'a> {
     pattern: &'a Graph,
     target: &'a Graph,
     algorithm: Algorithm,
     order: MatchOrder,
-    domains: Option<Domains>,
+    domains: Option<Arc<Domains>>,
     /// `true` when the preprocessing already proved that no match exists
     /// (an empty or contradictory domain).
     impossible: bool,
@@ -45,13 +50,13 @@ impl<'a> SearchContext<'a> {
             {
                 impossible = true;
             }
-            Some(domains)
+            Some(Arc::new(domains))
         } else {
             None
         };
         let order = greatest_constraint_first(
             pattern,
-            domains.as_ref(),
+            domains.as_deref(),
             algorithm.uses_domain_size_tie_break(),
         );
         SearchContext {
@@ -81,7 +86,7 @@ impl<'a> SearchContext<'a> {
             target,
             algorithm,
             order,
-            domains,
+            domains: domains.map(Arc::new),
             impossible,
             check_degrees,
         }
@@ -109,7 +114,7 @@ impl<'a> SearchContext<'a> {
 
     /// The domains, when the algorithm uses them.
     pub fn domains(&self) -> Option<&Domains> {
-        self.domains.as_ref()
+        self.domains.as_deref()
     }
 
     /// Number of positions to fill (= pattern nodes).
@@ -237,6 +242,78 @@ impl<'a> SearchContext<'a> {
             out[vp as usize] = vt;
         }
         out
+    }
+}
+
+/// The owned outcome of preprocessing, detached from the graph borrows.
+///
+/// [`SearchContext`] borrows its pattern and target, which is the right shape
+/// for one-shot enumeration but not for a serving system that keeps prepared
+/// instances alive across queries.  `PreparedParts` captures everything
+/// preprocessing produced — ordering, domains (shared, not copied), and the
+/// impossibility verdict — so a caller that *owns* the graphs can rebuild an
+/// equivalent context at any time without re-running preprocessing:
+///
+/// ```
+/// use sge_graph::generators;
+/// use sge_ri::{Algorithm, PreparedParts, SearchContext};
+///
+/// let pattern = generators::directed_cycle(3, 0);
+/// let target = generators::clique(4, 0);
+/// let parts = PreparedParts::extract(&SearchContext::prepare(
+///     &pattern, &target, Algorithm::RiDsSiFc,
+/// ));
+/// // Later, against the same (now possibly heap-owned) graphs:
+/// let ctx = parts.context(&pattern, &target);
+/// assert_eq!(ctx.algorithm(), Algorithm::RiDsSiFc);
+/// ```
+#[derive(Clone)]
+pub struct PreparedParts {
+    algorithm: Algorithm,
+    order: MatchOrder,
+    domains: Option<Arc<Domains>>,
+    impossible: bool,
+    check_degrees: bool,
+}
+
+impl PreparedParts {
+    /// Captures the prepared artifacts of `ctx` (domains are shared via
+    /// [`Arc`], the ordering is cloned).
+    pub fn extract(ctx: &SearchContext<'_>) -> Self {
+        PreparedParts {
+            algorithm: ctx.algorithm,
+            order: ctx.order.clone(),
+            domains: ctx.domains.clone(),
+            impossible: ctx.impossible,
+            check_degrees: ctx.check_degrees,
+        }
+    }
+
+    /// Rebuilds a ready-to-search context against `pattern` and `target`.
+    ///
+    /// The graphs must be the ones this instance was prepared from (or
+    /// structurally identical copies); the ordering and domains reference
+    /// their node ids directly.
+    pub fn context<'a>(&self, pattern: &'a Graph, target: &'a Graph) -> SearchContext<'a> {
+        SearchContext {
+            pattern,
+            target,
+            algorithm: self.algorithm,
+            order: self.order.clone(),
+            domains: self.domains.clone(),
+            impossible: self.impossible,
+            check_degrees: self.check_degrees,
+        }
+    }
+
+    /// The algorithm these parts were prepared for.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// `true` when preprocessing already proved there are no matches.
+    pub fn impossible(&self) -> bool {
+        self.impossible
     }
 }
 

@@ -1,0 +1,55 @@
+//! `sge-client` — scripted client for the `sge-serve` wire protocol.
+//!
+//! ```text
+//! sge-client HOST:PORT [REQUEST]...
+//! sge-client HOST:PORT < script.txt
+//! ```
+//!
+//! Each positional argument is one protocol line (batch continuation lines
+//! are further arguments); with no request arguments, the script is read
+//! from stdin.  Responses are printed one JSON line per request.  Exits
+//! nonzero when any response reports `"ok":false`.
+
+use std::io::Read;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = match args.next() {
+        Some(addr) if addr != "--help" && addr != "-h" => addr,
+        _ => {
+            eprintln!(
+                "usage: sge-client HOST:PORT [REQUEST]...   (requests from stdin when omitted)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut lines: Vec<String> = args.collect();
+    if lines.is_empty() {
+        let mut input = String::new();
+        if std::io::stdin().read_to_string(&mut input).is_err() {
+            eprintln!("error: cannot read stdin");
+            std::process::exit(2);
+        }
+        lines = input.lines().map(|l| l.to_string()).collect();
+    }
+
+    match sge_service::client::run_script(addr.as_str(), &lines) {
+        Ok(responses) => {
+            let mut failed = false;
+            for response in responses {
+                // Only a *top-level* failure counts: an ok:true BATCH
+                // response may legitimately carry ok:false entries for
+                // individual queries in its results array.
+                failed |= response.starts_with("{\"ok\":false");
+                println!("{response}");
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! `sge-serve` — the TCP enumeration server.
+//!
+//! ```text
+//! sge-serve [--addr HOST:PORT] [--cache N] [--workers N]
+//!           [--max-in-flight N] [--load NAME=PATH]...
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (scripts wait for
+//! that line), then serves until a client sends `SHUTDOWN`.
+
+use sge_service::{Server, Service, ServiceConfig};
+use std::io::Write;
+use std::sync::Arc;
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
+         [--max-in-flight N] [--load NAME=PATH]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut config = ServiceConfig::default();
+    let mut preloads: Vec<(String, String)> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => fail(&format!("missing value for {arg}")),
+            }
+        };
+        match arg {
+            "--addr" => addr = value(),
+            "--cache" => {
+                config.cache_capacity = match value().parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("invalid --cache"),
+                }
+            }
+            "--workers" => {
+                config.batch_workers = match value().parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("invalid --workers"),
+                }
+            }
+            "--max-in-flight" => {
+                config.max_in_flight = match value().parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("invalid --max-in-flight"),
+                }
+            }
+            "--load" => {
+                let spec = value();
+                match spec.split_once('=') {
+                    Some((name, path)) => preloads.push((name.to_string(), path.to_string())),
+                    None => fail("--load expects NAME=PATH"),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
+                     [--max-in-flight N] [--load NAME=PATH]..."
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let service = Arc::new(Service::new(config));
+    for (name, path) in &preloads {
+        match service.registry().load_file(name, path) {
+            Ok(info) => eprintln!(
+                "loaded {} ({} nodes, {} edges)",
+                info.name, info.nodes, info.edges
+            ),
+            Err(err) => fail(&format!("cannot load {name} from {path}: {err}")),
+        }
+    }
+
+    let server = match Server::bind(addr.as_str(), service) {
+        Ok(server) => server,
+        Err(err) => fail(&format!("cannot bind {addr}: {err}")),
+    };
+    let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!("listening on {bound}");
+    std::io::stdout().flush().ok();
+
+    if let Err(err) = server.run() {
+        eprintln!("server error: {err}");
+        std::process::exit(1);
+    }
+}

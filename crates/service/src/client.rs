@@ -1,0 +1,87 @@
+//! A small scripted client for the wire protocol.
+//!
+//! Understands the request framing (a `BATCH n=<k>` header is followed by
+//! `k` continuation lines that produce no response of their own), sends each
+//! request and returns the server's JSON line per request.  This is the
+//! machinery behind the `sge-client` binary and the CI smoke test.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Number of continuation lines a request line announces (`BATCH n=<k>` →
+/// `k`; everything else → 0).
+pub fn continuation_lines(line: &str) -> usize {
+    let mut tokens = line.split_whitespace();
+    if !tokens
+        .next()
+        .is_some_and(|verb| verb.eq_ignore_ascii_case("BATCH"))
+    {
+        return 0;
+    }
+    tokens
+        .find_map(|token| token.strip_prefix("n=").and_then(|n| n.parse().ok()))
+        .unwrap_or(0)
+}
+
+/// Runs a protocol script over one connection and returns one response line
+/// per request (batch continuation lines are grouped with their header).
+///
+/// The script is sent request by request in lockstep — each request waits
+/// for the previous response — so responses map 1:1 onto requests.
+pub fn run_script(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+
+    let mut index = 0;
+    while index < lines.len() {
+        let line = lines[index].trim();
+        index += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let mut request = String::from(line);
+        request.push('\n');
+        for _ in 0..continuation_lines(line) {
+            if index >= lines.len() {
+                // Sending the incomplete batch would deadlock: the server
+                // waits for the missing lines while we wait for its response.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "batch header '{line}' announces more query lines than the script provides"
+                    ),
+                ));
+            }
+            request.push_str(lines[index].trim());
+            request.push('\n');
+            index += 1;
+        }
+        writer.write_all(request.as_bytes())?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuation_lines_only_for_batch() {
+        assert_eq!(continuation_lines("STATS"), 0);
+        assert_eq!(continuation_lines("QUERY target=x pattern=1;0;0"), 0);
+        assert_eq!(continuation_lines("BATCH target=x n=5"), 5);
+        assert_eq!(continuation_lines("batch n=2 target=x"), 2);
+        assert_eq!(continuation_lines("BATCH target=x"), 0);
+    }
+}

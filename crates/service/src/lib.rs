@@ -1,0 +1,282 @@
+//! The query-serving subsystem: enumeration as a long-running service.
+//!
+//! The paper treats each enumeration as a one-shot batch job; this crate
+//! turns the library into a service shaped for its one-target/many-patterns
+//! workloads (PPIS32, GRAEMLIN32, PDBSv1):
+//!
+//! * [`GraphRegistry`] loads named target graphs from `.gfu`/`.gfd` files
+//!   and owns them (behind [`std::sync::Arc`]) for the process lifetime,
+//!   interning node labels through one shared table so every pattern/target
+//!   pair agrees on the numbering;
+//! * [`PreparedCache`] is a bounded LRU over prepared engines keyed by
+//!   *(pattern, target name, algorithm)* — a repeated pattern skips the
+//!   domain computation / forward checking / ordering phase entirely;
+//! * [`BatchExecutor`] fans a [`QuerySet`] (many patterns, one target) out
+//!   over a std-thread worker pool, with every run gated by the service's
+//!   global in-flight admission limit;
+//! * [`Service`] ties the three together and keeps aggregate statistics
+//!   (queries served, total matches, and a latency distribution built on
+//!   [`sge_util::LatencyHistogram`]);
+//! * [`Server`] is a std-only TCP front end speaking the newline-delimited
+//!   text protocol documented in [`protocol`] (`LOAD`, `QUERY`, `BATCH`,
+//!   `STATS`, `SHUTDOWN`) with single-line JSON responses, driven by the
+//!   `sge-serve` / `sge-client` binaries.
+//!
+//! Everything is `std`-only: no async runtime, no serialization crates —
+//! the JSON responses come from the hand-rolled encoder in [`json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+mod semaphore;
+
+pub use batch::{BatchExecutor, BatchOutcome, QuerySet};
+pub use cache::{CacheStats, PreparedCache};
+pub use registry::{GraphInfo, GraphRegistry};
+pub use server::Server;
+pub use stats::{ServiceStats, StatsSnapshot};
+
+use sge_engine::{EnumerationOutcome, RunConfig};
+use sge_graph::io::ParseError;
+use sge_ri::Algorithm;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The named target graph is not loaded in the registry.
+    UnknownTarget(String),
+    /// A graph (target file or query pattern) failed to parse.
+    Parse(ParseError),
+    /// A malformed protocol request.
+    Protocol(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTarget(name) => write!(f, "unknown target '{name}'"),
+            ServiceError::Parse(err) => write!(f, "graph parse error: {err}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ParseError> for ServiceError {
+    fn from(err: ParseError) -> Self {
+        ServiceError::Parse(err)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(err: std::io::Error) -> Self {
+        ServiceError::Io(err)
+    }
+}
+
+/// Sizing knobs of a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Maximum number of prepared engines the [`PreparedCache`] retains.
+    pub cache_capacity: usize,
+    /// Worker threads a [`BatchExecutor`] uses per batch.
+    pub batch_workers: usize,
+    /// Global cap on concurrently *executing* enumeration runs (admission
+    /// control across all connections and batches).
+    pub max_in_flight: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            cache_capacity: 64,
+            batch_workers: cores,
+            max_in_flight: cores.max(1) * 2,
+        }
+    }
+}
+
+/// One query: a pattern (as `.gfu`/`.gfd` text) to enumerate with a given
+/// algorithm and run configuration against a registry target.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Pattern graph in the text exchange format.
+    pub pattern_text: String,
+    /// Algorithm variant to prepare (part of the cache key).
+    pub algorithm: Algorithm,
+    /// Scheduler and limits for this run.
+    pub run: RunConfig,
+}
+
+impl QuerySpec {
+    /// A query with the given pattern text, the paper's strongest variant
+    /// (RI-DS-SI-FC) and a sequential, unlimited run.
+    pub fn new(pattern_text: impl Into<String>) -> Self {
+        QuerySpec {
+            pattern_text: pattern_text.into(),
+            algorithm: Algorithm::RiDsSiFc,
+            run: RunConfig::default(),
+        }
+    }
+
+    /// Sets the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the run configuration.
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+}
+
+/// The result of one served query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Name of the target the query ran against.
+    pub target: String,
+    /// Stable-within-process hash of the canonical pattern (reported so
+    /// clients can correlate cache behavior).
+    pub pattern_hash: u64,
+    /// Whether the prepared engine came out of the [`PreparedCache`].
+    pub cache_hit: bool,
+    /// End-to-end service latency of this query in seconds (parse + cache
+    /// lookup / preparation + run).
+    pub latency_seconds: f64,
+    /// The enumeration result.
+    pub outcome: EnumerationOutcome,
+}
+
+/// The serving core: registry + cache + stats + admission control.
+///
+/// [`Server`] exposes it over TCP; it is equally usable in-process:
+///
+/// ```
+/// use sge_service::{QuerySpec, Service, ServiceConfig};
+///
+/// let service = Service::new(ServiceConfig::default());
+/// let target = sge_graph::generators::clique(5, 0);
+/// service.registry().insert("k5", target);
+///
+/// let pattern = sge_graph::io::write_graph(&sge_graph::generators::directed_cycle(3, 0));
+/// let first = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+/// let second = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+/// assert_eq!(first.outcome.matches, 60);
+/// assert!(!first.cache_hit);
+/// assert!(second.cache_hit); // preprocessing ran once
+/// ```
+pub struct Service {
+    registry: GraphRegistry,
+    cache: PreparedCache,
+    stats: ServiceStats,
+    admission: semaphore::Semaphore,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Creates an empty service with the given sizing knobs.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            registry: GraphRegistry::new(),
+            cache: PreparedCache::new(config.cache_capacity),
+            stats: ServiceStats::new(),
+            admission: semaphore::Semaphore::new(config.max_in_flight.max(1)),
+            config,
+        }
+    }
+
+    /// The target-graph registry.
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The prepared-engine cache.
+    pub fn cache(&self) -> &PreparedCache {
+        &self.cache
+    }
+
+    /// The sizing knobs this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// A point-in-time snapshot of the aggregate service statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Executes one query against the named target.
+    ///
+    /// The pattern is parsed through the registry's shared label interner,
+    /// the prepared engine is fetched from (or inserted into) the cache, and
+    /// the run is gated by the global admission limit.
+    pub fn run_query(&self, target: &str, spec: &QuerySpec) -> Result<QueryOutcome, ServiceError> {
+        let started = Instant::now();
+        let result = self.run_query_inner(target, spec, started);
+        if result.is_err() {
+            self.stats.record_error();
+        }
+        result
+    }
+
+    fn run_query_inner(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+        started: Instant,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let target_graph = self
+            .registry
+            .get(target)
+            .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))?;
+        let pattern = self.registry.parse_pattern(&spec.pattern_text)?;
+        let (engine, cache_hit) =
+            self.cache
+                .get_or_prepare(&pattern, target, &target_graph, spec.algorithm);
+        let outcome = {
+            let _permit = self.admission.acquire();
+            engine.run(&spec.run)
+        };
+        let latency_seconds = started.elapsed().as_secs_f64();
+        self.stats.record_query(outcome.matches, latency_seconds);
+        Ok(QueryOutcome {
+            target: target.to_string(),
+            pattern_hash: PreparedCache::pattern_hash(&pattern),
+            cache_hit,
+            latency_seconds,
+            outcome,
+        })
+    }
+
+    /// Executes a [`QuerySet`] on this service's batch worker pool.
+    pub fn run_batch(&self, set: &QuerySet) -> BatchOutcome {
+        let executor = BatchExecutor::new(self.config.batch_workers);
+        let outcome = executor.execute(self, set);
+        self.stats.record_batch();
+        outcome
+    }
+}
+
+/// Convenience alias: a service shared across server connection threads.
+pub type SharedService = Arc<Service>;

@@ -1,0 +1,455 @@
+//! The newline-delimited text protocol and its JSON response encoding.
+//!
+//! Requests are single lines of UTF-8 text; every request produces exactly
+//! one single-line JSON response.  Verbs:
+//!
+//! ```text
+//! LOAD <name> <path>
+//! QUERY target=<name> [algo=<a>] [sched=<s>] [max=<n>] [timeout_ms=<n>]
+//!       [collect=<n>] [seed=<n>] pattern=<inline> | pattern_file=<path>
+//! BATCH target=<name> n=<count>        (followed by <count> query lines
+//!                                       using the QUERY grammar sans verb
+//!                                       and target)
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! * `algo` — `ri`, `ri-ds`, `ri-ds-si` or `ri-ds-si-fc` (default).
+//! * `sched` — `seq` (default), `ws:<workers>[:<group>[:nosteal]]` or
+//!   `rayon:<workers>`.
+//! * `pattern` — the `.gfu`/`.gfd` text with newlines replaced by `;` and
+//!   in-line whitespace by `,` (a directed triangle is
+//!   `3;0;0;0;3;0,1;1,2;2,0`).
+//! * `pattern_file` — read the pattern from a server-side file instead.
+//!
+//! Responses always carry an `ok` field; errors are
+//! `{"ok":false,"error":"..."}`.
+
+use crate::json::Json;
+use crate::{BatchOutcome, QueryOutcome, QuerySpec, Service, ServiceError};
+use sge_engine::RunConfig;
+use std::time::Duration;
+
+/// A parsed protocol request.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Load a target graph file into the registry.
+    Load {
+        /// Registry name.
+        name: String,
+        /// Server-side path of the `.gfu`/`.gfd` file.
+        path: String,
+    },
+    /// Run one query.
+    Query {
+        /// Registry name of the target.
+        target: String,
+        /// The query.
+        spec: QuerySpec,
+    },
+    /// Header of a batch; `count` query lines follow.
+    Batch {
+        /// Registry name of the target all batched queries run against.
+        target: String,
+        /// Number of query lines that follow.
+        count: usize,
+    },
+    /// Report service statistics.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+fn protocol_error(message: impl Into<String>) -> ServiceError {
+    ServiceError::Protocol(message.into())
+}
+
+/// Decodes the `;`/`,` inline encoding back into graph text.
+pub fn decode_inline_pattern(inline: &str) -> String {
+    inline.replace(';', "\n").replace(',', " ")
+}
+
+/// Encodes graph text into the single-token inline form.
+pub fn encode_inline_pattern(text: &str) -> String {
+    text.trim_end_matches('\n')
+        .replace('\n', ";")
+        .replace(' ', ",")
+}
+
+struct QueryArgs {
+    target: Option<String>,
+    spec: Option<QuerySpec>,
+}
+
+fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
+    let mut target = None;
+    let mut pattern_text: Option<String> = None;
+    let mut algorithm = sge_ri::Algorithm::RiDsSiFc;
+    let mut run = RunConfig::default();
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| protocol_error(format!("expected key=value, got '{token}'")))?;
+        match key {
+            "target" => target = Some(value.to_string()),
+            "algo" => {
+                algorithm = value.parse().map_err(protocol_error)?;
+            }
+            "sched" => {
+                run.scheduler = value.parse().map_err(protocol_error)?;
+            }
+            "max" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| protocol_error(format!("invalid max '{value}'")))?;
+                run.max_matches = Some(n);
+            }
+            "timeout_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| protocol_error(format!("invalid timeout_ms '{value}'")))?;
+                run.time_limit = Some(Duration::from_millis(ms));
+            }
+            "collect" => {
+                run.collect_mappings = value
+                    .parse()
+                    .map_err(|_| protocol_error(format!("invalid collect '{value}'")))?;
+            }
+            "seed" => {
+                run.seed = value
+                    .parse()
+                    .map_err(|_| protocol_error(format!("invalid seed '{value}'")))?;
+            }
+            "pattern" => pattern_text = Some(decode_inline_pattern(value)),
+            "pattern_file" => {
+                pattern_text = Some(std::fs::read_to_string(value).map_err(|err| {
+                    protocol_error(format!("cannot read pattern_file '{value}': {err}"))
+                })?);
+            }
+            other => return Err(protocol_error(format!("unknown key '{other}'"))),
+        }
+    }
+    let spec = pattern_text.map(|pattern_text| QuerySpec {
+        pattern_text,
+        algorithm,
+        run,
+    });
+    Ok(QueryArgs { target, spec })
+}
+
+/// Parses one request line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
+    let line = line.trim();
+    let mut tokens = line.split_whitespace();
+    let verb = tokens
+        .next()
+        .ok_or_else(|| protocol_error("empty request"))?
+        .to_ascii_uppercase();
+    let rest: Vec<&str> = tokens.collect();
+    match verb.as_str() {
+        "LOAD" => {
+            if rest.len() != 2 {
+                return Err(protocol_error("usage: LOAD <name> <path>"));
+            }
+            Ok(Command::Load {
+                name: rest[0].to_string(),
+                path: rest[1].to_string(),
+            })
+        }
+        "QUERY" => {
+            let args = parse_query_args(&rest)?;
+            let target = args
+                .target
+                .ok_or_else(|| protocol_error("QUERY requires target=<name>"))?;
+            let spec = args.spec.ok_or_else(|| {
+                protocol_error("QUERY requires pattern=<inline> or pattern_file=<path>")
+            })?;
+            Ok(Command::Query { target, spec })
+        }
+        "BATCH" => {
+            let mut target = None;
+            let mut count = None;
+            for token in &rest {
+                match token.split_once('=') {
+                    Some(("target", value)) => target = Some(value.to_string()),
+                    Some(("n", value)) => {
+                        count = Some(value.parse::<usize>().map_err(|_| {
+                            protocol_error(format!("invalid batch size '{value}'"))
+                        })?);
+                    }
+                    _ => return Err(protocol_error(format!("unknown batch token '{token}'"))),
+                }
+            }
+            Ok(Command::Batch {
+                target: target.ok_or_else(|| protocol_error("BATCH requires target=<name>"))?,
+                count: count.ok_or_else(|| protocol_error("BATCH requires n=<count>"))?,
+            })
+        }
+        "STATS" => Ok(Command::Stats),
+        "SHUTDOWN" => Ok(Command::Shutdown),
+        other => Err(protocol_error(format!(
+            "unknown verb '{other}' (expected LOAD, QUERY, BATCH, STATS or SHUTDOWN)"
+        ))),
+    }
+}
+
+/// Parses one batch continuation line (the QUERY grammar without the verb
+/// and without `target=`).
+pub fn parse_batch_query(line: &str) -> Result<QuerySpec, ServiceError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let args = parse_query_args(&tokens)?;
+    if args.target.is_some() {
+        return Err(protocol_error(
+            "batch query lines must not carry target= (it is fixed by the BATCH header)",
+        ));
+    }
+    args.spec.ok_or_else(|| {
+        protocol_error("batch query requires pattern=<inline> or pattern_file=<path>")
+    })
+}
+
+/// `{"ok":false,"error":...}`.
+pub fn error_response(error: &ServiceError) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(error.to_string())),
+    ])
+}
+
+/// Response to a successful `LOAD`.
+pub fn load_response(info: &crate::GraphInfo) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("target", Json::str(info.name.clone())),
+        ("nodes", Json::U64(info.nodes as u64)),
+        ("edges", Json::U64(info.edges as u64)),
+    ])
+}
+
+fn query_body(query: &QueryOutcome) -> Vec<(&'static str, Json)> {
+    let outcome = &query.outcome;
+    let mut pairs = vec![
+        ("target", Json::str(query.target.clone())),
+        ("algorithm", Json::str(outcome.algorithm.name())),
+        ("scheduler", Json::str(outcome.scheduler.to_string())),
+        ("workers", Json::U64(outcome.workers as u64)),
+        ("matches", Json::U64(outcome.matches)),
+        ("states", Json::U64(outcome.states)),
+        ("cache_hit", Json::Bool(query.cache_hit)),
+        (
+            "pattern_hash",
+            Json::str(format!("{:016x}", query.pattern_hash)),
+        ),
+        ("preprocess_seconds", Json::F64(outcome.preprocess_seconds)),
+        ("match_seconds", Json::F64(outcome.match_seconds)),
+        ("latency_seconds", Json::F64(query.latency_seconds)),
+        ("timed_out", Json::Bool(outcome.timed_out)),
+        ("limit_hit", Json::Bool(outcome.limit_hit)),
+    ];
+    if !outcome.mappings.is_empty() {
+        pairs.push((
+            "mappings",
+            Json::Arr(
+                outcome
+                    .mappings
+                    .iter()
+                    .map(|mapping| {
+                        Json::Arr(mapping.iter().map(|&node| Json::U64(node as u64)).collect())
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    pairs
+}
+
+/// Response to a successful `QUERY`.
+pub fn query_response(query: &QueryOutcome) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.extend(query_body(query));
+    Json::obj(pairs)
+}
+
+/// Response to a `BATCH` (individual query failures are reported in-place
+/// in `results`, the batch itself is `ok`).
+pub fn batch_response(batch: &BatchOutcome) -> Json {
+    let results = batch
+        .results
+        .iter()
+        .map(|result| match result {
+            Ok(query) => Json::obj(
+                std::iter::once(("ok", Json::Bool(true)))
+                    .chain(query_body(query))
+                    .collect(),
+            ),
+            Err(err) => error_response(err),
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("target", Json::str(batch.target.clone())),
+        ("queries", Json::U64(batch.results.len() as u64)),
+        ("succeeded", Json::U64(batch.succeeded() as u64)),
+        ("total_matches", Json::U64(batch.total_matches())),
+        ("cache_hits", Json::U64(batch.cache_hits() as u64)),
+        ("wall_seconds", Json::F64(batch.wall_seconds)),
+        ("queries_per_second", Json::F64(batch.queries_per_second())),
+        ("workers", Json::U64(batch.workers as u64)),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+/// Response to `STATS`.
+pub fn stats_response(service: &Service) -> Json {
+    let snapshot = service.stats();
+    let cache = service.cache().stats();
+    let targets = service
+        .registry()
+        .list()
+        .into_iter()
+        .map(|info| {
+            Json::obj(vec![
+                ("name", Json::str(info.name)),
+                ("nodes", Json::U64(info.nodes as u64)),
+                ("edges", Json::U64(info.edges as u64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("queries_served", Json::U64(snapshot.queries_served)),
+        ("batches_served", Json::U64(snapshot.batches_served)),
+        ("total_matches", Json::U64(snapshot.total_matches)),
+        ("errors", Json::U64(snapshot.errors)),
+        ("targets", Json::Arr(targets)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("capacity", Json::U64(cache.capacity as u64)),
+                ("entries", Json::U64(cache.entries as u64)),
+                ("hits", Json::U64(cache.hits)),
+                ("misses", Json::U64(cache.misses)),
+                ("evictions", Json::U64(cache.evictions)),
+            ]),
+        ),
+        (
+            "latency",
+            Json::obj(vec![
+                ("count", Json::U64(snapshot.queries_served)),
+                ("mean_seconds", Json::F64(snapshot.latency_mean_seconds)),
+                ("min_seconds", Json::F64(snapshot.latency_min_seconds)),
+                ("max_seconds", Json::F64(snapshot.latency_max_seconds)),
+                ("p50_seconds", Json::F64(snapshot.latency_p50_seconds)),
+                ("p90_seconds", Json::F64(snapshot.latency_p90_seconds)),
+                ("p99_seconds", Json::F64(snapshot.latency_p99_seconds)),
+            ]),
+        ),
+    ])
+}
+
+/// Response to `SHUTDOWN`.
+pub fn shutdown_response() -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("shutdown", Json::Bool(true)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_engine::Scheduler;
+    use sge_ri::Algorithm;
+
+    #[test]
+    fn inline_pattern_roundtrip() {
+        let text = "3\n0\n0\n0\n3\n0 1\n1 2\n2 0\n";
+        let inline = encode_inline_pattern(text);
+        assert_eq!(inline, "3;0;0;0;3;0,1;1,2;2,0");
+        assert!(!inline.contains(char::is_whitespace));
+        assert_eq!(decode_inline_pattern(&inline), text.trim_end().to_string());
+    }
+
+    #[test]
+    fn parses_load() {
+        let command = parse_command("LOAD mol /data/mol.gfu").unwrap();
+        match command {
+            Command::Load { name, path } => {
+                assert_eq!(name, "mol");
+                assert_eq!(path, "/data/mol.gfu");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_command("LOAD onlyname").is_err());
+    }
+
+    #[test]
+    fn parses_query_with_all_knobs() {
+        let line = "QUERY target=k5 algo=ri-ds sched=ws:4:2:nosteal max=10 \
+                    timeout_ms=500 collect=3 seed=7 pattern=2;0;0;1;0,1";
+        let command = parse_command(line).unwrap();
+        match command {
+            Command::Query { target, spec } => {
+                assert_eq!(target, "k5");
+                assert_eq!(spec.algorithm, Algorithm::RiDs);
+                assert_eq!(
+                    spec.run.scheduler,
+                    Scheduler::WorkStealing {
+                        workers: 4,
+                        task_group_size: 2,
+                        stealing: false
+                    }
+                );
+                assert_eq!(spec.run.max_matches, Some(10));
+                assert_eq!(spec.run.time_limit, Some(Duration::from_millis(500)));
+                assert_eq!(spec.run.collect_mappings, 3);
+                assert_eq!(spec.run.seed, 7);
+                assert_eq!(spec.pattern_text, "2\n0\n0\n1\n0 1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_requires_target_and_pattern() {
+        assert!(parse_command("QUERY pattern=1;0;0").is_err());
+        assert!(parse_command("QUERY target=k5").is_err());
+        assert!(parse_command("QUERY target=k5 algo=wat pattern=1;0;0").is_err());
+        assert!(parse_command("QUERY target=k5 bogus=1 pattern=1;0;0").is_err());
+    }
+
+    #[test]
+    fn parses_batch_header_and_lines() {
+        match parse_command("BATCH target=k5 n=3").unwrap() {
+            Command::Batch { target, count } => {
+                assert_eq!(target, "k5");
+                assert_eq!(count, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let spec = parse_batch_query("algo=ri pattern=1;0;0").unwrap();
+        assert_eq!(spec.algorithm, Algorithm::Ri);
+        assert!(parse_batch_query("target=k5 pattern=1;0;0").is_err());
+        assert!(parse_batch_query("algo=ri").is_err());
+        assert!(parse_command("BATCH target=k5").is_err());
+        assert!(parse_command("BATCH n=2").is_err());
+    }
+
+    #[test]
+    fn parses_bare_verbs_and_rejects_unknown() {
+        assert!(matches!(parse_command("STATS").unwrap(), Command::Stats));
+        assert!(matches!(parse_command("stats").unwrap(), Command::Stats));
+        assert!(matches!(
+            parse_command("SHUTDOWN").unwrap(),
+            Command::Shutdown
+        ));
+        assert!(parse_command("").is_err());
+        assert!(parse_command("EXPLODE now").is_err());
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let rendered = error_response(&ServiceError::UnknownTarget("x".into())).render();
+        assert_eq!(rendered, "{\"ok\":false,\"error\":\"unknown target 'x'\"}");
+    }
+}

@@ -1,0 +1,188 @@
+//! The target-graph registry: named, process-lifetime owned graphs.
+
+use crate::ServiceError;
+use sge_graph::io::parse_graph_with_interner;
+use sge_graph::Graph;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Summary of one registered graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// Registry name (the key queries refer to).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+}
+
+/// Loads and owns named target graphs for the lifetime of the process.
+///
+/// All graphs funneled through [`GraphRegistry::load_file`] and all query
+/// patterns parsed with [`GraphRegistry::parse_pattern`] share **one** label
+/// interner, so a pattern's `C`/`N`/`O` labels mean the same dense ids as the
+/// target's — the invariant the RI family's label comparisons rely on.
+/// Graphs inserted programmatically via [`GraphRegistry::insert`] bypass the
+/// interner and must already use consistent integer labels.
+pub struct GraphRegistry {
+    graphs: RwLock<HashMap<String, Arc<Graph>>>,
+    interner: Mutex<HashMap<String, u32>>,
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        GraphRegistry::new()
+    }
+}
+
+impl GraphRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        GraphRegistry {
+            graphs: RwLock::new(HashMap::new()),
+            interner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Loads a `.gfu`/`.gfd` file and registers it under `name`, replacing
+    /// any previous graph of that name.
+    pub fn load_file(&self, name: &str, path: impl AsRef<Path>) -> Result<GraphInfo, ServiceError> {
+        // Read before locking: the interner gates every concurrent query's
+        // pattern parse and must not wait on disk I/O.
+        let text = std::fs::read_to_string(path).map_err(ServiceError::Io)?;
+        let graph = {
+            let mut interner = self
+                .interner
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            parse_graph_with_interner(&text, &mut interner)?
+        };
+        Ok(self.insert(name, graph))
+    }
+
+    /// Registers an in-memory graph under `name` (labels must already be
+    /// consistent with the registry's numbering).
+    pub fn insert(&self, name: &str, graph: Graph) -> GraphInfo {
+        let info = GraphInfo {
+            name: name.to_string(),
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+        };
+        self.graphs
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(name.to_string(), Arc::new(graph));
+        info
+    }
+
+    /// Looks a target up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Graph>> {
+        self.graphs
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Parses a query pattern through the shared label interner.
+    pub fn parse_pattern(&self, text: &str) -> Result<Graph, ServiceError> {
+        let mut interner = self
+            .interner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Ok(parse_graph_with_interner(text, &mut interner)?)
+    }
+
+    /// Summaries of every registered graph, sorted by name.
+    pub fn list(&self) -> Vec<GraphInfo> {
+        let graphs = self
+            .graphs
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut infos: Vec<GraphInfo> = graphs
+            .iter()
+            .map(|(name, graph)| GraphInfo {
+                name: name.clone(),
+                nodes: graph.num_nodes(),
+                edges: graph.num_edges(),
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// `true` when no graph is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_graph::generators;
+    use sge_graph::io::write_graph;
+
+    #[test]
+    fn insert_get_and_list() {
+        let registry = GraphRegistry::new();
+        assert!(registry.is_empty());
+        let info = registry.insert("k4", generators::clique(4, 0));
+        assert_eq!(info.nodes, 4);
+        assert_eq!(info.edges, 12);
+        registry.insert("path", generators::directed_path(3, 0));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.get("k4").unwrap().num_nodes(), 4);
+        assert!(registry.get("missing").is_none());
+        let names: Vec<_> = registry.list().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, vec!["k4", "path"]);
+    }
+
+    #[test]
+    fn file_loading_shares_the_interner_with_patterns() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sge-registry-test-{}.gfu", std::process::id()));
+        // Target with string labels: C, N, C.
+        std::fs::write(&path, "#mol\n3\nC\nN\nC\n2\n0 1\n1 2\n").unwrap();
+        let registry = GraphRegistry::new();
+        let info = registry.load_file("mol", &path).unwrap();
+        assert_eq!(info.nodes, 3);
+        std::fs::remove_file(&path).ok();
+
+        // A pattern using label N must intern to the same id the target got.
+        let pattern = registry.parse_pattern("1\nN\n0\n").unwrap();
+        let target = registry.get("mol").unwrap();
+        assert_eq!(pattern.label(0), target.label(1));
+        assert_ne!(pattern.label(0), target.label(0));
+    }
+
+    #[test]
+    fn load_file_missing_is_an_error() {
+        let registry = GraphRegistry::new();
+        assert!(registry
+            .load_file("x", "/nonexistent/definitely-missing.gfu")
+            .is_err());
+    }
+
+    #[test]
+    fn reload_replaces() {
+        let registry = GraphRegistry::new();
+        registry.insert("g", generators::clique(3, 0));
+        registry.insert("g", generators::clique(5, 0));
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.get("g").unwrap().num_nodes(), 5);
+        // Round-trip sanity: the stored graph serializes like the original.
+        let text = write_graph(&generators::clique(5, 0));
+        assert_eq!(text, write_graph(&registry.get("g").unwrap()));
+    }
+}

@@ -1,0 +1,84 @@
+//! A counting semaphore on `Mutex` + `Condvar` (std has none).
+
+use std::sync::{Condvar, Mutex};
+
+/// Counting semaphore used for global admission control.
+pub(crate) struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    pub(crate) fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available; the permit is released when the
+    /// returned guard drops.
+    pub(crate) fn acquire(&self) -> Permit<'_> {
+        let mut permits = self
+            .permits
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *permits == 0 {
+            permits = self
+                .available
+                .wait(permits)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        *permits -= 1;
+        Permit { semaphore: self }
+    }
+}
+
+/// RAII guard for one admission permit.
+pub(crate) struct Permit<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self
+            .semaphore
+            .permits
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *permits += 1;
+        self.semaphore.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn limits_concurrency() {
+        let semaphore = Arc::new(Semaphore::new(2));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let semaphore = Arc::clone(&semaphore);
+                let in_flight = Arc::clone(&in_flight);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    let _permit = semaphore.acquire();
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+}

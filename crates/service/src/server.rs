@@ -1,0 +1,165 @@
+//! The std-only TCP front end.
+//!
+//! One thread per connection, newline-delimited requests, one JSON line per
+//! response.  `SHUTDOWN` answers, then stops the accept loop (a loopback
+//! self-connection wakes the blocking `accept`).
+
+use crate::protocol::{
+    batch_response, error_response, load_response, parse_batch_query, parse_command,
+    query_response, shutdown_response, stats_response, Command,
+};
+use crate::{QuerySet, ServiceError, SharedService};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: SharedService,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, service: SharedService) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client issues `SHUTDOWN`.
+    pub fn run(self) -> std::io::Result<()> {
+        let local_addr = self.listener.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || {
+                // Per-connection errors only terminate that connection.
+                let _ = handle_connection(stream, &service, &shutdown, local_addr);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &SharedService,
+    shutdown: &AtomicBool,
+    local_addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_command(&line) {
+            Ok(Command::Load { name, path }) => match service.registry().load_file(&name, &path) {
+                Ok(info) => load_response(&info),
+                Err(err) => error_response(&err),
+            },
+            Ok(Command::Query { target, spec }) => match service.run_query(&target, &spec) {
+                Ok(outcome) => query_response(&outcome),
+                Err(err) => error_response(&err),
+            },
+            Ok(Command::Batch { target, count }) => match read_batch(&mut reader, target, count) {
+                Ok(set) => batch_response(&service.run_batch(&set)),
+                Err(err) => error_response(&err),
+            },
+            Ok(Command::Stats) => stats_response(service),
+            Ok(Command::Shutdown) => {
+                writeln!(writer, "{}", shutdown_response().render())?;
+                writer.flush()?;
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the blocking accept loop so Server::run observes the
+                // flag even with no further client traffic.
+                let _ = TcpStream::connect(wake_addr(local_addr));
+                return Ok(());
+            }
+            Err(err) => {
+                // A malformed BATCH header still announced continuation
+                // lines (the client sends them regardless); consume them so
+                // they are not misread as top-level commands.
+                for _ in 0..crate::client::continuation_lines(&line) {
+                    let mut continuation = String::new();
+                    if reader.read_line(&mut continuation)? == 0 {
+                        break;
+                    }
+                }
+                error_response(&err)
+            }
+        };
+        writeln!(writer, "{}", response.render())?;
+        writer.flush()?;
+    }
+}
+
+/// The address to poke to wake the blocking `accept`: a wildcard bind
+/// (`0.0.0.0` / `::`) is not connectable on every platform, so substitute
+/// the matching loopback address.
+fn wake_addr(local_addr: SocketAddr) -> SocketAddr {
+    let mut addr = local_addr;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+/// Reads the `count` continuation lines of a `BATCH` request.
+///
+/// All `count` lines are consumed even when one fails to parse — bailing
+/// early would leave the remaining continuation lines in the stream to be
+/// misread as top-level commands, desynchronizing the request/response
+/// pairing for the rest of the connection.
+fn read_batch(
+    reader: &mut BufReader<TcpStream>,
+    target: String,
+    count: usize,
+) -> Result<QuerySet, ServiceError> {
+    let mut set = QuerySet::new(target);
+    let mut first_error = None;
+    let mut line = String::new();
+    for index in 0..count {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServiceError::Protocol(format!(
+                "connection closed after {index} of {count} batch query lines"
+            )));
+        }
+        match parse_batch_query(&line) {
+            Ok(spec) => {
+                set.push(spec);
+            }
+            Err(err) => first_error = first_error.or(Some(err)),
+        }
+    }
+    match first_error {
+        Some(err) => Err(err),
+        None => Ok(set),
+    }
+}

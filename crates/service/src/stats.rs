@@ -1,0 +1,136 @@
+//! Aggregate service statistics: counters plus a latency distribution.
+
+use sge_util::{LatencyHistogram, RunningStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Thread-safe accumulator of service-level counters and latencies.
+pub struct ServiceStats {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    matches: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<(RunningStats, LatencyHistogram)>,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats::new()
+    }
+}
+
+impl ServiceStats {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        ServiceStats {
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            matches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new((RunningStats::new(), LatencyHistogram::new())),
+        }
+    }
+
+    /// Records one successfully served query.
+    pub fn record_query(&self, matches: u64, latency_seconds: f64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.matches.fetch_add(matches, Ordering::Relaxed);
+        let mut latency = self
+            .latency
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        latency.0.push(latency_seconds);
+        latency.1.record(latency_seconds);
+    }
+
+    /// Records one completed batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed query.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (running, histogram) = {
+            let latency = self
+                .latency
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            (latency.0.clone(), latency.1.clone())
+        };
+        StatsSnapshot {
+            queries_served: self.queries.load(Ordering::Relaxed),
+            batches_served: self.batches.load(Ordering::Relaxed),
+            total_matches: self.matches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_mean_seconds: running.mean(),
+            latency_stddev_seconds: running.stddev(),
+            latency_min_seconds: running.min().unwrap_or(0.0),
+            latency_max_seconds: running.max().unwrap_or(0.0),
+            latency_p50_seconds: histogram.quantile_seconds(0.50).unwrap_or(0.0),
+            latency_p90_seconds: histogram.quantile_seconds(0.90).unwrap_or(0.0),
+            latency_p99_seconds: histogram.quantile_seconds(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Point-in-time service statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries served successfully (single and batched).
+    pub queries_served: u64,
+    /// Batches completed.
+    pub batches_served: u64,
+    /// Sum of match counts over all served queries.
+    pub total_matches: u64,
+    /// Queries that failed (unknown target, parse error, …).
+    pub errors: u64,
+    /// Mean end-to-end query latency in seconds.
+    pub latency_mean_seconds: f64,
+    /// Population standard deviation of query latency.
+    pub latency_stddev_seconds: f64,
+    /// Fastest observed query.
+    pub latency_min_seconds: f64,
+    /// Slowest observed query.
+    pub latency_max_seconds: f64,
+    /// Median latency (histogram bucket resolution).
+    pub latency_p50_seconds: f64,
+    /// 90th-percentile latency (histogram bucket resolution).
+    pub latency_p90_seconds: f64,
+    /// 99th-percentile latency (histogram bucket resolution).
+    pub latency_p99_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_latency_aggregate() {
+        let stats = ServiceStats::new();
+        stats.record_query(60, 0.001);
+        stats.record_query(40, 0.003);
+        stats.record_batch();
+        stats.record_error();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries_served, 2);
+        assert_eq!(snap.batches_served, 1);
+        assert_eq!(snap.total_matches, 100);
+        assert_eq!(snap.errors, 1);
+        assert!((snap.latency_mean_seconds - 0.002).abs() < 1e-12);
+        assert_eq!(snap.latency_min_seconds, 0.001);
+        assert_eq!(snap.latency_max_seconds, 0.003);
+        assert!(snap.latency_p50_seconds > 0.0);
+        assert!(snap.latency_p99_seconds >= snap.latency_p50_seconds);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let snap = ServiceStats::new().snapshot();
+        assert_eq!(snap, StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end service tests over the in-process API (the acceptance path:
+//! registry load → repeated query → cache hit → identical mappings).
+
+use sge_engine::{RunConfig, Scheduler};
+use sge_graph::{generators, io::write_graph};
+use sge_ri::Algorithm;
+use sge_service::{QuerySet, QuerySpec, Service, ServiceConfig};
+
+fn temp_path(stem: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("{stem}-{}", std::process::id()))
+}
+
+/// The ISSUE acceptance scenario: load a target file into the registry,
+/// submit the same pattern twice, observe a PreparedCache hit (preprocessing
+/// runs once) and byte-identical sorted mappings from both queries and
+/// across schedulers.
+#[test]
+fn repeated_pattern_hits_cache_with_identical_mappings() {
+    let service = Service::new(ServiceConfig::default());
+
+    // Load the target from a real file, as a server deployment would.
+    let target_path = temp_path("sge-e2e-k5.gfd");
+    std::fs::write(&target_path, write_graph(&generators::clique(5, 0))).unwrap();
+    let info = service.registry().load_file("k5", &target_path).unwrap();
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(info.nodes, 5);
+    assert_eq!(info.edges, 20);
+
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+    let spec = QuerySpec::new(&pattern)
+        .with_run(RunConfig::new(Scheduler::Sequential).with_collected_mappings(1000));
+
+    let first = service.run_query("k5", &spec).unwrap();
+    let second = service.run_query("k5", &spec).unwrap();
+
+    // Preprocessing ran once: miss then hit.
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit);
+    let cache = service.cache().stats();
+    assert_eq!(cache.misses, 1);
+    assert_eq!(cache.hits, 1);
+    assert_eq!(first.pattern_hash, second.pattern_hash);
+
+    // Byte-identical sorted mappings from both queries…
+    assert_eq!(first.outcome.matches, 60);
+    assert_eq!(second.outcome.matches, 60);
+    assert_eq!(first.outcome.mappings.len(), 60);
+    assert_eq!(first.outcome.mappings, second.outcome.mappings);
+    // …and the cached preprocessing cost is reported unchanged.
+    assert_eq!(
+        first.outcome.preprocess_seconds,
+        second.outcome.preprocess_seconds
+    );
+
+    // …and across every scheduler, all served by the same cached engine.
+    for scheduler in [
+        Scheduler::work_stealing(2),
+        Scheduler::work_stealing(4),
+        Scheduler::Rayon { workers: 3 },
+    ] {
+        let run = RunConfig::new(scheduler).with_collected_mappings(1000);
+        let outcome = service
+            .run_query("k5", &QuerySpec::new(&pattern).with_run(run))
+            .unwrap();
+        assert!(outcome.cache_hit, "{scheduler}");
+        assert_eq!(
+            outcome.outcome.mappings, first.outcome.mappings,
+            "{scheduler}"
+        );
+    }
+    assert_eq!(service.cache().stats().misses, 1, "preprocessing ran once");
+
+    let stats = service.stats();
+    assert_eq!(stats.queries_served, 5);
+    assert_eq!(stats.total_matches, 5 * 60);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.latency_max_seconds > 0.0);
+}
+
+#[test]
+fn algorithms_agree_through_the_service() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("grid", generators::grid(4, 4));
+    let pattern = write_graph(&generators::undirected_cycle(4, 0));
+    let mut reference = None;
+    for algorithm in Algorithm::ALL {
+        let spec = QuerySpec::new(&pattern)
+            .with_algorithm(algorithm)
+            .with_run(RunConfig::default().with_collected_mappings(10_000));
+        let outcome = service.run_query("grid", &spec).unwrap();
+        let mappings = outcome.outcome.mappings.clone();
+        match &reference {
+            None => reference = Some(mappings),
+            Some(expected) => assert_eq!(&mappings, expected, "{algorithm}"),
+        }
+    }
+    // Four distinct cache entries: the algorithm is part of the key.
+    assert_eq!(service.cache().stats().entries, 4);
+}
+
+#[test]
+fn batch_through_the_service_matches_single_queries() {
+    let service = Service::new(ServiceConfig {
+        cache_capacity: 8,
+        batch_workers: 4,
+        max_in_flight: 3,
+    });
+    service.registry().insert("k6", generators::clique(6, 0));
+
+    let patterns = [
+        write_graph(&generators::directed_cycle(3, 0)),
+        write_graph(&generators::directed_path(2, 0)),
+        write_graph(&generators::clique(3, 0)),
+    ];
+    let singles: Vec<u64> = patterns
+        .iter()
+        .map(|p| {
+            service
+                .run_query("k6", &QuerySpec::new(p))
+                .unwrap()
+                .outcome
+                .matches
+        })
+        .collect();
+
+    let mut set = QuerySet::new("k6");
+    for (i, pattern) in patterns.iter().cycle().take(30).enumerate() {
+        let scheduler = match i % 3 {
+            0 => Scheduler::Sequential,
+            1 => Scheduler::work_stealing(2),
+            _ => Scheduler::Rayon { workers: 2 },
+        };
+        set.push(QuerySpec::new(pattern).with_run(RunConfig::new(scheduler)));
+    }
+    let outcome = service.run_batch(&set);
+    assert_eq!(outcome.succeeded(), 30);
+    for (i, result) in outcome.results.iter().enumerate() {
+        assert_eq!(
+            result.as_ref().unwrap().outcome.matches,
+            singles[i % 3],
+            "query {i}"
+        );
+    }
+    // Every batched query reused one of the three prepared engines.
+    assert_eq!(outcome.cache_hits(), 30);
+    assert_eq!(service.cache().stats().misses, 3);
+}
+
+#[test]
+fn unknown_target_and_bad_pattern_are_clean_errors() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("k3", generators::clique(3, 0));
+    let good = write_graph(&generators::directed_path(2, 0));
+    assert!(service
+        .run_query("missing", &QuerySpec::new(&good))
+        .is_err());
+    assert!(service
+        .run_query("k3", &QuerySpec::new("3\n0\n0\n"))
+        .is_err());
+    assert_eq!(service.stats().errors, 2);
+    assert_eq!(service.stats().queries_served, 0);
+}
+
+#[test]
+fn reloading_a_target_serves_fresh_results_not_the_cached_engine() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("t", generators::clique(5, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+
+    let before = service.run_query("t", &QuerySpec::new(&pattern)).unwrap();
+    assert_eq!(before.outcome.matches, 60);
+
+    // Replace the target under the same name (what a LOAD does on reload).
+    service.registry().insert("t", generators::clique(4, 0));
+    let after = service.run_query("t", &QuerySpec::new(&pattern)).unwrap();
+    assert!(!after.cache_hit, "stale engine must be invalidated");
+    assert_eq!(after.outcome.matches, 24, "answers come from the new graph");
+
+    let again = service.run_query("t", &QuerySpec::new(&pattern)).unwrap();
+    assert!(again.cache_hit, "the fresh engine is cached");
+    assert_eq!(again.outcome.matches, 24);
+}
+
+#[test]
+fn time_and_match_limits_flow_through() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("k6", generators::clique(6, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+    let limited = service
+        .run_query(
+            "k6",
+            &QuerySpec::new(&pattern).with_run(RunConfig::default().with_max_matches(7)),
+        )
+        .unwrap();
+    assert_eq!(limited.outcome.matches, 7);
+    assert!(limited.outcome.limit_hit);
+}

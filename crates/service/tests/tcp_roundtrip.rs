@@ -1,0 +1,220 @@
+//! Full TCP round-trips: server thread + scripted client over loopback.
+
+use sge_graph::{generators, io::write_graph};
+use sge_service::client::run_script;
+use sge_service::protocol::encode_inline_pattern;
+use sge_service::{Server, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn start_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let server = Server::bind("127.0.0.1:0", service).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn write_target_file(stem: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("{stem}-{}.gfd", std::process::id()));
+    std::fs::write(&path, write_graph(&generators::clique(5, 0))).unwrap();
+    path
+}
+
+#[test]
+fn load_query_batch_stats_shutdown() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-k5");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    let edge = encode_inline_pattern(&write_graph(&generators::directed_path(2, 0)));
+
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        format!("QUERY target=k5 pattern={triangle}"),
+        format!("QUERY target=k5 sched=ws:4 pattern={triangle}"),
+        format!("QUERY target=k5 algo=ri sched=rayon:2 max=5 pattern={edge}"),
+        format!("BATCH target=k5 n=2"),
+        format!("pattern={triangle}"),
+        format!("algo=ri-ds pattern={edge}"),
+        "STATS".to_string(),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(
+        responses.len(),
+        7,
+        "one response per request: {responses:?}"
+    );
+
+    // LOAD
+    assert!(responses[0].contains("\"ok\":true"));
+    assert!(responses[0].contains("\"nodes\":5"));
+    assert!(responses[0].contains("\"edges\":20"));
+    // QUERY (cold, then cached under another scheduler)
+    assert!(responses[1].contains("\"matches\":60"));
+    assert!(responses[1].contains("\"cache_hit\":false"));
+    assert!(responses[2].contains("\"matches\":60"));
+    assert!(responses[2].contains("\"cache_hit\":true"));
+    assert!(responses[2].contains("work-stealing"));
+    // Limited RI query under the rayon-style pool.
+    assert!(responses[3].contains("\"matches\":5"));
+    assert!(responses[3].contains("\"limit_hit\":true"));
+    // BATCH: 60 + 20 matches.
+    assert!(responses[4].contains("\"queries\":2"));
+    assert!(responses[4].contains("\"succeeded\":2"));
+    assert!(responses[4].contains("\"total_matches\":80"));
+    // STATS: 3 single + 2 batched queries, 60*2 + 5 + 60 + 20 matches.
+    assert!(responses[5].contains("\"queries_served\":5"));
+    assert!(responses[5].contains("\"total_matches\":205"));
+    assert!(responses[5].contains("\"batches_served\":1"));
+    assert!(responses[5].contains("\"name\":\"k5\""));
+    // SHUTDOWN stops the accept loop.
+    assert!(responses[6].contains("\"shutdown\":true"));
+    server.join().expect("server thread exits after SHUTDOWN");
+}
+
+#[test]
+fn mappings_are_returned_and_sorted_when_collected() {
+    let (addr, server) = start_server();
+    let service_pattern = encode_inline_pattern(&write_graph(&generators::directed_path(2, 0)));
+    let target_path = write_target_file("sge-tcp-collect");
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        format!("QUERY target=k5 collect=100 pattern={service_pattern}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert!(responses[1].contains("\"matches\":20"));
+    let mappings_field = responses[1]
+        .split("\"mappings\":")
+        .nth(1)
+        .expect("mappings present");
+    // First (lexicographically smallest) mapping of an edge into a 5-clique.
+    assert!(mappings_field.starts_with("[[0,1]"));
+    server.join().unwrap();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let (addr, server) = start_server();
+    let script = vec![
+        "FROB target=x".to_string(),
+        "QUERY target=nowhere pattern=1;0;0".to_string(),
+        "QUERY target=nowhere".to_string(),
+        "STATS".to_string(),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    assert!(responses[0].contains("\"ok\":false"));
+    assert!(responses[0].contains("unknown verb"));
+    assert!(responses[1].contains("unknown target"));
+    assert!(responses[2].contains("\"ok\":false"));
+    // The connection survived all three errors.
+    assert!(responses[3].contains("\"queries_served\":0"));
+    assert!(responses[4].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn bad_batch_line_keeps_the_connection_in_sync() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-badbatch");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        "BATCH target=k5 n=2".to_string(),
+        "algo=wat pattern=1;0;0".to_string(), // malformed continuation line
+        format!("pattern={triangle}"),        // still consumed, not re-parsed as a verb
+        format!("QUERY target=k5 pattern={triangle}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    // 4 requests (LOAD, BATCH, QUERY, SHUTDOWN) → exactly 4 responses, in order.
+    assert_eq!(responses.len(), 4, "{responses:?}");
+    assert!(responses[1].contains("\"ok\":false"));
+    assert!(responses[1].contains("unknown algorithm"));
+    assert!(responses[2].contains("\"matches\":60"), "{}", responses[2]);
+    assert!(responses[3].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn bad_batch_header_keeps_the_connection_in_sync() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-badheader");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    // Header parses its n= but is missing target=; the client still sends
+    // the 2 announced query lines, which the server must consume.
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        "BATCH n=2".to_string(),
+        format!("pattern={triangle}"),
+        format!("pattern={triangle}"),
+        format!("QUERY target=k5 pattern={triangle}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(responses.len(), 4, "{responses:?}");
+    assert!(responses[1].contains("\"ok\":false"));
+    assert!(responses[1].contains("BATCH requires target"));
+    assert!(responses[2].contains("\"matches\":60"), "{}", responses[2]);
+    assert!(responses[3].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn truncated_batch_script_errors_instead_of_hanging() {
+    let (addr, server) = start_server();
+    let script = vec![
+        "BATCH target=k5 n=3".to_string(),
+        "pattern=1;0;0".to_string(), // 1 of 3 announced lines
+    ];
+    let err = run_script(addr, &script).expect_err("incomplete batch must not be sent");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    let responses = run_script(addr, &["SHUTDOWN".to_string()]).unwrap();
+    assert!(responses[0].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_share_the_cache() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-conc");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    // Load and warm the cache with one serial query so the concurrent
+    // clients below all hit the same prepared entry deterministically.
+    let load = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        format!("QUERY target=k5 pattern={triangle}"),
+    ];
+    run_script(addr, &load).expect("load");
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let triangle = triangle.clone();
+            std::thread::spawn(move || {
+                let sched = if i % 2 == 0 { "seq" } else { "ws:2" };
+                let script = vec![format!("QUERY target=k5 sched={sched} pattern={triangle}")];
+                run_script(addr, &script).expect("query")
+            })
+        })
+        .collect();
+    for handle in handles {
+        let responses = handle.join().unwrap();
+        assert!(responses[0].contains("\"matches\":60"));
+    }
+
+    let responses = run_script(addr, &["STATS".to_string(), "SHUTDOWN".to_string()]).unwrap();
+    std::fs::remove_file(&target_path).ok();
+    assert!(responses[0].contains("\"queries_served\":5"));
+    // All four clients keyed the same (pattern, target, algorithm) entry.
+    assert!(
+        responses[0].contains("\"misses\":1"),
+        "stats: {}",
+        responses[0]
+    );
+    server.join().unwrap();
+}

@@ -28,5 +28,5 @@ pub mod timing;
 pub use bitset::Bitset;
 pub use budget::MatchBudget;
 pub use rng::SplitMix64;
-pub use stats::{geometric_mean, RunningStats, SpeedupSummary};
+pub use stats::{geometric_mean, LatencyHistogram, RunningStats, SpeedupSummary};
 pub use timing::PhaseTimer;

@@ -178,6 +178,124 @@ impl SpeedupSummary {
     }
 }
 
+/// A log-scaled latency histogram with quantile estimation.
+///
+/// Buckets are powers of two over microseconds: bucket `i` covers latencies
+/// in `[2^(i-1), 2^i)` µs (bucket 0 is `< 1` µs), topping out at ~73 minutes
+/// in the final catch-all bucket.  Recording is O(1) and lock-friendly (the
+/// struct is plain data; callers wrap it in whatever synchronization they
+/// use), quantiles are resolved to the upper edge of the owning bucket —
+/// the usual fidelity for service latency reporting, where the bucket
+/// resolution (a factor of two) is far below the run-to-run noise.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; LatencyHistogram::NUM_BUCKETS],
+    count: u64,
+    sum_seconds: f64,
+    max_seconds: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// 33 buckets: `< 1 µs`, 31 doubling buckets, and a catch-all.
+    pub const NUM_BUCKETS: usize = 33;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; Self::NUM_BUCKETS],
+            count: 0,
+            sum_seconds: 0.0,
+            max_seconds: 0.0,
+        }
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        let micros = seconds * 1e6;
+        if micros < 1.0 {
+            return 0;
+        }
+        // Bucket i (i >= 1) covers [2^(i-1), 2^i) µs.
+        let bucket = micros.log2().floor() as usize + 1;
+        bucket.min(Self::NUM_BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `i` in seconds.
+    fn bucket_upper_seconds(bucket: usize) -> f64 {
+        // Bucket 0 tops at 1 µs; bucket i at 2^i µs.
+        (1u64 << bucket) as f64 * 1e-6
+    }
+
+    /// Records one latency observation (negative values clamp to 0).
+    pub fn record(&mut self, seconds: f64) {
+        let seconds = seconds.max(0.0);
+        self.buckets[Self::bucket_of(seconds)] += 1;
+        self.count += 1;
+        self.sum_seconds += seconds;
+        self.max_seconds = self.max_seconds.max(seconds);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.count as f64
+        }
+    }
+
+    /// Maximum recorded latency in seconds.
+    pub fn max_seconds(&self) -> f64 {
+        self.max_seconds
+    }
+
+    /// The latency below which a `q` fraction of observations fall,
+    /// resolved to the upper edge of the owning bucket (`None` when empty).
+    /// `q` is clamped to `[0, 1]`.
+    pub fn quantile_seconds(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if bucket == Self::NUM_BUCKETS - 1 {
+                    // The catch-all bucket has no finite edge; the exact max
+                    // is the tightest bound we track.
+                    return Some(self.max_seconds);
+                }
+                // The exact max is a tighter bound than the edge of the top
+                // occupied bucket.
+                return Some(Self::bucket_upper_seconds(bucket).min(self.max_seconds));
+            }
+        }
+        Some(self.max_seconds)
+    }
+
+    /// Merges another histogram into this one (parallel reduction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +398,68 @@ mod tests {
         let summary = SpeedupSummary::from_pairs(&[]);
         assert_eq!(summary.instances, 0);
         assert_eq!(summary.avg, 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut hist = LatencyHistogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.quantile_seconds(0.5), None);
+
+        // 90 fast observations around 100 µs, 10 slow around 50 ms.
+        for _ in 0..90 {
+            hist.record(100e-6);
+        }
+        for _ in 0..10 {
+            hist.record(50e-3);
+        }
+        assert_eq!(hist.count(), 100);
+        let p50 = hist.quantile_seconds(0.5).unwrap();
+        let p99 = hist.quantile_seconds(0.99).unwrap();
+        // p50 lands in the 100 µs bucket ([64, 128) µs); p99 in the 50 ms
+        // bucket ([32.8, 65.5) ms).
+        assert!((100e-6..256e-6).contains(&p50), "p50 = {p50}");
+        assert!((50e-3..100e-3).contains(&p99), "p99 = {p99}");
+        assert!(hist.quantile_seconds(1.0).unwrap() <= hist.max_seconds());
+        assert_close(hist.max_seconds(), 50e-3);
+        assert!((hist.mean_seconds() - (90.0 * 100e-6 + 10.0 * 50e-3) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histogram_merge_equals_single_pass() {
+        let mut all = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for i in 0..1000 {
+            let v = (i as f64) * 17e-6;
+            all.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_close(left.mean_seconds(), all.mean_seconds());
+        assert_close(left.max_seconds(), all.max_seconds());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_close(
+                left.quantile_seconds(q).unwrap(),
+                all.quantile_seconds(q).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histogram_edge_cases() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(-1.0); // clamps to 0
+        hist.record(0.0);
+        hist.record(1e9); // lands in the catch-all bucket
+        assert_eq!(hist.count(), 3);
+        assert!(hist.quantile_seconds(0.01).unwrap() <= 1e-6);
+        assert_close(hist.quantile_seconds(1.0).unwrap(), 1e9);
     }
 
     #[test]

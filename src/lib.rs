@@ -21,6 +21,8 @@
 //! | [`vf2`] | a VF2-style baseline used for cross-validation |
 //! | [`stealing`] | the generic private-deque work-stealing engine |
 //! | [`parallel`] | parallel RI / RI-DS-SI-FC plus ablation schedulers |
+//! | [`engine`] | the unified [`Engine`]/[`Scheduler`] API and [`PreparedEngine`] |
+//! | [`service`] | query serving: graph registry, prepared cache, batch executor, TCP server |
 //! | [`datasets`] | synthetic PPIS32 / GRAEMLIN32 / PDBSv1 analogues |
 //! | [`util`] | bitsets, statistics, timing |
 //!
@@ -62,17 +64,19 @@ pub use sge_datasets as datasets;
 pub use sge_graph as graph;
 pub use sge_parallel as parallel;
 pub use sge_ri as ri;
+pub use sge_service as service;
 pub use sge_stealing as stealing;
 pub use sge_util as util;
 pub use sge_vf2 as vf2;
 
-pub use engine::{Engine, EnumerationOutcome, RunConfig, Scheduler};
+pub use engine::{Engine, EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use crate::engine::{Engine, EnumerationOutcome, RunConfig, Scheduler};
+    pub use crate::engine::{Engine, EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
     pub use sge_graph::{Graph, GraphBuilder};
     pub use sge_ri::{Algorithm, MatchVisitor};
+    pub use sge_service::{QuerySet, QuerySpec, Service, ServiceConfig};
 
     // Legacy per-crate entry points, kept as thin shims over the engine
     // machinery for existing callers.
