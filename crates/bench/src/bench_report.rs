@@ -1,0 +1,550 @@
+//! The machine-readable perf-trajectory report (`BENCH_pr3.json`).
+//!
+//! Criterion benches print human-oriented tables; CI and future PRs need a
+//! stable, machine-readable record of where the hot path stands.  This module
+//! runs a small set of *figures* — named workloads mirroring the criterion
+//! benches — and emits one JSON document per run:
+//!
+//! ```json
+//! {
+//!   "schema": "sge-bench-report/v1",
+//!   "pr": "pr3",
+//!   "repeats": 5,
+//!   "figures": {
+//!     "<figure>": {
+//!       "cases": [
+//!         {
+//!           "name": "<case>",
+//!           "intersection_seconds": 0.0123,
+//!           "single_parent_seconds": 0.0187,
+//!           "speedup_vs_sequential": 1.7,
+//!           "speedup_over_single_parent": 1.5
+//!         }
+//!       ]
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! * `intersection_seconds` — median wall time of the case on the shipping
+//!   intersection-based candidate path,
+//! * `single_parent_seconds` — the same case on the legacy single-parent
+//!   comparator ([`sge::ri::CandidateMode::SingleParent`]),
+//! * `speedup_vs_sequential` — the figure's sequential intersection median
+//!   divided by this case's intersection median,
+//! * `speedup_over_single_parent` — `single_parent_seconds /
+//!   intersection_seconds` for the same case.
+//!
+//! Future PRs append comparable records as `BENCH_pr<N>.json` with the same
+//! schema string so the trajectory stays diffable.
+
+use crate::experiments::collection;
+use crate::report::Table;
+use crate::ExperimentConfig;
+use sge::prelude::*;
+use sge::ri::CandidateMode;
+use sge_datasets::CollectionKind;
+use sge_graph::{generators, io::write_graph, Graph};
+use sge_ri::Algorithm;
+use sge_service::json::Json;
+use std::time::Instant;
+
+/// Figure names every report must contain; CI's `bench-smoke` job validates
+/// the emitted document against this list.
+pub const EXPECTED_FIGURES: [&str; 3] = ["fig3_work_stealing", "batch_throughput", "dense_target"];
+
+/// Knobs of one report run.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportConfig {
+    /// Wall-time samples per case (the report records the median).
+    pub repeats: usize,
+    /// Shrink workloads to CI-smoke size.
+    pub smoke: bool,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            repeats: 5,
+            smoke: false,
+        }
+    }
+}
+
+/// One measured case of a figure.
+struct Case {
+    name: &'static str,
+    intersection_seconds: f64,
+    single_parent_seconds: f64,
+    speedup_vs_sequential: f64,
+}
+
+impl Case {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("intersection_seconds", Json::F64(self.intersection_seconds)),
+            (
+                "single_parent_seconds",
+                Json::F64(self.single_parent_seconds),
+            ),
+            (
+                "speedup_vs_sequential",
+                Json::F64(self.speedup_vs_sequential),
+            ),
+            (
+                "speedup_over_single_parent",
+                Json::F64(self.single_parent_seconds / self.intersection_seconds.max(1e-12)),
+            ),
+        ])
+    }
+}
+
+/// Median of `repeats` wall-time samples of `work`.
+fn median_seconds(repeats: usize, mut work: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The scheduler sweep every figure reports.
+fn schedulers() -> Vec<(&'static str, Scheduler)> {
+    vec![
+        ("sequential", Scheduler::Sequential),
+        ("ws4_stealing", Scheduler::work_stealing(4)),
+        (
+            "ws4_no_stealing",
+            Scheduler::WorkStealing {
+                workers: 4,
+                task_group_size: 4,
+                stealing: false,
+            },
+        ),
+    ]
+}
+
+/// Runs the scheduler sweep over a workload of prepared engines, once per
+/// candidate mode, timing each sweep as one count-only pass over the set.
+fn sweep_engine_sets(
+    intersection: &[Engine<'_>],
+    single: &[Engine<'_>],
+    repeats: usize,
+) -> Vec<Case> {
+    let time_set = |engines: &[Engine<'_>], scheduler: Scheduler| {
+        median_seconds(repeats, || {
+            for engine in engines {
+                std::hint::black_box(engine.run(&RunConfig::new(scheduler)).matches);
+            }
+        })
+    };
+    let mut cases = Vec::new();
+    let mut sequential_median = f64::NAN;
+    for (name, scheduler) in schedulers() {
+        let inter = time_set(intersection, scheduler);
+        let legacy = time_set(single, scheduler);
+        if scheduler == Scheduler::Sequential {
+            sequential_median = inter;
+        }
+        cases.push(Case {
+            name,
+            intersection_seconds: inter,
+            single_parent_seconds: legacy,
+            speedup_vs_sequential: sequential_median / inter.max(1e-12),
+        });
+    }
+    cases
+}
+
+/// Runs the scheduler sweep over one instance in both candidate modes.
+fn sweep_instance(
+    pattern: &Graph,
+    target: &Graph,
+    algorithm: Algorithm,
+    repeats: usize,
+) -> Vec<Case> {
+    let intersection = Engine::prepare(pattern, target, algorithm);
+    let single = Engine::prepare_with_mode(pattern, target, algorithm, CandidateMode::SingleParent);
+    sweep_engine_sets(&[intersection], &[single], repeats)
+}
+
+/// Figure `fig3_work_stealing`: the PPIS32-like collection under the
+/// stealing / no-stealing sweep.  The whole collection is enumerated per
+/// sample (single instances of the smoke collection finish in microseconds,
+/// below timer resolution).
+fn fig3_cases(config: &ReportConfig) -> Vec<Case> {
+    let experiment = if config.smoke {
+        ExperimentConfig::smoke()
+    } else {
+        // Large enough that search time dominates the per-run thread-spawn
+        // cost of the parallel schedulers, so the mode comparison measures
+        // the hot path rather than scheduling overhead.
+        ExperimentConfig {
+            scale: 1.5,
+            max_instances: Some(8),
+            ..ExperimentConfig::smoke()
+        }
+    };
+    let coll = collection(CollectionKind::Ppis32, &experiment);
+    fn prepare_all<'g>(coll: &'g sge_datasets::Collection, mode: CandidateMode) -> Vec<Engine<'g>> {
+        coll.instances
+            .iter()
+            .map(|i| {
+                Engine::prepare_with_mode(&i.pattern, coll.target_of(i), Algorithm::RiDs, mode)
+            })
+            .collect()
+    }
+    let intersection = prepare_all(&coll, CandidateMode::Intersection);
+    let single = prepare_all(&coll, CandidateMode::SingleParent);
+    sweep_engine_sets(&intersection, &single, config.repeats)
+}
+
+/// The grid target the `batch_throughput` figure (engine-level cases *and*
+/// the service pass) runs against.
+fn batch_target(config: &ReportConfig) -> Graph {
+    if config.smoke {
+        generators::grid(6, 6)
+    } else {
+        generators::grid(16, 16)
+    }
+}
+
+/// The 100-pattern shape zoo used by the `batch_throughput` bench.
+fn zoo_patterns() -> Vec<Graph> {
+    let shapes = [
+        generators::directed_cycle(3, 0),
+        generators::directed_path(2, 0),
+        generators::directed_path(3, 0),
+        generators::undirected_cycle(4, 0),
+        generators::clique(3, 0),
+    ];
+    (0..100).map(|i| shapes[i % shapes.len()].clone()).collect()
+}
+
+/// Figure `batch_throughput`: the full 100-pattern query mix against the
+/// grid target, engines prepared once (prepared-cache semantics), runs timed.
+fn batch_cases(config: &ReportConfig) -> Vec<Case> {
+    fn prepare_set<'g>(
+        patterns: &'g [Graph],
+        target: &'g Graph,
+        mode: CandidateMode,
+    ) -> Vec<Engine<'g>> {
+        patterns
+            .iter()
+            .map(|p| Engine::prepare_with_mode(p, target, Algorithm::RiDsSiFc, mode))
+            .collect()
+    }
+    let target = batch_target(config);
+    let patterns = zoo_patterns();
+    let intersection = prepare_set(&patterns, &target, CandidateMode::Intersection);
+    let single = prepare_set(&patterns, &target, CandidateMode::SingleParent);
+    sweep_engine_sets(&intersection, &single, config.repeats)
+}
+
+/// The 100-pattern batch through the *real* service stack (registry, parse,
+/// prepared cache, admission control), reported as the median queries/second
+/// over `config.repeats` passes against the same target size the
+/// `batch_throughput` engine-level cases use.
+fn service_queries_per_second(config: &ReportConfig) -> f64 {
+    let service = Service::new(ServiceConfig {
+        cache_capacity: 32,
+        batch_workers: 4,
+        max_in_flight: 8,
+    });
+    service.registry().insert("grid", batch_target(config));
+    let mut set = QuerySet::new("grid");
+    for pattern in zoo_patterns() {
+        set.push(QuerySpec::new(write_graph(&pattern)));
+    }
+    let mut samples: Vec<f64> = (0..config.repeats.max(1))
+        .map(|_| {
+            let outcome = service.run_batch(&set);
+            assert_eq!(outcome.succeeded(), 100, "batch must fully succeed");
+            outcome.queries_per_second()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Figure `dense_target`: small cyclic patterns in cliques — the workload
+/// where the multi-parent intersection prunes hardest relative to the
+/// single-parent edge probing.
+fn dense_cases(config: &ReportConfig) -> Vec<Case> {
+    let clique_nodes = if config.smoke { 12 } else { 32 };
+    let pattern = generators::directed_cycle(4, 0);
+    let target = generators::clique(clique_nodes, 0);
+    sweep_instance(&pattern, &target, Algorithm::RiDs, config.repeats)
+}
+
+fn figure_json(cases: &[Case], extra: Vec<(&'static str, Json)>) -> Json {
+    let mut pairs = vec![(
+        "cases",
+        Json::Arr(cases.iter().map(Case::to_json).collect()),
+    )];
+    pairs.extend(extra);
+    Json::obj(pairs)
+}
+
+/// Runs every figure and renders the report document.
+///
+/// The record carries `host_parallelism` so trajectory readers can interpret
+/// the ws4 cases: on a single-core host the parallel schedulers can never
+/// beat sequential (`speedup_vs_sequential` < 1 measures scheduling
+/// overhead), while `speedup_over_single_parent` stays meaningful — both
+/// modes pay identical scheduling cost, so the ratio isolates the hot path.
+pub fn run_report(config: &ReportConfig) -> String {
+    let fig3 = fig3_cases(config);
+    let batch = batch_cases(config);
+    let qps = service_queries_per_second(config);
+    let dense = dense_cases(config);
+
+    let mut table = Table::new(
+        "bench-report (median wall seconds)",
+        &["figure", "case", "intersection", "single-parent", "vs-seq"],
+    );
+    for (figure, cases) in [
+        ("fig3_work_stealing", &fig3),
+        ("batch_throughput", &batch),
+        ("dense_target", &dense),
+    ] {
+        for case in cases {
+            table.row(vec![
+                figure.to_string(),
+                case.name.to_string(),
+                format!("{:.6}", case.intersection_seconds),
+                format!("{:.6}", case.single_parent_seconds),
+                format!("{:.2}", case.speedup_vs_sequential),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("service batch throughput: {qps:.0} queries/s");
+
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Json::obj(vec![
+        ("schema", Json::str("sge-bench-report/v1")),
+        ("pr", Json::str("pr3")),
+        ("repeats", Json::U64(config.repeats as u64)),
+        ("host_parallelism", Json::U64(host_parallelism as u64)),
+        (
+            "figures",
+            Json::obj(vec![
+                ("fig3_work_stealing", figure_json(&fig3, Vec::new())),
+                (
+                    "batch_throughput",
+                    figure_json(&batch, vec![("service_queries_per_second", Json::F64(qps))]),
+                ),
+                ("dense_target", figure_json(&dense, Vec::new())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Validates an emitted report: the document must be syntactically valid JSON
+/// and its `figures` object must contain every key in [`EXPECTED_FIGURES`].
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let mut parser = MiniJson {
+        bytes: text.trim().as_bytes(),
+        pos: 0,
+    };
+    parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", parser.pos));
+    }
+    if !text.contains("\"schema\":\"sge-bench-report/v1\"") {
+        return Err("missing or unexpected schema marker".to_string());
+    }
+    for figure in EXPECTED_FIGURES {
+        if !text.contains(&format!("\"{figure}\"")) {
+            return Err(format!("missing figure key '{figure}'"));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal JSON syntax checker (no DOM; enough to reject malformed output).
+struct MiniJson<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl MiniJson<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{text}' at offset {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => self.pos += 1, // skip the escaped byte
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| format!("invalid number '{text}' at offset {start}"))
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_emits_every_figure_and_validates() {
+        let config = ReportConfig {
+            repeats: 1,
+            smoke: true,
+        };
+        let report = run_report(&config);
+        validate_report(&report).expect("fresh report must validate");
+        for figure in EXPECTED_FIGURES {
+            assert!(report.contains(&format!("\"{figure}\"")), "{figure}");
+        }
+        assert!(report.contains("\"speedup_over_single_parent\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_report("{").is_err());
+        assert!(validate_report("{}").is_err(), "schema marker required");
+        assert!(validate_report("not json at all").is_err());
+        let missing_figure = format!(
+            "{{\"schema\":\"sge-bench-report/v1\",\"figures\":{{\"{}\":{{}}}}}}",
+            EXPECTED_FIGURES[0]
+        );
+        assert!(
+            validate_report(&missing_figure).is_err(),
+            "all figure keys are required"
+        );
+    }
+
+    #[test]
+    fn validator_accepts_minimal_complete_documents() {
+        let doc = format!(
+            "{{\"schema\":\"sge-bench-report/v1\",\"figures\":{{\"{}\":{{}},\"{}\":{{}},\"{}\":{{}}}}}}",
+            EXPECTED_FIGURES[0], EXPECTED_FIGURES[1], EXPECTED_FIGURES[2]
+        );
+        validate_report(&doc).expect("complete minimal document");
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut calls = 0;
+        let median = median_seconds(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert!(median >= 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! `bench-report` — emit / validate the machine-readable perf record.
+//!
+//! ```text
+//! bench-report [--out PATH] [--repeats N] [--smoke]   run figures, write JSON
+//! bench-report --validate PATH                        check an emitted file
+//! ```
+//!
+//! The run mode executes every figure of [`sge_bench::bench_report`] and
+//! writes the JSON document (default `BENCH_pr3.json`).  The validate mode
+//! parses the file and checks that every expected figure key is present; it
+//! exits non-zero on failure, which is what the CI `bench-smoke` job gates on.
+
+use sge_bench::bench_report::{run_report, validate_report, ReportConfig};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-report [--out PATH] [--repeats N] [--smoke]\n       bench-report --validate PATH"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_pr3.json");
+    let mut config = ReportConfig::default();
+    let mut validate: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => usage(),
+            },
+            "--repeats" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.repeats = n,
+                _ => usage(),
+            },
+            "--smoke" => config.smoke = true,
+            "--validate" => match iter.next() {
+                Some(path) => validate = Some(path.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench-report: cannot read '{path}': {err}");
+                exit(2);
+            }
+        };
+        match validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: valid sge-bench-report/v1 with every expected figure");
+            }
+            Err(err) => {
+                eprintln!("bench-report: '{path}' failed validation: {err}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = run_report(&config);
+    if let Err(err) = std::fs::write(&out, format!("{report}\n")) {
+        eprintln!("bench-report: cannot write '{out}': {err}");
+        exit(2);
+    }
+    println!("wrote {out}");
+}

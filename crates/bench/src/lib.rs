@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_report;
 pub mod config;
 pub mod experiments;
 pub mod records;

@@ -39,8 +39,8 @@
 use sge_graph::{Graph, NodeId};
 use sge_parallel::{enumerate_prepared, enumerate_rayon_prepared, ParallelConfig};
 use sge_ri::{
-    search_prepared, Algorithm, CollectingVisitor, MatchVisitor, PreparedParts, SearchContext,
-    SearchLimits,
+    search_prepared, Algorithm, CandidateMode, CollectingVisitor, MatchVisitor, PreparedParts,
+    SearchContext, SearchLimits,
 };
 use sge_stealing::WorkerStats;
 use sge_util::PhaseTimer;
@@ -332,9 +332,21 @@ impl<'g> Engine<'g> {
     /// Runs the preprocessing phase of `algorithm` (domain computation,
     /// forward checking, node ordering) once and returns a reusable engine.
     pub fn prepare(pattern: &'g Graph, target: &'g Graph, algorithm: Algorithm) -> Self {
+        Self::prepare_with_mode(pattern, target, algorithm, CandidateMode::default())
+    }
+
+    /// [`Engine::prepare`] with an explicit candidate generation scheme — the
+    /// A/B entry point for comparing the intersection-based hot path against
+    /// the legacy single-parent path under any scheduler.
+    pub fn prepare_with_mode(
+        pattern: &'g Graph,
+        target: &'g Graph,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+    ) -> Self {
         let mut timer = PhaseTimer::new();
         let ctx = timer.time("preprocess", || {
-            SearchContext::prepare(pattern, target, algorithm)
+            SearchContext::prepare_with_mode(pattern, target, algorithm, mode)
         });
         Engine {
             ctx,
@@ -450,23 +462,31 @@ impl<'g> Engine<'g> {
             max_matches: config.max_matches,
             time_limit: config.time_limit,
         };
-        let collector = CollectingVisitor::new(config.collect_mappings);
-        let run = search_prepared(&self.ctx, &limits, |ctx, state| {
-            // Build the mapping only for observers that still want it: once
-            // the collector is full, a visitor-less run stops allocating.
-            let collecting = !collector.is_full();
-            if visitor.is_none() && !collecting {
-                return;
-            }
-            let mapping = ctx.mapping_by_pattern_node(state);
-            if let Some(v) = visitor {
-                v.on_match(0, &mapping);
-            }
-            if collecting {
-                collector.on_match(0, &mapping);
-            }
-        });
-        let mut mappings = collector.take();
+        let (run, mut mappings) = if visitor.is_none() && config.collect_mappings == 0 {
+            // Count-only fast path: nothing observes individual matches, so
+            // skip the per-match observer machinery entirely — no mapping
+            // materialization, no collector consultation, just the counter.
+            (search_prepared(&self.ctx, &limits, |_, _| {}), Vec::new())
+        } else {
+            let collector = CollectingVisitor::new(config.collect_mappings);
+            let run = search_prepared(&self.ctx, &limits, |ctx, state| {
+                // Build the mapping only for observers that still want it:
+                // once the collector is full, a visitor-less run stops
+                // allocating.
+                let collecting = !collector.is_full();
+                if visitor.is_none() && !collecting {
+                    return;
+                }
+                let mapping = ctx.mapping_by_pattern_node(state);
+                if let Some(v) = visitor {
+                    v.on_match(0, &mapping);
+                }
+                if collecting {
+                    collector.on_match(0, &mapping);
+                }
+            });
+            (run, collector.take())
+        };
         // The sequential collector sees matches in DFS order; sorting gives
         // the same order contract as the parallel schedulers.
         mappings.sort_unstable();
@@ -712,6 +732,27 @@ mod tests {
                 "{scheduler}"
             );
             assert_eq!(outcome.matches, 60, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn count_only_fast_path_agrees_with_observed_runs() {
+        // A run with no visitor and no collection takes the count-only fast
+        // path (no per-match mapping materialization); it must agree with a
+        // fully-observed run on every reported figure.
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        for algorithm in Algorithm::ALL {
+            let engine = Engine::prepare(&pattern, &target, algorithm);
+            let counted = engine.run(&RunConfig::default());
+            let observed = engine.run(&RunConfig::default().with_collected_mappings(10_000));
+            assert_eq!(counted.matches, observed.matches, "{algorithm}");
+            assert_eq!(counted.states, observed.states, "{algorithm}");
+            assert!(counted.mappings.is_empty(), "{algorithm}");
+            assert_eq!(observed.mappings.len(), observed.matches as usize);
+            // The fast path also honors the match budget exactly.
+            let limited = engine.run(&RunConfig::default().with_max_matches(3));
+            assert_eq!(limited.matches, counted.matches.min(3), "{algorithm}");
         }
     }
 

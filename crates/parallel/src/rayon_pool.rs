@@ -159,6 +159,9 @@ pub fn enumerate_rayon_prepared(
 
     let collector = CollectingVisitor::new(config.collect_limit);
     let stop = Stop::new(config, start);
+    // An already-expired deadline stops the run before any worker claims a
+    // root, mirroring the sequential matcher and the stealing engine.
+    stop.check_deadline();
     let cursor = AtomicUsize::new(0);
 
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {

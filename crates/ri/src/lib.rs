@@ -49,6 +49,8 @@ pub use matcher::{
     enumerate, enumerate_with, search_prepared, Algorithm, MatchConfig, MatchResult, SearchLimits,
     SearchRun,
 };
-pub use ordering::{greatest_constraint_first, MatchOrder, ParentLink};
-pub use search::{PreparedParts, SearchContext, WorkerState};
+pub use ordering::{
+    greatest_constraint_first, CandidatePlan, EdgeConstraint, MatchOrder, ParentLink, PlanStep,
+};
+pub use search::{CandidateMode, PreparedParts, SearchContext, WorkerState};
 pub use visitor::{CollectingVisitor, MatchVisitor, NoopVisitor};

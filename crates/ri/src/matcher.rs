@@ -300,6 +300,15 @@ where
 
     let match_start = Instant::now();
     let deadline = limits.time_limit.map(|limit| match_start + limit);
+    // Uniform deadline semantics across schedulers: a budget that is already
+    // exhausted when the search would start reports `timed_out` with zero
+    // work, instead of depending on whether the periodic in-search check
+    // (every 4096 states) ever fires.
+    if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+        run.timed_out = true;
+        run.match_seconds = match_start.elapsed().as_secs_f64();
+        return run;
+    }
     let state = ctx.new_state();
     let np = ctx.num_positions();
     let mut driver = SearchDriver {

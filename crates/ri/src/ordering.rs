@@ -23,7 +23,7 @@
 //! in-neighborhood depending on the pattern edge direction).
 
 use crate::domains::Domains;
-use sge_graph::{Graph, NodeId};
+use sge_graph::{Graph, Label, NodeId};
 
 /// How candidates for a position are generated from its parent's image.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +34,45 @@ pub struct ParentLink {
     /// are the out-neighbors of the parent's image; `false` if only
     /// `child -> parent` exists, so candidates are the in-neighbors.
     pub out_from_parent: bool,
+}
+
+/// One pattern edge between a position's node and an *earlier* position,
+/// expressed as a constraint the candidate images must satisfy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeConstraint {
+    /// Position (index into [`MatchOrder::positions`]) of the earlier node.
+    pub parent_pos: usize,
+    /// `true` for the pattern edge `earlier -> this` (candidates must appear in
+    /// the out-neighborhood of the earlier node's image), `false` for
+    /// `this -> earlier` (candidates must appear in its in-neighborhood).
+    pub out_from_parent: bool,
+    /// The pattern edge's label; the supporting target edge must carry it too.
+    pub label: Label,
+}
+
+/// Everything the intersection-based candidate generator needs for one
+/// position: all edges back into the ordered prefix, plus the node's
+/// self-loop label when it has one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Every pattern edge between this position's node and earlier positions.
+    /// A node pair connected in both directions contributes two constraints.
+    pub constraints: Vec<EdgeConstraint>,
+    /// Label of the pattern self-loop on this node, when present.
+    pub self_loop: Option<Label>,
+}
+
+/// Per-position constraint sets driving multi-parent candidate intersection.
+///
+/// Where the legacy single-parent scheme generates candidates from *one*
+/// ordered neighbor and re-verifies every remaining back-edge per candidate,
+/// the plan lists *all* back-edges so candidates can be produced by
+/// intersecting the (sorted CSR) adjacency lists of every already-mapped
+/// neighbor — after which those edges are guaranteed by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CandidatePlan {
+    /// One step per position of the ordering.
+    pub steps: Vec<PlanStep>,
 }
 
 /// A static matching order over the pattern nodes plus the parent links used
@@ -48,6 +87,9 @@ pub struct MatchOrder {
     /// Parent link per position (`None` for roots of the ordering, e.g. the
     /// first node or the first node of a new connected component).
     pub parents: Vec<Option<ParentLink>>,
+    /// Full back-edge constraints per position (the multi-parent counterpart
+    /// of `parents`, used by the intersection-based candidate generator).
+    pub plan: CandidatePlan,
 }
 
 impl MatchOrder {
@@ -157,31 +199,50 @@ pub fn finish_order(pattern: &Graph, positions: Vec<NodeId>) -> MatchOrder {
         position_of[v as usize] = i;
     }
     let mut parents: Vec<Option<ParentLink>> = Vec::with_capacity(n);
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(n);
     for (i, &v) in positions.iter().enumerate() {
         let mut parent: Option<ParentLink> = None;
-        // Earliest ordered neighbor becomes the parent.
+        let mut step = PlanStep {
+            constraints: Vec::new(),
+            self_loop: pattern.edge_label(v, v),
+        };
         for (j, &u) in positions.iter().enumerate().take(i) {
-            if pattern.has_edge(u, v) {
-                parent = Some(ParentLink {
+            if let Some(label) = pattern.edge_label(u, v) {
+                if parent.is_none() {
+                    // Earliest ordered neighbor becomes the single parent.
+                    parent = Some(ParentLink {
+                        parent_pos: j,
+                        out_from_parent: true,
+                    });
+                }
+                step.constraints.push(EdgeConstraint {
                     parent_pos: j,
                     out_from_parent: true,
+                    label,
                 });
-                break;
             }
-            if pattern.has_edge(v, u) {
-                parent = Some(ParentLink {
+            if let Some(label) = pattern.edge_label(v, u) {
+                if parent.is_none() {
+                    parent = Some(ParentLink {
+                        parent_pos: j,
+                        out_from_parent: false,
+                    });
+                }
+                step.constraints.push(EdgeConstraint {
                     parent_pos: j,
                     out_from_parent: false,
+                    label,
                 });
-                break;
             }
         }
         parents.push(parent);
+        steps.push(step);
     }
     MatchOrder {
         positions,
         position_of,
         parents,
+        plan: CandidatePlan { steps },
     }
 }
 
@@ -351,5 +412,66 @@ mod tests {
         let order = greatest_constraint_first(&pattern, None, false);
         assert!(order.is_empty());
         assert_eq!(order.len(), 0);
+        assert!(order.plan.steps.is_empty());
+    }
+
+    #[test]
+    fn plan_lists_every_back_edge() {
+        // A clique stores both directions of every pair, so position i must
+        // carry exactly 2*i constraints (one per direction per earlier node).
+        let pattern = generators::clique(4, 0);
+        let order = greatest_constraint_first(&pattern, None, false);
+        for (i, step) in order.plan.steps.iter().enumerate() {
+            assert_eq!(step.constraints.len(), 2 * i, "position {i}");
+            assert_eq!(step.self_loop, None);
+            for c in &step.constraints {
+                assert!(c.parent_pos < i);
+                let child = order.positions[i];
+                let parent = order.positions[c.parent_pos];
+                if c.out_from_parent {
+                    assert_eq!(pattern.edge_label(parent, child), Some(c.label));
+                } else {
+                    assert_eq!(pattern.edge_label(child, parent), Some(c.label));
+                }
+            }
+        }
+        // The single-parent link agrees with the earliest constraint.
+        for (i, parent) in order.parents.iter().enumerate() {
+            let first = order.plan.steps[i].constraints.first();
+            match (parent, first) {
+                (Some(link), Some(c)) => {
+                    assert_eq!(link.parent_pos, c.parent_pos);
+                    assert_eq!(link.out_from_parent, c.out_from_parent);
+                }
+                (None, None) => {}
+                other => panic!("parent/plan mismatch at {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_records_self_loops_and_edge_labels() {
+        let mut pb = GraphBuilder::new();
+        let a = pb.add_node(0);
+        let b = pb.add_node(0);
+        pb.add_edge(a, a, 9);
+        pb.add_edge(a, b, 7);
+        pb.add_edge(b, a, 8);
+        let pattern = pb.build();
+        let order = greatest_constraint_first(&pattern, None, false);
+        let pos_a = order.position_of[a as usize];
+        let pos_b = order.position_of[b as usize];
+        assert_eq!(order.plan.steps[pos_a].self_loop, Some(9));
+        assert_eq!(order.plan.steps[pos_b].self_loop, None);
+        let later = pos_a.max(pos_b);
+        let labels: Vec<_> = order.plan.steps[later]
+            .constraints
+            .iter()
+            .map(|c| (c.out_from_parent, c.label))
+            .collect();
+        // Both directed edges between a and b appear, with their own labels.
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&(true, if later == pos_b { 7 } else { 8 })));
+        assert!(labels.contains(&(false, if later == pos_b { 8 } else { 7 })));
     }
 }

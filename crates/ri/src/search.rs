@@ -14,9 +14,27 @@
 
 use crate::domains::Domains;
 use crate::matcher::Algorithm;
-use crate::ordering::{greatest_constraint_first, MatchOrder};
-use sge_graph::{Graph, NodeId};
+use crate::ordering::{greatest_constraint_first, MatchOrder, PlanStep};
+use sge_graph::{EdgeRef, Graph, NodeId};
 use std::sync::Arc;
+
+/// How raw candidates are generated for positions with ordered neighbors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CandidateMode {
+    /// Multi-parent intersection (the default): candidates are the galloping
+    /// intersection of the adjacency lists of *every* already-mapped pattern
+    /// neighbor (smallest adjacency first), filtered through the RI-DS domain
+    /// bitset.  Edges back into the prefix are then guaranteed by
+    /// construction, so [`SearchContext::is_consistent`] skips its per-edge
+    /// probe loop.
+    #[default]
+    Intersection,
+    /// The legacy scheme: candidates come from a *single* parent's adjacency
+    /// list and every remaining back-edge is re-verified per candidate with a
+    /// binary-searched `edge_label` probe.  Kept as a comparator for property
+    /// tests and the bench harness.
+    SingleParent,
+}
 
 /// Read-only description of one enumeration instance: pattern, target, node
 /// ordering and (for the RI-DS family) domains.
@@ -36,12 +54,26 @@ pub struct SearchContext<'a> {
     /// Plain RI checks degrees during the search; the RI-DS domains already
     /// encode the degree filter.
     check_degrees: bool,
+    /// Candidate generation scheme (intersection by default).
+    mode: CandidateMode,
 }
 
 impl<'a> SearchContext<'a> {
     /// Runs the preprocessing phase of `algorithm` (domain computation, forward
-    /// checking, node ordering) and returns a ready-to-search context.
+    /// checking, node ordering) and returns a ready-to-search context using
+    /// the default intersection-based candidate generator.
     pub fn prepare(pattern: &'a Graph, target: &'a Graph, algorithm: Algorithm) -> Self {
+        Self::prepare_with_mode(pattern, target, algorithm, CandidateMode::default())
+    }
+
+    /// [`Self::prepare`] with an explicit [`CandidateMode`] — the entry point
+    /// for A/B comparisons between the intersection and single-parent paths.
+    pub fn prepare_with_mode(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+    ) -> Self {
         let mut impossible = false;
         let domains = if algorithm.uses_domains() {
             let mut domains = Domains::compute(pattern, target);
@@ -67,6 +99,7 @@ impl<'a> SearchContext<'a> {
             domains,
             impossible,
             check_degrees: !algorithm.uses_domains(),
+            mode,
         }
     }
 
@@ -89,7 +122,13 @@ impl<'a> SearchContext<'a> {
             domains: domains.map(Arc::new),
             impossible,
             check_degrees,
+            mode: CandidateMode::default(),
         }
+    }
+
+    /// The candidate generation scheme this context uses.
+    pub fn candidate_mode(&self) -> CandidateMode {
+        self.mode
     }
 
     /// The pattern graph.
@@ -137,17 +176,35 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Raw candidate target nodes for position `depth`, given the current
-    /// partial state (the parent's image must already be assigned).
+    /// partial state (all referenced parents' images must already be assigned).
     ///
-    /// * positions with a parent: the out-/in-neighbors of the parent's image,
+    /// * positions with ordered neighbors: under the default
+    ///   [`CandidateMode::Intersection`], the sorted intersection of the
+    ///   adjacency lists of *every* already-mapped pattern neighbor (starting
+    ///   from the smallest list, galloping through the others), filtered
+    ///   through the RI-DS domain bitset; under
+    ///   [`CandidateMode::SingleParent`], the out-/in-neighbors of the single
+    ///   parent's image,
     /// * parentless positions with domains (RI-DS): the domain members,
     /// * parentless positions without domains (RI): every target node.
     ///
     /// Candidates are *raw*: they still need [`Self::is_consistent`].
     pub fn candidates(&self, depth: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
         out.clear();
-        match self.order.parents[depth] {
-            Some(link) => {
+        let step = &self.order.plan.steps[depth];
+        if step.constraints.is_empty() {
+            match &self.domains {
+                Some(domains) => {
+                    let vp = self.order.positions[depth];
+                    out.extend(domains.set(vp).iter().map(|v| v as NodeId));
+                }
+                None => out.extend(0..self.target.num_nodes() as NodeId),
+            }
+            return;
+        }
+        match self.mode {
+            CandidateMode::SingleParent => {
+                let link = self.order.parents[depth].expect("constrained position has a parent");
                 let parent_image = state.mapping[link.parent_pos];
                 debug_assert_ne!(parent_image, NodeId::MAX, "parent must be assigned");
                 let edges = if link.out_from_parent {
@@ -157,13 +214,82 @@ impl<'a> SearchContext<'a> {
                 };
                 out.extend(edges.iter().map(|e| e.node));
             }
-            None => match &self.domains {
-                Some(domains) => {
-                    let vp = self.order.positions[depth];
-                    out.extend(domains.set(vp).iter().map(|v| v as NodeId));
-                }
-                None => out.extend(0..self.target.num_nodes() as NodeId),
-            },
+            CandidateMode::Intersection => {
+                let vp = self.order.positions[depth];
+                self.intersect_candidates(vp, step, state, out);
+            }
+        }
+    }
+
+    /// The adjacency list a constraint selects for the current state.
+    #[inline]
+    fn constraint_adjacency(
+        &self,
+        c: &crate::ordering::EdgeConstraint,
+        state: &WorkerState,
+    ) -> &[EdgeRef] {
+        let image = state.mapping[c.parent_pos];
+        debug_assert_ne!(image, NodeId::MAX, "constraint parent must be assigned");
+        if c.out_from_parent {
+            self.target.out_edges(image)
+        } else {
+            self.target.in_edges(image)
+        }
+    }
+
+    /// Multi-parent candidate generation: seed `out` from the smallest
+    /// adjacency list among the constraints (already filtered by edge label
+    /// and domain / node-label membership), then intersect with each
+    /// remaining list.  After the first intersection the buffer is no larger
+    /// than the smallest list, so the order of the remaining passes barely
+    /// matters; they run in declaration order.
+    fn intersect_candidates(
+        &self,
+        vp: NodeId,
+        step: &PlanStep,
+        state: &WorkerState,
+        out: &mut Vec<NodeId>,
+    ) {
+        // Seed from the smallest adjacency list (smallest-degree-first); every
+        // adjacency list is sorted by node id, so the buffer stays sorted
+        // through all intersections.
+        let mut seed = 0;
+        let mut seed_len = usize::MAX;
+        for (i, c) in step.constraints.iter().enumerate() {
+            let len = self.constraint_adjacency(c, state).len();
+            if len < seed_len {
+                seed_len = len;
+                seed = i;
+            }
+        }
+        // The seed fill also applies the domain (or node-label) filter, so
+        // later intersections gallop over the smallest possible buffer and
+        // `is_consistent` need not re-test membership.
+        let c0 = &step.constraints[seed];
+        let adj0 = self.constraint_adjacency(c0, state);
+        match &self.domains {
+            Some(domains) => out.extend(
+                adj0.iter()
+                    .filter(|e| e.label == c0.label && domains.contains(vp, e.node))
+                    .map(|e| e.node),
+            ),
+            None => {
+                let label = self.pattern.label(vp);
+                out.extend(
+                    adj0.iter()
+                        .filter(|e| e.label == c0.label && self.target.label(e.node) == label)
+                        .map(|e| e.node),
+                );
+            }
+        }
+        for (i, c) in step.constraints.iter().enumerate() {
+            if i == seed {
+                continue;
+            }
+            if out.is_empty() {
+                return;
+            }
+            intersect_sorted(out, self.constraint_adjacency(c, state), c.label);
         }
     }
 
@@ -171,23 +297,32 @@ impl<'a> SearchContext<'a> {
     /// `vt`, given the already-assigned prefix in `state`.
     ///
     /// Checks are ordered cheap → expensive, as in RI: injectivity, label (or
-    /// domain membership), degrees (plain RI only), then every pattern edge
-    /// between this node and already-mapped pattern nodes, including self-loops
-    /// and edge-label compatibility.
+    /// domain membership), degrees (plain RI only), the self-loop when the
+    /// pattern node carries one, and — under
+    /// [`CandidateMode::SingleParent`] only — every pattern edge between this
+    /// node and already-mapped pattern nodes.  Under the default intersection
+    /// mode those back-edges are already guaranteed by
+    /// [`Self::candidates`], so the per-edge probe loop is skipped.
     pub fn is_consistent(&self, depth: usize, vt: NodeId, state: &WorkerState) -> bool {
         let vp = self.order.positions[depth];
         if state.used[vt as usize] {
             return false;
         }
-        match &self.domains {
-            Some(domains) => {
-                if !domains.contains(vp, vt) {
-                    return false;
+        let step = &self.order.plan.steps[depth];
+        // Under intersection mode, constrained candidates were already pushed
+        // through the domain / node-label filter by `candidates`; re-testing
+        // is only needed for parentless positions and the legacy path.
+        if self.mode == CandidateMode::SingleParent || step.constraints.is_empty() {
+            match &self.domains {
+                Some(domains) => {
+                    if !domains.contains(vp, vt) {
+                        return false;
+                    }
                 }
-            }
-            None => {
-                if self.pattern.label(vp) != self.target.label(vt) {
-                    return false;
+                None => {
+                    if self.pattern.label(vp) != self.target.label(vt) {
+                        return false;
+                    }
                 }
             }
         }
@@ -197,38 +332,28 @@ impl<'a> SearchContext<'a> {
         {
             return false;
         }
-        // Edges from vp to already-mapped pattern nodes (and self-loops).
-        for e in self.pattern.out_edges(vp) {
-            let wp = e.node;
-            if wp == vp {
-                match self.target.edge_label(vt, vt) {
-                    Some(l) if l == e.label => {}
-                    _ => return false,
-                }
-                continue;
-            }
-            let pos = self.order.position_of[wp as usize];
-            if pos < depth {
-                let wt = state.mapping[pos];
-                match self.target.edge_label(vt, wt) {
-                    Some(l) if l == e.label => {}
-                    _ => return false,
-                }
+        if let Some(label) = step.self_loop {
+            match self.target.edge_label(vt, vt) {
+                Some(l) if l == label => {}
+                _ => return false,
             }
         }
-        for e in self.pattern.in_edges(vp) {
-            let wp = e.node;
-            if wp == vp {
-                // Already handled by the out-edge loop.
-                continue;
-            }
-            let pos = self.order.position_of[wp as usize];
-            if pos < depth {
-                let wt = state.mapping[pos];
-                match self.target.edge_label(wt, vt) {
-                    Some(l) if l == e.label => {}
-                    _ => return false,
-                }
+        if self.mode == CandidateMode::Intersection {
+            // Back-edges (and their labels) are guaranteed by the candidate
+            // intersection; nothing left to probe.
+            return true;
+        }
+        // Legacy path: probe every edge from vp to already-mapped nodes.
+        for c in &step.constraints {
+            let wt = state.mapping[c.parent_pos];
+            let found = if c.out_from_parent {
+                self.target.edge_label(wt, vt)
+            } else {
+                self.target.edge_label(vt, wt)
+            };
+            match found {
+                Some(l) if l == c.label => {}
+                _ => return false,
             }
         }
         true
@@ -243,6 +368,47 @@ impl<'a> SearchContext<'a> {
         }
         out
     }
+}
+
+/// In-place intersection of the sorted candidate buffer with a sorted CSR
+/// adjacency list, keeping only nodes whose supporting edge carries `label`.
+/// Runs in O(|out| · log gap) via galloping (exponential + binary search)
+/// through `adj`, which is the right shape when the adjacency list is much
+/// longer than the surviving candidate set.
+fn intersect_sorted(out: &mut Vec<NodeId>, adj: &[EdgeRef], label: sge_graph::Label) {
+    let mut write = 0;
+    let mut from = 0;
+    for read in 0..out.len() {
+        let v = out[read];
+        from = advance_to(adj, from, v);
+        if from >= adj.len() {
+            break;
+        }
+        if adj[from].node == v && adj[from].label == label {
+            out[write] = v;
+            write += 1;
+        }
+    }
+    out.truncate(write);
+}
+
+/// Index of the first entry of `adj` (at or after `from`) whose node id is
+/// `>= v`, found by galloping: exponential probes to bracket the answer, then
+/// a binary search inside the bracket.
+#[inline]
+fn advance_to(adj: &[EdgeRef], from: usize, v: NodeId) -> usize {
+    let mut lo = from;
+    if lo >= adj.len() || adj[lo].node >= v {
+        return lo;
+    }
+    // Invariant: adj[lo].node < v.
+    let mut step = 1;
+    while lo + step < adj.len() && adj[lo + step].node < v {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(adj.len());
+    lo + 1 + adj[lo + 1..hi].partition_point(|e| e.node < v)
 }
 
 /// The owned outcome of preprocessing, detached from the graph borrows.
@@ -274,11 +440,13 @@ pub struct PreparedParts {
     domains: Option<Arc<Domains>>,
     impossible: bool,
     check_degrees: bool,
+    mode: CandidateMode,
 }
 
 impl PreparedParts {
     /// Captures the prepared artifacts of `ctx` (domains are shared via
-    /// [`Arc`], the ordering is cloned).
+    /// [`Arc`], the ordering — including its [`crate::ordering::CandidatePlan`]
+    /// — is cloned, and the candidate mode travels along).
     pub fn extract(ctx: &SearchContext<'_>) -> Self {
         PreparedParts {
             algorithm: ctx.algorithm,
@@ -286,6 +454,7 @@ impl PreparedParts {
             domains: ctx.domains.clone(),
             impossible: ctx.impossible,
             check_degrees: ctx.check_degrees,
+            mode: ctx.mode,
         }
     }
 
@@ -303,6 +472,7 @@ impl PreparedParts {
             domains: self.domains.clone(),
             impossible: self.impossible,
             check_degrees: self.check_degrees,
+            mode: self.mode,
         }
     }
 

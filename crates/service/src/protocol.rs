@@ -180,9 +180,16 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
                     _ => return Err(protocol_error(format!("unknown batch token '{token}'"))),
                 }
             }
+            let count = count.ok_or_else(|| protocol_error("BATCH requires n=<count>"))?;
+            if count == 0 {
+                // An empty batch is always a client bug; answer with a
+                // structured error instead of a vacuous ok-reply (there are
+                // no continuation lines to consume for n=0).
+                return Err(protocol_error("BATCH requires n >= 1 query lines"));
+            }
             Ok(Command::Batch {
                 target: target.ok_or_else(|| protocol_error("BATCH requires target=<name>"))?,
-                count: count.ok_or_else(|| protocol_error("BATCH requires n=<count>"))?,
+                count,
             })
         }
         "STATS" => Ok(Command::Stats),
@@ -433,6 +440,14 @@ mod tests {
         assert!(parse_batch_query("algo=ri").is_err());
         assert!(parse_command("BATCH target=k5").is_err());
         assert!(parse_command("BATCH n=2").is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_a_structured_error() {
+        let err = parse_command("BATCH target=k5 n=0").expect_err("n=0 must be rejected");
+        let rendered = error_response(&err).render();
+        assert!(rendered.starts_with("{\"ok\":false,"), "{rendered}");
+        assert!(rendered.contains("n >= 1"), "{rendered}");
     }
 
     #[test]

@@ -117,6 +117,62 @@ fn protocol_errors_are_reported_not_fatal() {
 }
 
 #[test]
+fn query_against_unloaded_target_is_a_structured_error() {
+    let (addr, server) = start_server();
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    let script = vec![
+        format!("QUERY target=ghost pattern={triangle}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    // One structured JSON error line — never a panic or a silent empty reply.
+    assert!(
+        responses[0].starts_with("{\"ok\":false,"),
+        "{}",
+        responses[0]
+    );
+    assert!(
+        responses[0].contains("\"error\":\"unknown target 'ghost'\""),
+        "{}",
+        responses[0]
+    );
+    assert!(responses[1].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn empty_batch_is_a_structured_error_and_keeps_the_connection_alive() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-emptybatch");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        "BATCH target=k5 n=0".to_string(), // announces zero continuation lines
+        format!("QUERY target=k5 pattern={triangle}"),
+        "BATCH target=ghost n=0".to_string(), // empty batch wins over bad target
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(responses.len(), 5, "{responses:?}");
+    assert!(
+        responses[1].starts_with("{\"ok\":false,"),
+        "{}",
+        responses[1]
+    );
+    assert!(responses[1].contains("n >= 1"), "{}", responses[1]);
+    // The connection stays in sync: the next query still runs normally.
+    assert!(responses[2].contains("\"matches\":60"), "{}", responses[2]);
+    assert!(
+        responses[3].starts_with("{\"ok\":false,"),
+        "{}",
+        responses[3]
+    );
+    assert!(responses[4].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
 fn bad_batch_line_keeps_the_connection_in_sync() {
     let (addr, server) = start_server();
     let target_path = write_target_file("sge-tcp-badbatch");

@@ -465,6 +465,10 @@ pub fn run<P: BacktrackProblem>(problem: &P, config: &EngineConfig) -> RunResult
 
     let deadline = config.time_limit.map(|limit| start + limit);
     let shared: Shared<P::Choice> = Shared::new(workers, deadline, config.max_solutions);
+    // An already-expired deadline forces termination before any worker runs,
+    // so every scheduler agrees on the degenerate-budget outcome (timed out,
+    // zero work) instead of racing the periodic per-worker deadline checks.
+    shared.check_deadline();
     let group_size = config.task_group_size.max(1);
 
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {

@@ -216,13 +216,25 @@ impl LatencyHistogram {
     }
 
     fn bucket_of(seconds: f64) -> usize {
+        // Clamp the bottom end explicitly: 0 ns, sub-microsecond samples and
+        // any non-positive/NaN input all belong to bucket 0 — never let a
+        // negative `log2()` reach the `as usize` cast.
+        if seconds.is_nan() || seconds <= 0.0 {
+            return 0;
+        }
         let micros = seconds * 1e6;
         if micros < 1.0 {
             return 0;
         }
-        // Bucket i (i >= 1) covers [2^(i-1), 2^i) µs.
-        let bucket = micros.log2().floor() as usize + 1;
-        bucket.min(Self::NUM_BUCKETS - 1)
+        // Bucket i (i >= 1) covers [2^(i-1), 2^i) µs.  Clamp the exponent
+        // *before* converting and adding 1, so huge durations (Duration::MAX,
+        // +inf) land in the catch-all bucket instead of overflowing past
+        // NUM_BUCKETS.
+        let exponent = micros.log2().floor();
+        if exponent >= (Self::NUM_BUCKETS - 2) as f64 {
+            return Self::NUM_BUCKETS - 1;
+        }
+        exponent as usize + 1
     }
 
     /// Upper edge of bucket `i` in seconds.
@@ -449,6 +461,50 @@ mod tests {
                 all.quantile_seconds(q).unwrap(),
             );
         }
+    }
+
+    #[test]
+    fn latency_histogram_bucket_boundaries() {
+        // Bottom end: 0 ns and every sub-microsecond sample land in bucket 0.
+        assert_eq!(LatencyHistogram::bucket_of(0.0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(999e-9), 0);
+        assert_eq!(LatencyHistogram::bucket_of(-3.0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(f64::NAN), 0);
+        assert_eq!(LatencyHistogram::bucket_of(f64::MIN_POSITIVE), 0);
+        // 1 µs is the first doubling bucket.
+        assert_eq!(LatencyHistogram::bucket_of(1e-6), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1.9e-6), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2e-6), 2);
+        // Top end: Duration::MAX-ish and infinite samples clamp to the
+        // catch-all bucket instead of indexing past NUM_BUCKETS.
+        let top = LatencyHistogram::NUM_BUCKETS - 1;
+        assert_eq!(
+            LatencyHistogram::bucket_of(std::time::Duration::MAX.as_secs_f64()),
+            top
+        );
+        assert_eq!(LatencyHistogram::bucket_of(f64::MAX), top);
+        assert_eq!(LatencyHistogram::bucket_of(f64::INFINITY), top);
+        // The largest finite bucket sits just below the catch-all.
+        assert_eq!(LatencyHistogram::bucket_of(2.0f64.powi(30) * 1e-6), top - 1);
+        assert_eq!(LatencyHistogram::bucket_of(2.0f64.powi(31) * 1e-6), top);
+    }
+
+    #[test]
+    fn latency_histogram_records_extreme_samples() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(0.0);
+        hist.record(999e-9);
+        hist.record(std::time::Duration::MAX.as_secs_f64());
+        hist.record(f64::INFINITY);
+        assert_eq!(hist.count(), 4);
+        // Quantiles stay well-defined: the low half resolves to the first
+        // bucket edge, the top to the recorded maximum.
+        assert!(hist.quantile_seconds(0.25).unwrap() <= 1e-6);
+        assert_eq!(hist.quantile_seconds(1.0).unwrap(), f64::INFINITY);
+        let mut other = LatencyHistogram::new();
+        other.record(1e-3);
+        other.merge(&hist);
+        assert_eq!(other.count(), 5);
     }
 
     #[test]

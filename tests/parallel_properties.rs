@@ -8,7 +8,9 @@
 //! Seeds are deterministic, so any failure reproduces exactly.
 
 use sge::prelude::*;
+use sge::ri::CandidateMode;
 use sge::util::SplitMix64;
+use std::time::Duration;
 
 fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: usize) -> Graph {
     let mut rng = SplitMix64::new(seed);
@@ -20,6 +22,34 @@ fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: usize) -> Graph {
         for v in 0..n as u32 {
             if u != v && rng.next_bool(p) {
                 b.add_edge(u, v, 0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Like [`random_labeled_graph`] but with multiple edge labels and occasional
+/// self-loops — the shapes the intersection-based candidate generator must
+/// get right beyond plain single-label adjacency.
+fn random_multi_label_graph(
+    seed: u64,
+    n: usize,
+    p: f64,
+    labels: usize,
+    edge_labels: usize,
+) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(rng.next_below(labels) as u32);
+    }
+    for u in 0..n as u32 {
+        if rng.next_bool(0.25) {
+            b.add_edge(u, u, rng.next_below(edge_labels) as u32);
+        }
+        for v in 0..n as u32 {
+            if u != v && rng.next_bool(p) {
+                b.add_edge(u, v, rng.next_below(edge_labels) as u32);
             }
         }
     }
@@ -168,6 +198,138 @@ fn max_matches_stops_at_n_on_a_large_clique() {
     let outcome = engine.run(&RunConfig::new(Scheduler::work_stealing(4)).with_max_matches(10_000));
     assert_eq!(outcome.matches, 3360);
     assert!(!outcome.limit_hit);
+}
+
+#[test]
+fn intersection_candidates_match_single_parent_and_vf2() {
+    // Same deterministic seed discipline as the rest of this file: for
+    // randomized instances with multiple edge labels and self-loops, the
+    // intersection-based candidate generator must produce byte-identical
+    // sorted mapping sets to the legacy single-parent path under every
+    // scheduler, and both must agree with the independent VF2 oracle.
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x1317 ^ case);
+        let n = 10 + rng.next_below(8);
+        let k = 3 + rng.next_below(3);
+        let target = random_multi_label_graph(rng.next_u64(), n, 0.2, 2, 3);
+        let pattern = extracted_pattern(rng.next_u64(), &target, k);
+        let oracle = sge::vf2::count_matches(&pattern, &target);
+        for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
+            let intersection = Engine::prepare(&pattern, &target, algorithm);
+            let single = Engine::prepare_with_mode(
+                &pattern,
+                &target,
+                algorithm,
+                CandidateMode::SingleParent,
+            );
+            let total = intersection.run(&RunConfig::default()).matches;
+            assert_eq!(total, oracle, "case={case} {algorithm} vs VF2");
+            let config_for =
+                |s: Scheduler| RunConfig::new(s).with_collected_mappings(total as usize + 1);
+            let reference = single.run(&config_for(Scheduler::Sequential)).mappings;
+            assert_eq!(reference.len(), total as usize, "case={case} {algorithm}");
+            for scheduler in [
+                Scheduler::Sequential,
+                Scheduler::work_stealing(2),
+                Scheduler::Rayon { workers: 2 },
+            ] {
+                let mapped = intersection.run(&config_for(scheduler)).mappings;
+                assert_eq!(
+                    mapped, reference,
+                    "case={case} {algorithm} {scheduler}: intersection mappings diverged"
+                );
+                let legacy = single.run(&config_for(scheduler)).mappings;
+                assert_eq!(
+                    legacy, reference,
+                    "case={case} {algorithm} {scheduler}: single-parent mappings diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn intersection_handles_self_loops_and_edge_labels_deterministically() {
+    // Pattern: a self-looped node with two differently-labeled edges to a
+    // second node — every feature the intersection path must respect at once.
+    let mut pb = GraphBuilder::new();
+    let a = pb.add_node(0);
+    let b = pb.add_node(1);
+    pb.add_edge(a, a, 5);
+    pb.add_edge(a, b, 7);
+    pb.add_edge(b, a, 8);
+    let pattern = pb.build();
+
+    let mut tb = GraphBuilder::new();
+    for i in 0..6u32 {
+        tb.add_node(i % 2);
+    }
+    tb.add_edge(0, 0, 5); // the only correctly-labeled self-loop
+    tb.add_edge(2, 2, 6); // self-loop with the wrong label
+    tb.add_edge(0, 1, 7);
+    tb.add_edge(1, 0, 8);
+    tb.add_edge(0, 3, 7);
+    tb.add_edge(3, 0, 9); // back-edge label mismatch
+    tb.add_edge(2, 5, 7);
+    tb.add_edge(5, 2, 8); // both labels right, but node 2's loop label is wrong
+    let target = tb.build();
+
+    let oracle = sge::vf2::count_matches(&pattern, &target);
+    assert_eq!(oracle, 1, "exactly the (0 -> 0, b -> 1) embedding survives");
+    for algorithm in [Algorithm::Ri, Algorithm::RiDs, Algorithm::RiDsSiFc] {
+        for mode in [CandidateMode::Intersection, CandidateMode::SingleParent] {
+            let engine = Engine::prepare_with_mode(&pattern, &target, algorithm, mode);
+            for scheduler in [
+                Scheduler::Sequential,
+                Scheduler::work_stealing(2),
+                Scheduler::Rayon { workers: 2 },
+            ] {
+                let outcome = engine.run(&RunConfig::new(scheduler).with_collected_mappings(4));
+                assert_eq!(outcome.matches, 1, "{algorithm} {mode:?} {scheduler}");
+                assert_eq!(
+                    outcome.mappings,
+                    vec![vec![0, 1]],
+                    "{algorithm} {mode:?} {scheduler}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_deadline_times_out_uniformly_across_schedulers() {
+    // Time-limit parity: an already-expired budget must report `timed_out`
+    // with zero work under every scheduler — not depend on whether a
+    // periodic in-search deadline check happens to fire.
+    let pattern = sge::graph::generators::undirected_cycle(4, 0);
+    let target = sge::graph::generators::grid(4, 4);
+    let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+    for scheduler in all_schedulers(4) {
+        let outcome = engine.run(&RunConfig::new(scheduler).with_time_limit(Duration::ZERO));
+        assert!(outcome.timed_out, "{scheduler}: expected timed_out");
+        assert_eq!(outcome.matches, 0, "{scheduler}");
+        assert_eq!(outcome.states, 0, "{scheduler}");
+        assert!(!outcome.limit_hit, "{scheduler}");
+    }
+    // Degenerate instances finish before the clock matters and agree too:
+    // the empty pattern yields its one empty embedding without a timeout…
+    let empty = GraphBuilder::new().build();
+    let engine = Engine::prepare(&empty, &target, Algorithm::Ri);
+    for scheduler in all_schedulers(4) {
+        let outcome = engine.run(&RunConfig::new(scheduler).with_time_limit(Duration::ZERO));
+        assert_eq!(outcome.matches, 1, "{scheduler}");
+        assert!(!outcome.timed_out, "{scheduler}");
+    }
+    // …and an impossible instance reports zero matches, not a timeout.
+    let mut pb = GraphBuilder::new();
+    pb.add_node(99);
+    let impossible = pb.build();
+    let engine = Engine::prepare(&impossible, &target, Algorithm::RiDs);
+    for scheduler in all_schedulers(4) {
+        let outcome = engine.run(&RunConfig::new(scheduler).with_time_limit(Duration::ZERO));
+        assert_eq!(outcome.matches, 0, "{scheduler}");
+        assert!(!outcome.timed_out, "{scheduler}");
+    }
 }
 
 #[test]
