@@ -1,4 +1,4 @@
-//! The machine-readable perf-trajectory report (`BENCH_pr3.json`).
+//! The machine-readable perf-trajectory report (`BENCH_pr4.json`).
 //!
 //! Criterion benches print human-oriented tables; CI and future PRs need a
 //! stable, machine-readable record of where the hot path stands.  This module
@@ -35,6 +35,13 @@
 //! * `speedup_over_single_parent` — `single_parent_seconds /
 //!   intersection_seconds` for the same case.
 //!
+//! Since PR 4 the report also carries a `strategy_comparison` figure: the
+//! same count-only workload enumerated once per ordering strategy
+//! (`ri-greedy`, `least-frequent-label`, `degree-descending`), each case
+//! reporting its median wall seconds, its speedup relative to the RI-greedy
+//! baseline, and the cost model's total state estimate — so the planner's
+//! predictions can be eyeballed against measured reality.
+//!
 //! Future PRs append comparable records as `BENCH_pr<N>.json` with the same
 //! schema string so the trajectory stays diffable.
 
@@ -51,7 +58,12 @@ use std::time::Instant;
 
 /// Figure names every report must contain; CI's `bench-smoke` job validates
 /// the emitted document against this list.
-pub const EXPECTED_FIGURES: [&str; 3] = ["fig3_work_stealing", "batch_throughput", "dense_target"];
+pub const EXPECTED_FIGURES: [&str; 4] = [
+    "fig3_work_stealing",
+    "batch_throughput",
+    "dense_target",
+    "strategy_comparison",
+];
 
 /// Knobs of one report run.
 #[derive(Clone, Copy, Debug)]
@@ -282,6 +294,100 @@ fn dense_cases(config: &ReportConfig) -> Vec<Case> {
     sweep_instance(&pattern, &target, Algorithm::RiDs, config.repeats)
 }
 
+/// One measured ordering strategy of the `strategy_comparison` figure.
+struct StrategyCase {
+    name: &'static str,
+    seconds: f64,
+    speedup_vs_ri_greedy: f64,
+    est_states_total: f64,
+}
+
+impl StrategyCase {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("seconds", Json::F64(self.seconds)),
+            ("speedup_vs_ri_greedy", Json::F64(self.speedup_vs_ri_greedy)),
+            ("est_states_total", Json::F64(self.est_states_total)),
+        ])
+    }
+}
+
+/// Figure `strategy_comparison`: one sequential count-only pass over a mixed
+/// workload (the PPIS32-like collection plus a dense clique instance) per
+/// ordering strategy.  Preparation happens outside the timed region — the
+/// figure isolates how the *match order* shapes the search, exactly what a
+/// strategy trades.
+fn strategy_cases(config: &ReportConfig) -> Vec<StrategyCase> {
+    let experiment = if config.smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig {
+            scale: 1.0,
+            max_instances: Some(8),
+            ..ExperimentConfig::smoke()
+        }
+    };
+    let coll = collection(CollectionKind::Ppis32, &experiment);
+    let dense_pattern = generators::directed_cycle(4, 0);
+    let dense_target = generators::clique(if config.smoke { 12 } else { 24 }, 0);
+
+    // Measure every strategy first; the RI-greedy baseline for the speedup
+    // column is looked up afterwards so nothing depends on the iteration
+    // order of `Strategy::ALL`.
+    let measured: Vec<(Strategy, f64, f64)> = Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let engines: Vec<Engine<'_>> = coll
+                .instances
+                .iter()
+                .map(|i| {
+                    Engine::prepare_planned(
+                        &i.pattern,
+                        coll.target_of(i),
+                        Algorithm::RiDs,
+                        CandidateMode::Intersection,
+                        strategy,
+                    )
+                })
+                .collect();
+            let dense = Engine::prepare_planned(
+                &dense_pattern,
+                &dense_target,
+                Algorithm::RiDs,
+                CandidateMode::Intersection,
+                strategy,
+            );
+            let est_states_total = engines
+                .iter()
+                .chain(std::iter::once(&dense))
+                .map(|e| e.plan().cost.est_total_states)
+                .sum();
+            let seconds = median_seconds(config.repeats, || {
+                for engine in &engines {
+                    std::hint::black_box(engine.run(&RunConfig::default()).matches);
+                }
+                std::hint::black_box(dense.run(&RunConfig::default()).matches);
+            });
+            (strategy, seconds, est_states_total)
+        })
+        .collect();
+    let greedy_seconds = measured
+        .iter()
+        .find(|(strategy, _, _)| *strategy == Strategy::RiGreedy)
+        .map(|&(_, seconds, _)| seconds)
+        .expect("Strategy::ALL contains RiGreedy");
+    measured
+        .into_iter()
+        .map(|(strategy, seconds, est_states_total)| StrategyCase {
+            name: strategy.name(),
+            seconds,
+            speedup_vs_ri_greedy: greedy_seconds / seconds.max(1e-12),
+            est_states_total,
+        })
+        .collect()
+}
+
 fn figure_json(cases: &[Case], extra: Vec<(&'static str, Json)>) -> Json {
     let mut pairs = vec![(
         "cases",
@@ -303,6 +409,7 @@ pub fn run_report(config: &ReportConfig) -> String {
     let batch = batch_cases(config);
     let qps = service_queries_per_second(config);
     let dense = dense_cases(config);
+    let strategies = strategy_cases(config);
 
     let mut table = Table::new(
         "bench-report (median wall seconds)",
@@ -326,12 +433,31 @@ pub fn run_report(config: &ReportConfig) -> String {
     println!("{}", table.render());
     println!("service batch throughput: {qps:.0} queries/s");
 
+    let mut strategy_table = Table::new(
+        "strategy comparison (sequential count-only, median wall seconds)",
+        &[
+            "strategy",
+            "seconds",
+            "vs-ri-greedy",
+            "est states (cost model)",
+        ],
+    );
+    for case in &strategies {
+        strategy_table.row(vec![
+            case.name.to_string(),
+            format!("{:.6}", case.seconds),
+            format!("{:.2}", case.speedup_vs_ri_greedy),
+            format!("{:.0}", case.est_states_total),
+        ]);
+    }
+    println!("{}", strategy_table.render());
+
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     Json::obj(vec![
         ("schema", Json::str("sge-bench-report/v1")),
-        ("pr", Json::str("pr3")),
+        ("pr", Json::str("pr4")),
         ("repeats", Json::U64(config.repeats as u64)),
         ("host_parallelism", Json::U64(host_parallelism as u64)),
         (
@@ -343,6 +469,13 @@ pub fn run_report(config: &ReportConfig) -> String {
                     figure_json(&batch, vec![("service_queries_per_second", Json::F64(qps))]),
                 ),
                 ("dense_target", figure_json(&dense, Vec::new())),
+                (
+                    "strategy_comparison",
+                    Json::obj(vec![(
+                        "cases",
+                        Json::Arr(strategies.iter().map(StrategyCase::to_json).collect()),
+                    )]),
+                ),
             ]),
         ),
     ])
@@ -514,6 +647,13 @@ mod tests {
             assert!(report.contains(&format!("\"{figure}\"")), "{figure}");
         }
         assert!(report.contains("\"speedup_over_single_parent\""));
+        assert!(report.contains("\"speedup_vs_ri_greedy\""));
+        for strategy in Strategy::ALL {
+            assert!(
+                report.contains(&format!("\"{}\"", strategy.name())),
+                "{strategy}"
+            );
+        }
     }
 
     #[test]
@@ -533,9 +673,13 @@ mod tests {
 
     #[test]
     fn validator_accepts_minimal_complete_documents() {
+        let figures: Vec<String> = EXPECTED_FIGURES
+            .iter()
+            .map(|f| format!("\"{f}\":{{}}"))
+            .collect();
         let doc = format!(
-            "{{\"schema\":\"sge-bench-report/v1\",\"figures\":{{\"{}\":{{}},\"{}\":{{}},\"{}\":{{}}}}}}",
-            EXPECTED_FIGURES[0], EXPECTED_FIGURES[1], EXPECTED_FIGURES[2]
+            "{{\"schema\":\"sge-bench-report/v1\",\"figures\":{{{}}}}}",
+            figures.join(",")
         );
         validate_report(&doc).expect("complete minimal document");
     }

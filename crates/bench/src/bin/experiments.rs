@@ -13,6 +13,8 @@
 //! * `--time-limit-secs <f64>` per-instance time limit (default 5)
 //! * `--long-threshold <f64>`  short/long split threshold in seconds (default 0.05)
 //! * `--max-instances <n>`     cap instances per collection (default 24)
+//! * `--strategy <s>`          ordering strategy: ri-greedy (default),
+//!   least-frequent-label or degree-descending
 
 use sge_bench::experiments::{all_experiments, run_all};
 use sge_bench::ExperimentConfig;
@@ -65,6 +67,7 @@ fn main() {
             }
             "--long-threshold" => config.long_threshold_secs = parse_value(arg, &take_value()),
             "--max-instances" => config.max_instances = Some(parse_value(arg, &take_value())),
+            "--strategy" => config.strategy = parse_value(arg, &take_value()),
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -105,4 +108,5 @@ fn print_help() {
     println!();
     println!("options: --scale F --seed N --workers LIST --group-sizes LIST");
     println!("         --time-limit-secs F --long-threshold F --max-instances N");
+    println!("         --strategy ri-greedy|least-frequent-label|degree-descending");
 }

@@ -1,5 +1,6 @@
 //! Harness configuration.
 
+use sge::Strategy;
 use std::time::Duration;
 
 /// Knobs shared by every experiment.
@@ -22,6 +23,9 @@ pub struct ExperimentConfig {
     pub long_threshold_secs: f64,
     /// Optional cap on instances per collection, to bound harness runtime.
     pub max_instances: Option<usize>,
+    /// Ordering strategy every experiment prepares its engines with
+    /// (RI-greedy — the paper's heuristic — by default).
+    pub strategy: Strategy,
 }
 
 impl Default for ExperimentConfig {
@@ -34,6 +38,7 @@ impl Default for ExperimentConfig {
             time_limit: Duration::from_secs(5),
             long_threshold_secs: 0.05,
             max_instances: Some(24),
+            strategy: Strategy::default(),
         }
     }
 }
@@ -50,6 +55,7 @@ impl ExperimentConfig {
             time_limit: Duration::from_millis(500),
             long_threshold_secs: 0.005,
             max_instances: Some(4),
+            strategy: Strategy::default(),
         }
     }
 

@@ -36,11 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sge_graph::{Graph, NodeId};
+use sge_graph::{Graph, GraphStats, NodeId};
 use sge_parallel::{enumerate_prepared, enumerate_rayon_prepared, ParallelConfig};
 use sge_ri::{
     search_prepared, Algorithm, CandidateMode, CollectingVisitor, MatchVisitor, PreparedParts,
-    SearchContext, SearchLimits,
+    QueryPlan, SearchContext, SearchLimits, Strategy,
 };
 use sge_stealing::WorkerStats;
 use sge_util::PhaseTimer;
@@ -187,6 +187,11 @@ impl std::str::FromStr for Scheduler {
 pub struct RunConfig {
     /// Execution strategy.
     pub scheduler: Scheduler,
+    /// Ordering strategy for the match order.  A *preparation* knob: it is
+    /// consumed by [`Engine::prepare_for`] (and by the serving layer, which
+    /// prepares per query); [`Engine::run`] executes whatever plan the
+    /// engine was prepared with and ignores this field.
+    pub strategy: Strategy,
     /// Stop cooperatively after this many matches (`None` = enumerate all).
     /// Every scheduler reports exactly `min(max_matches, total)`.
     pub max_matches: Option<u64>,
@@ -210,6 +215,7 @@ impl RunConfig {
     pub fn new(scheduler: Scheduler) -> Self {
         RunConfig {
             scheduler,
+            strategy: Strategy::default(),
             max_matches: None,
             time_limit: None,
             collect_mappings: 0,
@@ -220,6 +226,13 @@ impl RunConfig {
     /// Sets the scheduler.
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the ordering strategy (consumed at preparation time; see
+    /// [`RunConfig::strategy`]).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -253,6 +266,8 @@ impl RunConfig {
 pub struct EnumerationOutcome {
     /// Algorithm variant that ran.
     pub algorithm: Algorithm,
+    /// Ordering strategy of the executed plan.
+    pub strategy: Strategy,
     /// Scheduler that ran it.
     pub scheduler: Scheduler,
     /// Worker threads used (1 for sequential).
@@ -344,14 +359,44 @@ impl<'g> Engine<'g> {
         algorithm: Algorithm,
         mode: CandidateMode,
     ) -> Self {
+        Self::prepare_planned(pattern, target, algorithm, mode, Strategy::default())
+    }
+
+    /// The full preparation entry point: plans the match order with
+    /// `strategy` and executes candidates under `mode`.
+    pub fn prepare_planned(
+        pattern: &'g Graph,
+        target: &'g Graph,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
         let mut timer = PhaseTimer::new();
         let ctx = timer.time("preprocess", || {
-            SearchContext::prepare_with_mode(pattern, target, algorithm, mode)
+            SearchContext::prepare_planned(pattern, target, algorithm, mode, strategy)
         });
         Engine {
             ctx,
             preprocess_seconds: timer.seconds("preprocess"),
         }
+    }
+
+    /// Prepares honoring the preparation knobs of `config` (currently the
+    /// ordering [`Strategy`]) — the library-level path for selecting a
+    /// strategy through a [`RunConfig`].
+    pub fn prepare_for(
+        pattern: &'g Graph,
+        target: &'g Graph,
+        algorithm: Algorithm,
+        config: &RunConfig,
+    ) -> Self {
+        Self::prepare_planned(
+            pattern,
+            target,
+            algorithm,
+            CandidateMode::default(),
+            config.strategy,
+        )
     }
 
     /// Wraps an externally prepared context (preprocessing cost reported as
@@ -375,6 +420,17 @@ impl<'g> Engine<'g> {
     /// The algorithm this engine was prepared for.
     pub fn algorithm(&self) -> Algorithm {
         self.ctx.algorithm()
+    }
+
+    /// The ordering strategy of the prepared plan.
+    pub fn strategy(&self) -> Strategy {
+        self.ctx.strategy()
+    }
+
+    /// The prepared query plan (match order, domains, cost estimates) —
+    /// what `EXPLAIN` reports.
+    pub fn plan(&self) -> &QueryPlan {
+        self.ctx.plan()
     }
 
     /// The prepared search context (ordering, domains, candidate machinery).
@@ -432,7 +488,7 @@ impl<'g> Engine<'g> {
                     seed: config.seed,
                 };
                 let result = enumerate_prepared(&self.ctx, &parallel, visitor);
-                Self::from_parallel(config, result)
+                self.parallel_outcome(config, result)
             }
             Scheduler::Rayon { workers } => {
                 let parallel = ParallelConfig {
@@ -446,7 +502,7 @@ impl<'g> Engine<'g> {
                     seed: config.seed,
                 };
                 let result = enumerate_rayon_prepared(&self.ctx, &parallel, visitor);
-                Self::from_parallel(config, result)
+                self.parallel_outcome(config, result)
             }
         };
         outcome.preprocess_seconds = self.preprocess_seconds;
@@ -492,6 +548,7 @@ impl<'g> Engine<'g> {
         mappings.sort_unstable();
         EnumerationOutcome {
             algorithm: self.ctx.algorithm(),
+            strategy: self.ctx.strategy(),
             scheduler: config.scheduler,
             workers: 1,
             matches: run.matches,
@@ -514,12 +571,14 @@ impl<'g> Engine<'g> {
         }
     }
 
-    fn from_parallel(
+    fn parallel_outcome(
+        &self,
         config: &RunConfig,
         result: sge_parallel::ParallelResult,
     ) -> EnumerationOutcome {
         EnumerationOutcome {
             algorithm: result.algorithm,
+            strategy: self.ctx.strategy(),
             scheduler: config.scheduler,
             workers: result.workers,
             matches: result.matches,
@@ -570,9 +629,60 @@ impl PreparedEngine {
     /// Runs preprocessing once and returns a self-contained prepared
     /// instance sharing ownership of both graphs.
     pub fn prepare(pattern: Arc<Graph>, target: Arc<Graph>, algorithm: Algorithm) -> Self {
+        Self::prepare_planned(
+            pattern,
+            target,
+            algorithm,
+            CandidateMode::default(),
+            Strategy::default(),
+        )
+    }
+
+    /// [`PreparedEngine::prepare`] with explicit candidate mode and ordering
+    /// strategy.
+    pub fn prepare_planned(
+        pattern: Arc<Graph>,
+        target: Arc<Graph>,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
         let mut timer = PhaseTimer::new();
         let parts = timer.time("preprocess", || {
-            PreparedParts::extract(&SearchContext::prepare(&pattern, &target, algorithm))
+            PreparedParts::extract(&SearchContext::prepare_planned(
+                &pattern, &target, algorithm, mode, strategy,
+            ))
+        });
+        PreparedEngine {
+            pattern,
+            target,
+            parts,
+            preprocess_seconds: timer.seconds("preprocess"),
+        }
+    }
+
+    /// [`PreparedEngine::prepare_planned`] with precomputed target
+    /// statistics — the entry point the serving cache prepares through, so
+    /// a long-lived registry target pays its frequency-table pass once at
+    /// registration instead of on every cache miss.
+    pub fn prepare_planned_with_stats(
+        pattern: Arc<Graph>,
+        target: Arc<Graph>,
+        target_stats: &GraphStats,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
+        let mut timer = PhaseTimer::new();
+        let parts = timer.time("preprocess", || {
+            PreparedParts::extract(&SearchContext::prepare_planned_with_stats(
+                &pattern,
+                &target,
+                target_stats,
+                algorithm,
+                mode,
+                strategy,
+            ))
         });
         PreparedEngine {
             pattern,
@@ -620,6 +730,22 @@ impl PreparedEngine {
     /// The algorithm this instance was prepared for.
     pub fn algorithm(&self) -> Algorithm {
         self.parts.algorithm()
+    }
+
+    /// The ordering strategy of the prepared plan.
+    pub fn strategy(&self) -> Strategy {
+        self.parts.strategy()
+    }
+
+    /// The candidate generation scheme this instance executes under.
+    pub fn candidate_mode(&self) -> CandidateMode {
+        self.parts.candidate_mode()
+    }
+
+    /// The prepared query plan (match order, domains, cost estimates) —
+    /// what the service's `EXPLAIN` verb reports.
+    pub fn plan(&self) -> &QueryPlan {
+        self.parts.plan()
     }
 
     /// Seconds spent in [`PreparedEngine::prepare`].
@@ -908,6 +1034,57 @@ mod tests {
             assert_eq!(owned.engine().impossible(), borrowed.impossible());
             assert_eq!(owned.run(&RunConfig::default()).matches, 0);
         }
+    }
+
+    #[test]
+    fn strategies_agree_on_results_and_are_reported() {
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        for algorithm in Algorithm::ALL {
+            let reference = Engine::prepare(&pattern, &target, algorithm)
+                .run(&RunConfig::default().with_collected_mappings(10_000));
+            assert_eq!(reference.strategy, Strategy::RiGreedy);
+            for strategy in Strategy::ALL {
+                let engine = Engine::prepare_for(
+                    &pattern,
+                    &target,
+                    algorithm,
+                    &RunConfig::default().with_strategy(strategy),
+                );
+                assert_eq!(engine.strategy(), strategy);
+                assert_eq!(engine.plan().strategy, strategy);
+                assert_eq!(engine.plan().cost.positions.len(), 4);
+                let outcome = engine.run(&RunConfig::default().with_collected_mappings(10_000));
+                assert_eq!(outcome.strategy, strategy, "{algorithm} {strategy}");
+                assert_eq!(outcome.matches, reference.matches, "{algorithm} {strategy}");
+                assert_eq!(
+                    outcome.mappings, reference.mappings,
+                    "{algorithm} {strategy}"
+                );
+                // Parallel outcomes report the strategy too.
+                let par = engine.run(&RunConfig::new(Scheduler::work_stealing(2)));
+                assert_eq!(par.strategy, strategy);
+                assert_eq!(par.matches, reference.matches);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_engine_exposes_its_plan() {
+        let pattern = Arc::new(generators::directed_cycle(3, 0));
+        let target = Arc::new(generators::clique(5, 0));
+        let prepared = PreparedEngine::prepare_planned(
+            Arc::clone(&pattern),
+            Arc::clone(&target),
+            Algorithm::RiDsSiFc,
+            CandidateMode::Intersection,
+            Strategy::LeastFrequentLabelFirst,
+        );
+        assert_eq!(prepared.strategy(), Strategy::LeastFrequentLabelFirst);
+        assert_eq!(prepared.candidate_mode(), CandidateMode::Intersection);
+        assert_eq!(prepared.plan().num_positions(), 3);
+        assert!(prepared.plan().cost.est_total_states > 0.0);
+        assert_eq!(prepared.run(&RunConfig::default()).matches, 60);
     }
 
     #[test]

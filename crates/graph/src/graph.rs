@@ -142,18 +142,55 @@ impl Graph {
     }
 
     /// The distinct neighbors of `v` ignoring edge direction, sorted and
-    /// deduplicated.  Used by the GreatestConstraintFirst ordering and by
-    /// connectivity-based pattern extraction; not a hot path during search.
+    /// deduplicated.  Convenience wrapper over
+    /// [`Graph::undirected_neighbors_into`]; callers in loops should reuse a
+    /// buffer through the `_into` variant instead of allocating per call.
     pub fn undirected_neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut result: Vec<NodeId> = self
-            .out_edges(v)
-            .iter()
-            .chain(self.in_edges(v).iter())
-            .map(|e| e.node)
-            .collect();
-        result.sort_unstable();
-        result.dedup();
+        let mut result = Vec::new();
+        self.undirected_neighbors_into(v, &mut result);
         result
+    }
+
+    /// Fills `out` with the distinct neighbors of `v` ignoring edge
+    /// direction, sorted and deduplicated, reusing `out`'s allocation.
+    ///
+    /// Both CSR adjacency lists are already sorted by node id, so this is a
+    /// linear merge — no sort, and no allocation beyond growing `out` once
+    /// to the neighborhood size.
+    pub fn undirected_neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let a = self.out_edges(v);
+        let b = self.in_edges(v);
+        out.reserve(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => {
+                    if x.node <= y.node {
+                        i += 1;
+                        if x.node == y.node {
+                            j += 1;
+                        }
+                        x.node
+                    } else {
+                        j += 1;
+                        y.node
+                    }
+                }
+                (Some(x), None) => {
+                    i += 1;
+                    x.node
+                }
+                (None, Some(y)) => {
+                    j += 1;
+                    y.node
+                }
+                (None, None) => unreachable!("loop condition guarantees one side"),
+            };
+            if out.last() != Some(&next) {
+                out.push(next);
+            }
+        }
     }
 
     /// Whether `u` and `v` are adjacent in either direction.
@@ -185,8 +222,10 @@ impl Graph {
         let mut stack = vec![0 as NodeId];
         seen[0] = true;
         let mut visited = 1;
+        let mut neighbors = Vec::new();
         while let Some(v) = stack.pop() {
-            for w in self.undirected_neighbors(v) {
+            self.undirected_neighbors_into(v, &mut neighbors);
+            for &w in &neighbors {
                 if !seen[w as usize] {
                     seen[w as usize] = true;
                     visited += 1;
@@ -241,6 +280,26 @@ mod tests {
         let mut edges: Vec<_> = g.edges().collect();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1, 0), (0, 2, 0), (3, 0, 7)]);
+    }
+
+    #[test]
+    fn undirected_neighbors_into_matches_allocating_variant() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..5 {
+            b.add_node(0);
+        }
+        b.add_edge(0, 0, 1); // self-loop: appears in both lists, deduped once
+        b.add_edge(0, 2, 0);
+        b.add_edge(3, 0, 0);
+        b.add_edge(0, 4, 0);
+        b.add_edge(4, 0, 0); // reciprocal pair still yields one neighbor
+        let g = b.build();
+        let mut buffer = vec![9, 9, 9]; // stale contents must be cleared
+        g.undirected_neighbors_into(0, &mut buffer);
+        assert_eq!(buffer, vec![0, 2, 3, 4]);
+        assert_eq!(g.undirected_neighbors(0), buffer);
+        g.undirected_neighbors_into(1, &mut buffer);
+        assert!(buffer.is_empty());
     }
 
     #[test]

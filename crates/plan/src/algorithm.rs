@@ -1,0 +1,100 @@
+//! The RI algorithm family: which preprocessing steps a plan performs.
+
+/// Which member of the RI family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Plain RI: static GreatestConstraintFirst ordering, no domains.
+    Ri,
+    /// RI-DS: precomputed bitmask domains (label + degree + arc consistency).
+    RiDs,
+    /// RI-DS-SI: RI-DS with domain-size tie-breaking in the node ordering.
+    RiDsSi,
+    /// RI-DS-SI-FC: RI-DS-SI plus forward checking of singleton domains.
+    RiDsSiFc,
+}
+
+impl Algorithm {
+    /// All algorithm variants, in the order the paper introduces them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Ri,
+        Algorithm::RiDs,
+        Algorithm::RiDsSi,
+        Algorithm::RiDsSiFc,
+    ];
+
+    /// Does this variant precompute domains?
+    pub fn uses_domains(self) -> bool {
+        !matches!(self, Algorithm::Ri)
+    }
+
+    /// Does this variant break ordering ties by domain size (the SI improvement)?
+    pub fn uses_domain_size_tie_break(self) -> bool {
+        matches!(self, Algorithm::RiDsSi | Algorithm::RiDsSiFc)
+    }
+
+    /// Does this variant run forward checking (the FC improvement)?
+    pub fn uses_forward_checking(self) -> bool {
+        matches!(self, Algorithm::RiDsSiFc)
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ri => "RI",
+            Algorithm::RiDs => "RI-DS",
+            Algorithm::RiDsSi => "RI-DS-SI",
+            Algorithm::RiDsSiFc => "RI-DS-SI-FC",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses the paper's variant names, case-insensitively; `-` and `_` are
+    /// interchangeable (`ri-ds-si-fc`, `RI_DS_SI_FC`, …).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.to_ascii_lowercase().replace('_', "-").as_str() {
+            "ri" => Ok(Algorithm::Ri),
+            "ri-ds" => Ok(Algorithm::RiDs),
+            "ri-ds-si" => Ok(Algorithm::RiDsSi),
+            "ri-ds-si-fc" => Ok(Algorithm::RiDsSiFc),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected ri, ri-ds, ri-ds-si or ri-ds-si-fc)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_metadata() {
+        assert!(!Algorithm::Ri.uses_domains());
+        assert!(Algorithm::RiDs.uses_domains());
+        assert!(!Algorithm::RiDs.uses_domain_size_tie_break());
+        assert!(Algorithm::RiDsSi.uses_domain_size_tie_break());
+        assert!(!Algorithm::RiDsSi.uses_forward_checking());
+        assert!(Algorithm::RiDsSiFc.uses_forward_checking());
+        assert_eq!(Algorithm::RiDsSiFc.to_string(), "RI-DS-SI-FC");
+    }
+
+    #[test]
+    fn algorithm_from_str() {
+        assert_eq!("ri".parse::<Algorithm>().unwrap(), Algorithm::Ri);
+        assert_eq!("RI_DS".parse::<Algorithm>().unwrap(), Algorithm::RiDs);
+        assert_eq!(
+            "ri-ds-si-fc".parse::<Algorithm>().unwrap(),
+            Algorithm::RiDsSiFc
+        );
+        assert!("vf2".parse::<Algorithm>().is_err());
+    }
+}

@@ -116,15 +116,30 @@ pub fn greatest_constraint_first(
     domains: Option<&Domains>,
     domain_size_tie_break: bool,
 ) -> MatchOrder {
+    finish_order(
+        pattern,
+        greedy_positions(pattern, domains, domain_size_tie_break),
+    )
+}
+
+/// The position sequence of [`greatest_constraint_first`] without the
+/// finishing pass — the raw output of the RI greedy heuristic, reused by
+/// [`crate::strategy::RiGreedy`].
+pub fn greedy_positions(
+    pattern: &Graph,
+    domains: Option<&Domains>,
+    domain_size_tie_break: bool,
+) -> Vec<NodeId> {
     let n = pattern.num_nodes();
     let mut in_order = vec![false; n];
     let mut positions: Vec<NodeId> = Vec::with_capacity(n);
 
-    // Precompute undirected neighborhoods once; the heuristic only looks at
-    // adjacency, not direction.
-    let neighbors: Vec<Vec<NodeId>> = (0..n as NodeId)
-        .map(|v| pattern.undirected_neighbors(v))
-        .collect();
+    // Precompute undirected neighborhoods once (merge-based, no per-call
+    // sort); the heuristic only looks at adjacency, not direction.
+    let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (v, list) in neighbors.iter_mut().enumerate() {
+        pattern.undirected_neighbors_into(v as NodeId, list);
+    }
 
     // RI-DS: singleton-domain nodes first (their assignment is forced).
     if let Some(doms) = domains {
@@ -187,7 +202,7 @@ pub fn greatest_constraint_first(
         positions.push(chosen);
     }
 
-    finish_order(pattern, positions)
+    positions
 }
 
 /// Builds the inverse permutation and parent links for a given position

@@ -17,6 +17,13 @@
 //!   domains before the search starts (removing forced target nodes from every
 //!   other domain, propagating until fixpoint).
 //!
+//! Since the planning extraction, this crate is a **pure executor**: node
+//! ordering, domain computation and the cost model live in `sge-plan`
+//! (re-exported here for compatibility), and a [`search::SearchContext`] is
+//! built from a `sge_plan::QueryPlan` — either one the caller planned
+//! explicitly (choosing a `sge_plan::Strategy`) or the default RI-greedy
+//! plan produced by [`search::SearchContext::prepare`].
+//!
 //! The [`search::SearchContext`] type exposes the candidate generation and
 //! consistency checking machinery in a form that the parallel runtime
 //! (`sge-parallel`) reuses unchanged, so the sequential and parallel matchers
@@ -38,19 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod domains;
 pub mod matcher;
-pub mod ordering;
 pub mod search;
 pub mod visitor;
 
-pub use domains::Domains;
+// Planning moved to `sge-plan`; the modules and types stay reachable under
+// their historical `sge_ri` paths.
+pub use sge_plan::{domains, ordering};
+
 pub use matcher::{
     enumerate, enumerate_with, search_prepared, Algorithm, MatchConfig, MatchResult, SearchLimits,
     SearchRun,
 };
-pub use ordering::{
-    greatest_constraint_first, CandidatePlan, EdgeConstraint, MatchOrder, ParentLink, PlanStep,
-};
 pub use search::{CandidateMode, PreparedParts, SearchContext, WorkerState};
+pub use sge_plan::{
+    greatest_constraint_first, CandidatePlan, Domains, EdgeConstraint, MatchOrder, ParentLink,
+    PlanStep, Planner, QueryPlan, Strategy,
+};
 pub use visitor::{CollectingVisitor, MatchVisitor, NoopVisitor};

@@ -6,20 +6,27 @@
 //! `(position, candidate target node)` pair for which a consistency check is
 //! performed; the caller counts those.
 //!
+//! A context *executes* a [`QueryPlan`] produced by `sge-plan`: the plan
+//! fixes the match order, the back-edge constraint sets and the domains; the
+//! context adds the target-graph machinery (adjacency intersection,
+//! consistency checks).  [`SearchContext::prepare`] plans with the default
+//! RI-greedy strategy; [`SearchContext::prepare_planned`] accepts any
+//! [`sge_plan::Strategy`].
+//!
 //! [`WorkerState`] is the per-worker mutable part: the partial mapping `M`
 //! (target node per ordered position) and the injectivity flags.  In the
 //! parallel runtime it is private to a worker and *never copied for private
 //! tasks*; only when a task is stolen does the prefix of `M` travel to the
 //! thief (Section 3 of the paper).
 
-use crate::domains::Domains;
 use crate::matcher::Algorithm;
-use crate::ordering::{greatest_constraint_first, MatchOrder, PlanStep};
-use sge_graph::{EdgeRef, Graph, NodeId};
+use sge_graph::{EdgeRef, Graph, GraphStats, NodeId};
+use sge_plan::ordering::{MatchOrder, PlanStep};
+use sge_plan::{Domains, PlanCost, Planner, QueryPlan, Strategy};
 use std::sync::Arc;
 
 /// How raw candidates are generated for positions with ordered neighbors.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum CandidateMode {
     /// Multi-parent intersection (the default): candidates are the galloping
     /// intersection of the adjacency lists of *every* already-mapped pattern
@@ -36,24 +43,41 @@ pub enum CandidateMode {
     SingleParent,
 }
 
-/// Read-only description of one enumeration instance: pattern, target, node
-/// ordering and (for the RI-DS family) domains.
+impl std::fmt::Display for CandidateMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CandidateMode::Intersection => "intersection",
+            CandidateMode::SingleParent => "single-parent",
+        })
+    }
+}
+
+impl std::str::FromStr for CandidateMode {
+    type Err = String;
+
+    /// Parses `intersection` / `single-parent` (case-insensitive, `_` and
+    /// `-` interchangeable).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.to_ascii_lowercase().replace('_', "-").as_str() {
+            "intersection" => Ok(CandidateMode::Intersection),
+            "single-parent" => Ok(CandidateMode::SingleParent),
+            other => Err(format!(
+                "unknown candidate mode '{other}' (expected intersection or single-parent)"
+            )),
+        }
+    }
+}
+
+/// Read-only description of one enumeration instance: pattern, target and
+/// the [`QueryPlan`] being executed (ordering, domains, cost estimates).
 ///
-/// Domains are held behind an [`Arc`] so that prepared instances can be
-/// rebuilt against long-lived owned graphs (see [`PreparedParts`]) without
-/// re-running or copying the domain computation.
+/// Domains are held behind an [`Arc`] inside the plan so that prepared
+/// instances can be rebuilt against long-lived owned graphs (see
+/// [`PreparedParts`]) without re-running or copying the domain computation.
 pub struct SearchContext<'a> {
     pattern: &'a Graph,
     target: &'a Graph,
-    algorithm: Algorithm,
-    order: MatchOrder,
-    domains: Option<Arc<Domains>>,
-    /// `true` when the preprocessing already proved that no match exists
-    /// (an empty or contradictory domain).
-    impossible: bool,
-    /// Plain RI checks degrees during the search; the RI-DS domains already
-    /// encode the degree filter.
-    check_degrees: bool,
+    plan: QueryPlan,
     /// Candidate generation scheme (intersection by default).
     mode: CandidateMode,
 }
@@ -61,7 +85,8 @@ pub struct SearchContext<'a> {
 impl<'a> SearchContext<'a> {
     /// Runs the preprocessing phase of `algorithm` (domain computation, forward
     /// checking, node ordering) and returns a ready-to-search context using
-    /// the default intersection-based candidate generator.
+    /// the default intersection-based candidate generator and RI-greedy
+    /// ordering strategy.
     pub fn prepare(pattern: &'a Graph, target: &'a Graph, algorithm: Algorithm) -> Self {
         Self::prepare_with_mode(pattern, target, algorithm, CandidateMode::default())
     }
@@ -74,37 +99,64 @@ impl<'a> SearchContext<'a> {
         algorithm: Algorithm,
         mode: CandidateMode,
     ) -> Self {
-        let mut impossible = false;
-        let domains = if algorithm.uses_domains() {
-            let mut domains = Domains::compute(pattern, target);
-            if domains.any_empty()
-                || (algorithm.uses_forward_checking() && !domains.forward_check())
-            {
-                impossible = true;
-            }
-            Some(Arc::new(domains))
-        } else {
-            None
-        };
-        let order = greatest_constraint_first(
-            pattern,
-            domains.as_deref(),
-            algorithm.uses_domain_size_tie_break(),
-        );
+        Self::prepare_planned(pattern, target, algorithm, mode, Strategy::default())
+    }
+
+    /// Full preparation entry point: plans with `strategy` and executes
+    /// under `mode`.
+    pub fn prepare_planned(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
+        let plan = Planner::new(strategy).plan(pattern, target, algorithm);
+        Self::from_plan(pattern, target, plan, mode)
+    }
+
+    /// [`Self::prepare_planned`] with precomputed target statistics —
+    /// callers that prepare many patterns against one long-lived target
+    /// (the serving registry) compute [`GraphStats`] once instead of paying
+    /// the full-target frequency pass per preparation.
+    pub fn prepare_planned_with_stats(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        target_stats: &GraphStats,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
+        let plan = Planner::new(strategy).plan_with_stats(pattern, target, target_stats, algorithm);
+        Self::from_plan(pattern, target, plan, mode)
+    }
+
+    /// Wraps an externally produced [`QueryPlan`].
+    ///
+    /// The graphs must be the ones the plan was built from (or structurally
+    /// identical copies); the ordering and domains reference their node ids
+    /// directly.
+    pub fn from_plan(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        plan: QueryPlan,
+        mode: CandidateMode,
+    ) -> Self {
         SearchContext {
             pattern,
             target,
-            algorithm,
-            order,
-            domains,
-            impossible,
-            check_degrees: !algorithm.uses_domains(),
+            plan,
             mode,
         }
     }
 
     /// Builds a context from explicitly prepared parts (used by tests and by
     /// callers that want to reuse a domain computation).
+    ///
+    /// The caller supplies the order, so the resulting plan carries **no
+    /// meaningful strategy label** (it reports the default) and an empty
+    /// cost estimate; use [`Self::prepare_planned`] when the strategy field
+    /// matters (outcome reporting, EXPLAIN, cache keys).
     pub fn from_parts(
         pattern: &'a Graph,
         target: &'a Graph,
@@ -114,16 +166,16 @@ impl<'a> SearchContext<'a> {
         check_degrees: bool,
     ) -> Self {
         let impossible = domains.as_ref().is_some_and(|d| d.any_empty());
-        SearchContext {
-            pattern,
-            target,
+        let plan = QueryPlan {
             algorithm,
+            strategy: Strategy::default(),
             order,
             domains: domains.map(Arc::new),
             impossible,
             check_degrees,
-            mode: CandidateMode::default(),
-        }
+            cost: PlanCost::default(),
+        };
+        Self::from_plan(pattern, target, plan, CandidateMode::default())
     }
 
     /// The candidate generation scheme this context uses.
@@ -138,7 +190,7 @@ impl<'a> SearchContext<'a> {
 
     /// The algorithm variant this context was prepared for.
     pub fn algorithm(&self) -> Algorithm {
-        self.algorithm
+        self.plan.algorithm
     }
 
     /// The target graph.
@@ -146,25 +198,35 @@ impl<'a> SearchContext<'a> {
         self.target
     }
 
+    /// The full query plan this context executes.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The ordering strategy that planned this context.
+    pub fn strategy(&self) -> Strategy {
+        self.plan.strategy
+    }
+
     /// The static node ordering.
     pub fn order(&self) -> &MatchOrder {
-        &self.order
+        &self.plan.order
     }
 
     /// The domains, when the algorithm uses them.
     pub fn domains(&self) -> Option<&Domains> {
-        self.domains.as_deref()
+        self.plan.domains.as_deref()
     }
 
     /// Number of positions to fill (= pattern nodes).
     pub fn num_positions(&self) -> usize {
-        self.order.len()
+        self.plan.order.len()
     }
 
     /// `true` when preprocessing proved there are no matches; the search can be
     /// skipped entirely.
     pub fn impossible(&self) -> bool {
-        self.impossible || self.pattern.num_nodes() > self.target.num_nodes()
+        self.plan.impossible || self.pattern.num_nodes() > self.target.num_nodes()
     }
 
     /// Creates a fresh per-worker state.
@@ -191,11 +253,11 @@ impl<'a> SearchContext<'a> {
     /// Candidates are *raw*: they still need [`Self::is_consistent`].
     pub fn candidates(&self, depth: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
         out.clear();
-        let step = &self.order.plan.steps[depth];
+        let step = &self.plan.order.plan.steps[depth];
         if step.constraints.is_empty() {
-            match &self.domains {
+            match &self.plan.domains {
                 Some(domains) => {
-                    let vp = self.order.positions[depth];
+                    let vp = self.plan.order.positions[depth];
                     out.extend(domains.set(vp).iter().map(|v| v as NodeId));
                 }
                 None => out.extend(0..self.target.num_nodes() as NodeId),
@@ -204,7 +266,8 @@ impl<'a> SearchContext<'a> {
         }
         match self.mode {
             CandidateMode::SingleParent => {
-                let link = self.order.parents[depth].expect("constrained position has a parent");
+                let link =
+                    self.plan.order.parents[depth].expect("constrained position has a parent");
                 let parent_image = state.mapping[link.parent_pos];
                 debug_assert_ne!(parent_image, NodeId::MAX, "parent must be assigned");
                 let edges = if link.out_from_parent {
@@ -215,7 +278,7 @@ impl<'a> SearchContext<'a> {
                 out.extend(edges.iter().map(|e| e.node));
             }
             CandidateMode::Intersection => {
-                let vp = self.order.positions[depth];
+                let vp = self.plan.order.positions[depth];
                 self.intersect_candidates(vp, step, state, out);
             }
         }
@@ -225,7 +288,7 @@ impl<'a> SearchContext<'a> {
     #[inline]
     fn constraint_adjacency(
         &self,
-        c: &crate::ordering::EdgeConstraint,
+        c: &sge_plan::EdgeConstraint,
         state: &WorkerState,
     ) -> &[EdgeRef] {
         let image = state.mapping[c.parent_pos];
@@ -267,7 +330,7 @@ impl<'a> SearchContext<'a> {
         // `is_consistent` need not re-test membership.
         let c0 = &step.constraints[seed];
         let adj0 = self.constraint_adjacency(c0, state);
-        match &self.domains {
+        match &self.plan.domains {
             Some(domains) => out.extend(
                 adj0.iter()
                     .filter(|e| e.label == c0.label && domains.contains(vp, e.node))
@@ -304,16 +367,16 @@ impl<'a> SearchContext<'a> {
     /// mode those back-edges are already guaranteed by
     /// [`Self::candidates`], so the per-edge probe loop is skipped.
     pub fn is_consistent(&self, depth: usize, vt: NodeId, state: &WorkerState) -> bool {
-        let vp = self.order.positions[depth];
+        let vp = self.plan.order.positions[depth];
         if state.used[vt as usize] {
             return false;
         }
-        let step = &self.order.plan.steps[depth];
+        let step = &self.plan.order.plan.steps[depth];
         // Under intersection mode, constrained candidates were already pushed
         // through the domain / node-label filter by `candidates`; re-testing
         // is only needed for parentless positions and the legacy path.
         if self.mode == CandidateMode::SingleParent || step.constraints.is_empty() {
-            match &self.domains {
+            match &self.plan.domains {
                 Some(domains) => {
                     if !domains.contains(vp, vt) {
                         return false;
@@ -326,7 +389,7 @@ impl<'a> SearchContext<'a> {
                 }
             }
         }
-        if self.check_degrees
+        if self.plan.check_degrees
             && (self.target.out_degree(vt) < self.pattern.out_degree(vp)
                 || self.target.in_degree(vt) < self.pattern.in_degree(vp))
         {
@@ -363,7 +426,7 @@ impl<'a> SearchContext<'a> {
     pub fn mapping_by_pattern_node(&self, state: &WorkerState) -> Vec<NodeId> {
         let mut out = vec![NodeId::MAX; self.num_positions()];
         for (pos, &vt) in state.mapping.iter().enumerate() {
-            let vp = self.order.positions[pos];
+            let vp = self.plan.order.positions[pos];
             out[vp as usize] = vt;
         }
         out
@@ -415,10 +478,10 @@ fn advance_to(adj: &[EdgeRef], from: usize, v: NodeId) -> usize {
 ///
 /// [`SearchContext`] borrows its pattern and target, which is the right shape
 /// for one-shot enumeration but not for a serving system that keeps prepared
-/// instances alive across queries.  `PreparedParts` captures everything
-/// preprocessing produced — ordering, domains (shared, not copied), and the
-/// impossibility verdict — so a caller that *owns* the graphs can rebuild an
-/// equivalent context at any time without re-running preprocessing:
+/// instances alive across queries.  `PreparedParts` captures the executed
+/// [`QueryPlan`] (domains shared, not copied) and the candidate mode, so a
+/// caller that *owns* the graphs can rebuild an equivalent context at any
+/// time without re-running preprocessing:
 ///
 /// ```
 /// use sge_graph::generators;
@@ -435,25 +498,17 @@ fn advance_to(adj: &[EdgeRef], from: usize, v: NodeId) -> usize {
 /// ```
 #[derive(Clone)]
 pub struct PreparedParts {
-    algorithm: Algorithm,
-    order: MatchOrder,
-    domains: Option<Arc<Domains>>,
-    impossible: bool,
-    check_degrees: bool,
+    plan: QueryPlan,
     mode: CandidateMode,
 }
 
 impl PreparedParts {
     /// Captures the prepared artifacts of `ctx` (domains are shared via
-    /// [`Arc`], the ordering — including its [`crate::ordering::CandidatePlan`]
-    /// — is cloned, and the candidate mode travels along).
+    /// [`Arc`], the ordering — including its [`sge_plan::CandidatePlan`] —
+    /// is cloned, and the candidate mode travels along).
     pub fn extract(ctx: &SearchContext<'_>) -> Self {
         PreparedParts {
-            algorithm: ctx.algorithm,
-            order: ctx.order.clone(),
-            domains: ctx.domains.clone(),
-            impossible: ctx.impossible,
-            check_degrees: ctx.check_degrees,
+            plan: ctx.plan.clone(),
             mode: ctx.mode,
         }
     }
@@ -464,26 +519,32 @@ impl PreparedParts {
     /// structurally identical copies); the ordering and domains reference
     /// their node ids directly.
     pub fn context<'a>(&self, pattern: &'a Graph, target: &'a Graph) -> SearchContext<'a> {
-        SearchContext {
-            pattern,
-            target,
-            algorithm: self.algorithm,
-            order: self.order.clone(),
-            domains: self.domains.clone(),
-            impossible: self.impossible,
-            check_degrees: self.check_degrees,
-            mode: self.mode,
-        }
+        SearchContext::from_plan(pattern, target, self.plan.clone(), self.mode)
     }
 
     /// The algorithm these parts were prepared for.
     pub fn algorithm(&self) -> Algorithm {
-        self.algorithm
+        self.plan.algorithm
+    }
+
+    /// The ordering strategy that planned these parts.
+    pub fn strategy(&self) -> Strategy {
+        self.plan.strategy
+    }
+
+    /// The candidate generation scheme these parts execute under.
+    pub fn candidate_mode(&self) -> CandidateMode {
+        self.mode
+    }
+
+    /// The captured query plan (order, domains, cost estimates).
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
     }
 
     /// `true` when preprocessing already proved there are no matches.
     pub fn impossible(&self) -> bool {
-        self.impossible
+        self.plan.impossible
     }
 }
 
@@ -569,9 +630,8 @@ mod tests {
             "RI roots = all target nodes"
         );
 
-        // Map the first pattern node (the path tail, degree-max is node 0 or 1;
-        // ordering picks a max-degree node first) onto the star center and
-        // check the child candidates are exactly the center's out-neighbors.
+        // Map the first pattern node onto the star center and check the child
+        // candidates are exactly the center's out-neighbors.
         let first = ctx.order().positions[0];
         assert!(ctx.is_consistent(0, 0, &state));
         state.assign(0, 0);
@@ -751,5 +811,42 @@ mod tests {
         }
         let by_node = ctx.mapping_by_pattern_node(&state);
         assert_eq!(by_node, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn candidate_mode_parses_and_displays() {
+        assert_eq!(
+            "intersection".parse::<CandidateMode>().unwrap(),
+            CandidateMode::Intersection
+        );
+        assert_eq!(
+            "Single_Parent".parse::<CandidateMode>().unwrap(),
+            CandidateMode::SingleParent
+        );
+        assert!("legacy".parse::<CandidateMode>().is_err());
+        assert_eq!(CandidateMode::Intersection.to_string(), "intersection");
+        assert_eq!(CandidateMode::SingleParent.to_string(), "single-parent");
+    }
+
+    #[test]
+    fn prepared_parts_carry_strategy_and_plan() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(4, 0);
+        let ctx = SearchContext::prepare_planned(
+            &pattern,
+            &target,
+            Algorithm::RiDs,
+            CandidateMode::SingleParent,
+            Strategy::DegreeDescending,
+        );
+        assert_eq!(ctx.strategy(), Strategy::DegreeDescending);
+        assert_eq!(ctx.plan().cost.positions.len(), 3);
+        let parts = PreparedParts::extract(&ctx);
+        assert_eq!(parts.strategy(), Strategy::DegreeDescending);
+        assert_eq!(parts.candidate_mode(), CandidateMode::SingleParent);
+        assert_eq!(parts.plan().num_positions(), 3);
+        let rebuilt = parts.context(&pattern, &target);
+        assert_eq!(rebuilt.order().positions, ctx.order().positions);
+        assert_eq!(rebuilt.candidate_mode(), CandidateMode::SingleParent);
     }
 }

@@ -8,9 +8,43 @@
 //! Each positional argument is one protocol line (batch continuation lines
 //! are further arguments); with no request arguments, the script is read
 //! from stdin.  Responses are printed one JSON line per request.  Exits
-//! nonzero when any response reports `"ok":false`.
+//! nonzero when any response reports `"ok":false` — including an `ok:false`
+//! *sub-result* inside an otherwise-successful `BATCH` response — and
+//! mirrors every protocol-level `error` message to stderr so CI smoke
+//! scripts cannot silently pass on a failed query.
 
 use std::io::Read;
+
+/// Extracts every `"error":"..."` message from a single-line JSON response.
+/// The server's hand-rolled encoder escapes embedded quotes as `\"`, which
+/// is the only escape this scan needs to respect.
+fn error_messages(response: &str) -> Vec<String> {
+    let mut messages = Vec::new();
+    let mut rest = response;
+    while let Some(at) = rest.find("\"error\":\"") {
+        let tail = &rest[at + "\"error\":\"".len()..];
+        let mut message = String::new();
+        let mut bytes = tail.char_indices();
+        let mut end = tail.len();
+        while let Some((i, c)) = bytes.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, escaped)) = bytes.next() {
+                        message.push(escaped);
+                    }
+                }
+                '"' => {
+                    end = i;
+                    break;
+                }
+                other => message.push(other),
+            }
+        }
+        messages.push(message);
+        rest = &tail[end..];
+    }
+    messages
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -37,10 +71,18 @@ fn main() {
         Ok(responses) => {
             let mut failed = false;
             for response in responses {
-                // Only a *top-level* failure counts: an ok:true BATCH
-                // response may legitimately carry ok:false entries for
-                // individual queries in its results array.
-                failed |= response.starts_with("{\"ok\":false");
+                // A top-level failure fails the run outright; an ok:true
+                // BATCH response may still carry ok:false entries for
+                // individual queries in its results array — those are
+                // protocol-level errors too and must not pass silently.
+                let top_level_failure = response.starts_with("{\"ok\":false");
+                let sub_failure = !top_level_failure && response.contains("{\"ok\":false");
+                if top_level_failure || sub_failure {
+                    failed = true;
+                    for message in error_messages(&response) {
+                        eprintln!("error: {message}");
+                    }
+                }
                 println!("{response}");
             }
             if failed {
@@ -51,5 +93,23 @@ fn main() {
             eprintln!("error: {err}");
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::error_messages;
+
+    #[test]
+    fn extracts_every_error_message() {
+        let batch = r#"{"ok":true,"results":[{"ok":false,"error":"protocol error: unknown algorithm 'x'"},{"ok":true,"matches":3},{"ok":false,"error":"graph \"p\" failed"}]}"#;
+        assert_eq!(
+            error_messages(batch),
+            vec![
+                "protocol error: unknown algorithm 'x'".to_string(),
+                "graph \"p\" failed".to_string(),
+            ]
+        );
+        assert!(error_messages(r#"{"ok":true,"matches":60}"#).is_empty());
     }
 }

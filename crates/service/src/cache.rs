@@ -1,8 +1,8 @@
 //! The prepared-context cache: a bounded LRU over [`PreparedEngine`]s.
 
 use sge_engine::PreparedEngine;
-use sge_graph::Graph;
-use sge_ri::Algorithm;
+use sge_graph::{Graph, GraphStats};
+use sge_ri::{Algorithm, CandidateMode, Strategy};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -15,12 +15,16 @@ use std::sync::{Arc, Mutex};
 /// labels + edge list, name stripped), so two syntactically different query
 /// texts describing the same graph share one entry; equality is on the full
 /// canonical form — the reported hash is informational, never trusted for
-/// identity.
+/// identity.  The *preparation variant* — candidate mode and ordering
+/// strategy — is part of the key: engines prepared under different variants
+/// produce different plans and must never alias each other.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
     pattern: String,
     target: String,
     algorithm: Algorithm,
+    mode: CandidateMode,
+    strategy: Strategy,
 }
 
 struct Entry {
@@ -49,7 +53,7 @@ pub struct CacheStats {
 }
 
 /// A bounded LRU of prepared engines keyed by *(pattern, target name,
-/// algorithm)*.
+/// algorithm, candidate mode, ordering strategy)*.
 ///
 /// Preparation runs **outside** the cache lock, so a slow domain computation
 /// never blocks concurrent lookups of other keys; when two threads race to
@@ -94,9 +98,10 @@ impl PreparedCache {
         hasher.finish()
     }
 
-    /// Fetches the prepared engine for `(pattern, target_name, algorithm)`,
-    /// preparing and inserting it on a miss.  Returns the engine and whether
-    /// the lookup was a hit.
+    /// Fetches the prepared engine for `(pattern, target_name, algorithm)`
+    /// under the default candidate mode and ordering strategy, preparing and
+    /// inserting it on a miss.  Returns the engine and whether the lookup
+    /// was a hit.
     pub fn get_or_prepare(
         &self,
         pattern: &Graph,
@@ -104,10 +109,40 @@ impl PreparedCache {
         target: &Arc<Graph>,
         algorithm: Algorithm,
     ) -> (Arc<PreparedEngine>, bool) {
+        self.get_or_prepare_planned(
+            pattern,
+            target_name,
+            target,
+            None,
+            algorithm,
+            CandidateMode::default(),
+            Strategy::default(),
+        )
+    }
+
+    /// [`PreparedCache::get_or_prepare`] with the full preparation variant:
+    /// candidate mode and ordering strategy both participate in the cache
+    /// key, so the same pattern prepared under two strategies yields two
+    /// independent entries.  When the caller holds precomputed target
+    /// statistics (the registry computes them at registration), a miss
+    /// prepares with them instead of re-deriving the frequency tables.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_prepare_planned(
+        &self,
+        pattern: &Graph,
+        target_name: &str,
+        target: &Arc<Graph>,
+        target_stats: Option<&GraphStats>,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> (Arc<PreparedEngine>, bool) {
         let key = CacheKey {
             pattern: Self::canonical_pattern(pattern),
             target: target_name.to_string(),
             algorithm,
+            mode,
+            strategy,
         };
 
         if let Some(engine) = self.lookup(&key, target) {
@@ -116,11 +151,23 @@ impl PreparedCache {
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let engine = Arc::new(PreparedEngine::prepare(
-            Arc::new(pattern.clone()),
-            Arc::clone(target),
-            algorithm,
-        ));
+        let engine = Arc::new(match target_stats {
+            Some(stats) => PreparedEngine::prepare_planned_with_stats(
+                Arc::new(pattern.clone()),
+                Arc::clone(target),
+                stats,
+                algorithm,
+                mode,
+                strategy,
+            ),
+            None => PreparedEngine::prepare_planned(
+                Arc::new(pattern.clone()),
+                Arc::clone(target),
+                algorithm,
+                mode,
+                strategy,
+            ),
+        });
         (self.insert(key, engine), false)
     }
 
@@ -259,6 +306,57 @@ mod tests {
         assert!(!hit_other_target);
         assert!(!hit_other_algo);
         assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn preparation_variant_is_part_of_the_key() {
+        // Two strategies (and two candidate modes) for the same pattern /
+        // target / algorithm must coexist as independent entries — aliasing
+        // them would serve a plan prepared under a different variant.
+        let cache = PreparedCache::new(8);
+        let target = k5();
+        let pattern = generators::directed_cycle(3, 0);
+        let stats = GraphStats::of(&target);
+        let prepare = |strategy: Strategy, mode: CandidateMode| {
+            cache.get_or_prepare_planned(
+                &pattern,
+                "k5",
+                &target,
+                Some(&stats),
+                Algorithm::RiDs,
+                mode,
+                strategy,
+            )
+        };
+        let (greedy, hit1) = prepare(Strategy::RiGreedy, CandidateMode::Intersection);
+        let (lfl, hit2) = prepare(
+            Strategy::LeastFrequentLabelFirst,
+            CandidateMode::Intersection,
+        );
+        let (single, hit3) = prepare(Strategy::RiGreedy, CandidateMode::SingleParent);
+        assert!(!hit1 && !hit2 && !hit3, "distinct variants must all miss");
+        assert!(!Arc::ptr_eq(&greedy, &lfl));
+        assert!(!Arc::ptr_eq(&greedy, &single));
+        assert_eq!(cache.stats().entries, 3);
+
+        // Each variant is resident and hits independently…
+        let (greedy2, hit) = prepare(Strategy::RiGreedy, CandidateMode::Intersection);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&greedy, &greedy2));
+        let (lfl2, hit) = prepare(
+            Strategy::LeastFrequentLabelFirst,
+            CandidateMode::Intersection,
+        );
+        assert!(hit);
+        assert!(Arc::ptr_eq(&lfl, &lfl2));
+        // …carries its own variant…
+        assert_eq!(greedy.strategy(), Strategy::RiGreedy);
+        assert_eq!(lfl.strategy(), Strategy::LeastFrequentLabelFirst);
+        assert_eq!(single.candidate_mode(), CandidateMode::SingleParent);
+        // …and they all agree on results.
+        assert_eq!(greedy.run(&Default::default()).matches, 60);
+        assert_eq!(lfl.run(&Default::default()).matches, 60);
+        assert_eq!(single.run(&Default::default()).matches, 60);
     }
 
     #[test]

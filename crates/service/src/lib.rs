@@ -45,9 +45,9 @@ pub use registry::{GraphInfo, GraphRegistry};
 pub use server::Server;
 pub use stats::{ServiceStats, StatsSnapshot};
 
-use sge_engine::{EnumerationOutcome, RunConfig};
+use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig};
 use sge_graph::io::ParseError;
-use sge_ri::Algorithm;
+use sge_ri::{Algorithm, CandidateMode};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -123,7 +123,12 @@ pub struct QuerySpec {
     pub pattern_text: String,
     /// Algorithm variant to prepare (part of the cache key).
     pub algorithm: Algorithm,
-    /// Scheduler and limits for this run.
+    /// Candidate generation scheme to prepare under (part of the cache
+    /// key; intersection by default).
+    pub mode: CandidateMode,
+    /// Scheduler and limits for this run.  The embedded
+    /// `RunConfig::strategy` selects the ordering strategy the engine is
+    /// prepared with (also part of the cache key).
     pub run: RunConfig,
 }
 
@@ -134,6 +139,7 @@ impl QuerySpec {
         QuerySpec {
             pattern_text: pattern_text.into(),
             algorithm: Algorithm::RiDsSiFc,
+            mode: CandidateMode::default(),
             run: RunConfig::default(),
         }
     }
@@ -141,6 +147,12 @@ impl QuerySpec {
     /// Sets the algorithm.
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the candidate generation scheme.
+    pub fn with_mode(mut self, mode: CandidateMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -240,20 +252,40 @@ impl Service {
         result
     }
 
+    /// The shared lookup → parse → cached-prepare pipeline behind both
+    /// `QUERY` and `EXPLAIN`.  Returns the prepared engine, whether it was
+    /// a cache hit, and the pattern hash.  Keeping this in one place is
+    /// what guarantees an `EXPLAIN` describes exactly the plan the
+    /// identical `QUERY` will run.
+    fn prepare_for_spec(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+    ) -> Result<(Arc<PreparedEngine>, bool, u64), ServiceError> {
+        let (target_graph, target_stats) = self
+            .registry
+            .get_with_stats(target)
+            .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))?;
+        let pattern = self.registry.parse_pattern(&spec.pattern_text)?;
+        let (engine, cache_hit) = self.cache.get_or_prepare_planned(
+            &pattern,
+            target,
+            &target_graph,
+            Some(&target_stats),
+            spec.algorithm,
+            spec.mode,
+            spec.run.strategy,
+        );
+        Ok((engine, cache_hit, PreparedCache::pattern_hash(&pattern)))
+    }
+
     fn run_query_inner(
         &self,
         target: &str,
         spec: &QuerySpec,
         started: Instant,
     ) -> Result<QueryOutcome, ServiceError> {
-        let target_graph = self
-            .registry
-            .get(target)
-            .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))?;
-        let pattern = self.registry.parse_pattern(&spec.pattern_text)?;
-        let (engine, cache_hit) =
-            self.cache
-                .get_or_prepare(&pattern, target, &target_graph, spec.algorithm);
+        let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
         let outcome = {
             let _permit = self.admission.acquire();
             engine.run(&spec.run)
@@ -262,10 +294,39 @@ impl Service {
         self.stats.record_query(outcome.matches, latency_seconds);
         Ok(QueryOutcome {
             target: target.to_string(),
-            pattern_hash: PreparedCache::pattern_hash(&pattern),
+            pattern_hash,
             cache_hit,
             latency_seconds,
             outcome,
+        })
+    }
+
+    /// Plans (or fetches the cached plan for) one query without running it
+    /// and reports the plan — the machinery behind the protocol's `EXPLAIN`
+    /// verb.  Preparation goes through the same [`PreparedCache`] as
+    /// [`Service::run_query`], so an `EXPLAIN` warms the cache for the
+    /// query that follows it.
+    pub fn explain(&self, target: &str, spec: &QuerySpec) -> Result<ExplainOutcome, ServiceError> {
+        let result = self.explain_inner(target, spec);
+        if result.is_err() {
+            self.stats.record_error();
+        }
+        result
+    }
+
+    fn explain_inner(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+    ) -> Result<ExplainOutcome, ServiceError> {
+        let started = Instant::now();
+        let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
+        Ok(ExplainOutcome {
+            target: target.to_string(),
+            pattern_hash,
+            cache_hit,
+            latency_seconds: started.elapsed().as_secs_f64(),
+            engine,
         })
     }
 
@@ -276,6 +337,22 @@ impl Service {
         self.stats.record_batch();
         outcome
     }
+}
+
+/// The result of an `EXPLAIN`: the prepared engine whose plan is reported.
+#[derive(Clone)]
+pub struct ExplainOutcome {
+    /// Name of the target the plan was built against.
+    pub target: String,
+    /// Stable-within-process hash of the canonical pattern.
+    pub pattern_hash: u64,
+    /// Whether the plan came out of the [`PreparedCache`].
+    pub cache_hit: bool,
+    /// End-to-end service latency of the explain in seconds.
+    pub latency_seconds: f64,
+    /// The prepared engine; its [`PreparedEngine::plan`] carries the match
+    /// order, strategy and cost estimates.
+    pub engine: Arc<PreparedEngine>,
 }
 
 /// Convenience alias: a service shared across server connection threads.

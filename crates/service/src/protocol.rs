@@ -5,8 +5,11 @@
 //!
 //! ```text
 //! LOAD <name> <path>
-//! QUERY target=<name> [algo=<a>] [sched=<s>] [max=<n>] [timeout_ms=<n>]
-//!       [collect=<n>] [seed=<n>] pattern=<inline> | pattern_file=<path>
+//! QUERY target=<name> [algo=<a>] [sched=<s>] [strategy=<o>] [mode=<m>]
+//!       [max=<n>] [timeout_ms=<n>] [collect=<n>] [seed=<n>]
+//!       pattern=<inline> | pattern_file=<path>
+//! EXPLAIN target=<name> [algo=<a>] [strategy=<o>] [mode=<m>]
+//!         pattern=<inline> | pattern_file=<path>
 //! BATCH target=<name> n=<count>        (followed by <count> query lines
 //!                                       using the QUERY grammar sans verb
 //!                                       and target)
@@ -17,6 +20,13 @@
 //! * `algo` — `ri`, `ri-ds`, `ri-ds-si` or `ri-ds-si-fc` (default).
 //! * `sched` — `seq` (default), `ws:<workers>[:<group>[:nosteal]]` or
 //!   `rayon:<workers>`.
+//! * `strategy` — ordering strategy: `ri-greedy` (default),
+//!   `least-frequent-label` or `degree-descending`.
+//! * `mode` — candidate generation: `intersection` (default) or
+//!   `single-parent`.
+//! * `EXPLAIN` plans (through the prepared cache) without running and
+//!   reports the match order, chosen strategy and per-position cost
+//!   estimates.
 //! * `pattern` — the `.gfu`/`.gfd` text with newlines replaced by `;` and
 //!   in-line whitespace by `,` (a directed triangle is
 //!   `3;0;0;0;3;0,1;1,2;2,0`).
@@ -45,6 +55,13 @@ pub enum Command {
         /// Registry name of the target.
         target: String,
         /// The query.
+        spec: QuerySpec,
+    },
+    /// Plan one query without running it and report the plan.
+    Explain {
+        /// Registry name of the target.
+        target: String,
+        /// The query whose plan is reported (run limits are ignored).
         spec: QuerySpec,
     },
     /// Header of a batch; `count` query lines follow.
@@ -85,6 +102,7 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
     let mut target = None;
     let mut pattern_text: Option<String> = None;
     let mut algorithm = sge_ri::Algorithm::RiDsSiFc;
+    let mut mode = sge_ri::CandidateMode::default();
     let mut run = RunConfig::default();
     for token in tokens {
         let (key, value) = token
@@ -97,6 +115,12 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
             }
             "sched" => {
                 run.scheduler = value.parse().map_err(protocol_error)?;
+            }
+            "strategy" => {
+                run.strategy = value.parse().map_err(protocol_error)?;
+            }
+            "mode" => {
+                mode = value.parse().map_err(protocol_error)?;
             }
             "max" => {
                 let n: u64 = value
@@ -132,6 +156,7 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
     let spec = pattern_text.map(|pattern_text| QuerySpec {
         pattern_text,
         algorithm,
+        mode,
         run,
     });
     Ok(QueryArgs { target, spec })
@@ -156,15 +181,21 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
                 path: rest[1].to_string(),
             })
         }
-        "QUERY" => {
+        "QUERY" | "EXPLAIN" => {
             let args = parse_query_args(&rest)?;
             let target = args
                 .target
-                .ok_or_else(|| protocol_error("QUERY requires target=<name>"))?;
+                .ok_or_else(|| protocol_error(format!("{verb} requires target=<name>")))?;
             let spec = args.spec.ok_or_else(|| {
-                protocol_error("QUERY requires pattern=<inline> or pattern_file=<path>")
+                protocol_error(format!(
+                    "{verb} requires pattern=<inline> or pattern_file=<path>"
+                ))
             })?;
-            Ok(Command::Query { target, spec })
+            if verb == "EXPLAIN" {
+                Ok(Command::Explain { target, spec })
+            } else {
+                Ok(Command::Query { target, spec })
+            }
         }
         "BATCH" => {
             let mut target = None;
@@ -195,7 +226,7 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
         "STATS" => Ok(Command::Stats),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err(protocol_error(format!(
-            "unknown verb '{other}' (expected LOAD, QUERY, BATCH, STATS or SHUTDOWN)"
+            "unknown verb '{other}' (expected LOAD, QUERY, EXPLAIN, BATCH, STATS or SHUTDOWN)"
         ))),
     }
 }
@@ -238,6 +269,7 @@ fn query_body(query: &QueryOutcome) -> Vec<(&'static str, Json)> {
     let mut pairs = vec![
         ("target", Json::str(query.target.clone())),
         ("algorithm", Json::str(outcome.algorithm.name())),
+        ("strategy", Json::str(outcome.strategy.name())),
         ("scheduler", Json::str(outcome.scheduler.to_string())),
         ("workers", Json::U64(outcome.workers as u64)),
         ("matches", Json::U64(outcome.matches)),
@@ -275,6 +307,55 @@ pub fn query_response(query: &QueryOutcome) -> Json {
     let mut pairs = vec![("ok", Json::Bool(true))];
     pairs.extend(query_body(query));
     Json::obj(pairs)
+}
+
+/// Response to a successful `EXPLAIN`: the chosen strategy, the match order
+/// (pattern node per position) and the per-position cost estimates.
+pub fn explain_response(explain: &crate::ExplainOutcome) -> Json {
+    let plan = explain.engine.plan();
+    let order = Json::Arr(
+        plan.order
+            .positions
+            .iter()
+            .map(|&v| Json::U64(v as u64))
+            .collect(),
+    );
+    let est_candidates = Json::Arr(
+        plan.cost
+            .positions
+            .iter()
+            .map(|p| Json::F64(p.est_candidates))
+            .collect(),
+    );
+    let est_states = Json::Arr(
+        plan.cost
+            .positions
+            .iter()
+            .map(|p| Json::F64(p.est_states))
+            .collect(),
+    );
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("target", Json::str(explain.target.clone())),
+        ("algorithm", Json::str(plan.algorithm.name())),
+        ("strategy", Json::str(plan.strategy.name())),
+        (
+            "mode",
+            Json::str(explain.engine.candidate_mode().to_string()),
+        ),
+        ("positions", Json::U64(plan.num_positions() as u64)),
+        ("order", order),
+        ("est_candidates", est_candidates),
+        ("est_states", est_states),
+        ("est_total_states", Json::F64(plan.cost.est_total_states)),
+        ("impossible", Json::Bool(explain.engine.impossible())),
+        ("cache_hit", Json::Bool(explain.cache_hit)),
+        (
+            "pattern_hash",
+            Json::str(format!("{:016x}", explain.pattern_hash)),
+        ),
+        ("latency_seconds", Json::F64(explain.latency_seconds)),
+    ])
 }
 
 /// Response to a `BATCH` (individual query failures are reported in-place
@@ -415,6 +496,29 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_strategy_mode_and_explain() {
+        let line = "QUERY target=k5 strategy=lfl mode=single-parent pattern=1;0;0";
+        match parse_command(line).unwrap() {
+            Command::Query { spec, .. } => {
+                assert_eq!(spec.run.strategy, sge_ri::Strategy::LeastFrequentLabelFirst);
+                assert_eq!(spec.mode, sge_ri::CandidateMode::SingleParent);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command("EXPLAIN target=k5 strategy=degree-descending pattern=1;0;0").unwrap() {
+            Command::Explain { target, spec } => {
+                assert_eq!(target, "k5");
+                assert_eq!(spec.run.strategy, sge_ri::Strategy::DegreeDescending);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_command("EXPLAIN target=k5").is_err());
+        assert!(parse_command("EXPLAIN pattern=1;0;0").is_err());
+        assert!(parse_command("QUERY target=k5 strategy=wat pattern=1;0;0").is_err());
+        assert!(parse_command("QUERY target=k5 mode=wat pattern=1;0;0").is_err());
     }
 
     #[test]

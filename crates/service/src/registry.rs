@@ -2,7 +2,7 @@
 
 use crate::ServiceError;
 use sge_graph::io::parse_graph_with_interner;
-use sge_graph::Graph;
+use sge_graph::{Graph, GraphStats};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
@@ -26,8 +26,18 @@ pub struct GraphInfo {
 /// target's — the invariant the RI family's label comparisons rely on.
 /// Graphs inserted programmatically via [`GraphRegistry::insert`] bypass the
 /// interner and must already use consistent integer labels.
+struct TargetEntry {
+    graph: Arc<Graph>,
+    /// Label-frequency statistics, computed once at registration — the
+    /// planner consumes these on every cache miss, and recomputing them per
+    /// preparation would put a full O(V + E log E) target pass on the
+    /// serving hot path.
+    stats: Arc<GraphStats>,
+}
+
+/// See module docs; holds one [`TargetEntry`] per registered name.
 pub struct GraphRegistry {
-    graphs: RwLock<HashMap<String, Arc<Graph>>>,
+    graphs: RwLock<HashMap<String, TargetEntry>>,
     interner: Mutex<HashMap<String, u32>>,
 }
 
@@ -70,20 +80,32 @@ impl GraphRegistry {
             nodes: graph.num_nodes(),
             edges: graph.num_edges(),
         };
+        // Stats are computed outside the write lock so concurrent lookups
+        // never wait on the frequency-table pass.
+        let entry = TargetEntry {
+            stats: Arc::new(GraphStats::of(&graph)),
+            graph: Arc::new(graph),
+        };
         self.graphs
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .insert(name.to_string(), Arc::new(graph));
+            .insert(name.to_string(), entry);
         info
     }
 
     /// Looks a target up by name.
     pub fn get(&self, name: &str) -> Option<Arc<Graph>> {
+        self.get_with_stats(name).map(|(graph, _)| graph)
+    }
+
+    /// Looks a target up by name together with its registration-time
+    /// statistics (what the planner's cost model consumes).
+    pub fn get_with_stats(&self, name: &str) -> Option<(Arc<Graph>, Arc<GraphStats>)> {
         self.graphs
             .read()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(name)
-            .cloned()
+            .map(|entry| (Arc::clone(&entry.graph), Arc::clone(&entry.stats)))
     }
 
     /// Parses a query pattern through the shared label interner.
@@ -103,10 +125,10 @@ impl GraphRegistry {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         let mut infos: Vec<GraphInfo> = graphs
             .iter()
-            .map(|(name, graph)| GraphInfo {
+            .map(|(name, entry)| GraphInfo {
                 name: name.clone(),
-                nodes: graph.num_nodes(),
-                edges: graph.num_edges(),
+                nodes: entry.graph.num_nodes(),
+                edges: entry.graph.num_edges(),
             })
             .collect();
         infos.sort_by(|a, b| a.name.cmp(&b.name));
@@ -144,6 +166,10 @@ mod tests {
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.get("k4").unwrap().num_nodes(), 4);
         assert!(registry.get("missing").is_none());
+        // Stats are captured at registration time.
+        let (graph, stats) = registry.get_with_stats("k4").unwrap();
+        assert_eq!(stats.nodes, graph.num_nodes());
+        assert_eq!(stats.edge_label_count(0), graph.num_edges());
         let names: Vec<_> = registry.list().into_iter().map(|i| i.name).collect();
         assert_eq!(names, vec!["k4", "path"]);
     }

@@ -5,8 +5,8 @@
 //! self-connection wakes the blocking `accept`).
 
 use crate::protocol::{
-    batch_response, error_response, load_response, parse_batch_query, parse_command,
-    query_response, shutdown_response, stats_response, Command,
+    batch_response, error_response, explain_response, load_response, parse_batch_query,
+    parse_command, query_response, shutdown_response, stats_response, Command,
 };
 use crate::{QuerySet, ServiceError, SharedService};
 use std::io::{BufRead, BufReader, Write};
@@ -82,6 +82,10 @@ fn handle_connection(
             },
             Ok(Command::Query { target, spec }) => match service.run_query(&target, &spec) {
                 Ok(outcome) => query_response(&outcome),
+                Err(err) => error_response(&err),
+            },
+            Ok(Command::Explain { target, spec }) => match service.explain(&target, &spec) {
+                Ok(outcome) => explain_response(&outcome),
                 Err(err) => error_response(&err),
             },
             Ok(Command::Batch { target, count }) => match read_batch(&mut reader, target, count) {

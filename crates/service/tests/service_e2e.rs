@@ -195,3 +195,32 @@ fn time_and_match_limits_flow_through() {
     assert_eq!(limited.outcome.matches, 7);
     assert!(limited.outcome.limit_hit);
 }
+
+#[test]
+fn explain_counts_errors_and_reports_the_cached_plan() {
+    let service = Service::new(ServiceConfig::default());
+    service
+        .registry()
+        .insert("k5", sge_graph::generators::clique(5, 0));
+    let pattern = sge_graph::io::write_graph(&sge_graph::generators::directed_cycle(3, 0));
+
+    // Every explain failure mode increments the error counter, exactly as
+    // run_query failures do.
+    assert!(service.explain("ghost", &QuerySpec::new(&pattern)).is_err());
+    assert!(service
+        .explain("k5", &QuerySpec::new("not a graph"))
+        .is_err());
+    assert_eq!(service.stats().errors, 2);
+
+    // A successful explain reports the plan and warms the cache for the
+    // identical query.
+    let explained = service.explain("k5", &QuerySpec::new(&pattern)).unwrap();
+    assert!(!explained.cache_hit);
+    assert_eq!(explained.engine.plan().num_positions(), 3);
+    assert!(explained.engine.plan().cost.est_total_states > 0.0);
+    let query = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+    assert!(query.cache_hit, "explain must warm the prepared cache");
+    assert_eq!(query.outcome.matches, 60);
+    // Explains do not count as served queries.
+    assert_eq!(service.stats().queries_served, 1);
+}

@@ -274,3 +274,86 @@ fn concurrent_clients_share_the_cache() {
     );
     server.join().unwrap();
 }
+
+#[test]
+fn explain_round_trips_with_order_costs_and_strategy() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-explain");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        format!("EXPLAIN target=k5 pattern={triangle}"),
+        format!("EXPLAIN target=k5 strategy=least-frequent-label pattern={triangle}"),
+        format!("EXPLAIN target=k5 strategy=degree-descending algo=ri pattern={triangle}"),
+        // The default-strategy EXPLAIN warmed the cache for the same query.
+        format!("QUERY target=k5 pattern={triangle}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(responses.len(), 6, "{responses:?}");
+
+    // Default EXPLAIN: RI-greedy plan with 3 positions, costs per position.
+    assert!(responses[1].starts_with("{\"ok\":true"), "{}", responses[1]);
+    assert!(responses[1].contains("\"strategy\":\"ri-greedy\""));
+    assert!(responses[1].contains("\"positions\":3"));
+    assert!(responses[1].contains("\"order\":["));
+    assert!(responses[1].contains("\"est_candidates\":["));
+    assert!(responses[1].contains("\"est_states\":["));
+    assert!(responses[1].contains("\"impossible\":false"));
+    assert!(responses[1].contains("\"mode\":\"intersection\""));
+    // Strategy selection reaches the plan.
+    assert!(responses[2].contains("\"strategy\":\"least-frequent-label\""));
+    assert!(responses[3].contains("\"strategy\":\"degree-descending\""));
+    assert!(responses[3].contains("\"algorithm\":\"RI\""));
+    // EXPLAIN prepared through the shared cache, so the QUERY hits.
+    assert!(
+        responses[4].contains("\"cache_hit\":true"),
+        "{}",
+        responses[4]
+    );
+    assert!(responses[4].contains("\"matches\":60"));
+    assert!(responses[5].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn strategy_is_selectable_on_query_and_batch() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-strategy");
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        format!("QUERY target=k5 strategy=least-frequent-label pattern={triangle}"),
+        format!("QUERY target=k5 strategy=ri-greedy pattern={triangle}"),
+        // Same pattern, different strategy: distinct cache entries, both cold.
+        "STATS".to_string(),
+        "BATCH target=k5 n=2".to_string(),
+        format!("strategy=degree-descending pattern={triangle}"),
+        format!("strategy=degree_descending mode=single-parent pattern={triangle}"),
+        format!("QUERY target=k5 strategy=bogus pattern={triangle}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(responses.len(), 7, "{responses:?}");
+    // All strategies agree on the match count and are echoed back.
+    assert!(responses[1].contains("\"matches\":60"));
+    assert!(responses[1].contains("\"strategy\":\"least-frequent-label\""));
+    assert!(responses[2].contains("\"matches\":60"));
+    assert!(responses[2].contains("\"strategy\":\"ri-greedy\""));
+    assert!(responses[3].contains("\"misses\":2"), "{}", responses[3]);
+    // Batched queries carry their strategy (and candidate mode) too.
+    assert!(responses[4].contains("\"succeeded\":2"));
+    assert!(responses[4].contains("\"total_matches\":120"));
+    assert!(responses[4].contains("\"strategy\":\"degree-descending\""));
+    // An unknown strategy is a structured protocol error.
+    assert!(
+        responses[5].starts_with("{\"ok\":false"),
+        "{}",
+        responses[5]
+    );
+    assert!(responses[5].contains("unknown strategy"));
+    assert!(responses[6].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}

@@ -59,6 +59,10 @@ impl<'a> Vf2<'a> {
     /// Dynamic variable selection: prefer an unmapped pattern node adjacent to
     /// the mapped region (the "frontier"), falling back to the smallest
     /// unmapped id for disconnected patterns.
+    ///
+    /// Runs at every search state, so the frontier test scans the two CSR
+    /// adjacency slices directly instead of materializing an undirected
+    /// neighborhood per call.
     fn select_next(&self) -> Option<NodeId> {
         let mut fallback = None;
         for vp in 0..self.pattern.num_nodes() as NodeId {
@@ -68,11 +72,9 @@ impl<'a> Vf2<'a> {
             if fallback.is_none() {
                 fallback = Some(vp);
             }
-            let frontier = self
-                .pattern
-                .undirected_neighbors(vp)
-                .iter()
-                .any(|&w| self.core_p[w as usize] != NodeId::MAX);
+            let mapped = |e: &sge_graph::EdgeRef| self.core_p[e.node as usize] != NodeId::MAX;
+            let frontier = self.pattern.out_edges(vp).iter().any(mapped)
+                || self.pattern.in_edges(vp).iter().any(mapped);
             if frontier {
                 return Some(vp);
             }

@@ -17,6 +17,7 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`graph`] | labeled directed CSR graphs, builders, text I/O, generators |
+//! | [`plan`] | query planning: ordering strategies, cost model, EXPLAIN-able plans |
 //! | [`ri`] | sequential RI, RI-DS, RI-DS-SI, RI-DS-SI-FC |
 //! | [`vf2`] | a VF2-style baseline used for cross-validation |
 //! | [`stealing`] | the generic private-deque work-stealing engine |
@@ -63,6 +64,7 @@ pub mod engine;
 pub use sge_datasets as datasets;
 pub use sge_graph as graph;
 pub use sge_parallel as parallel;
+pub use sge_plan as plan;
 pub use sge_ri as ri;
 pub use sge_service as service;
 pub use sge_stealing as stealing;
@@ -70,11 +72,13 @@ pub use sge_util as util;
 pub use sge_vf2 as vf2;
 
 pub use engine::{Engine, EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
+pub use sge_plan::{Planner, QueryPlan, Strategy};
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::engine::{Engine, EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
     pub use sge_graph::{Graph, GraphBuilder};
+    pub use sge_plan::{Planner, QueryPlan, Strategy};
     pub use sge_ri::{Algorithm, MatchVisitor};
     pub use sge_service::{QuerySet, QuerySpec, Service, ServiceConfig};
 

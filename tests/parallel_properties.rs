@@ -10,6 +10,7 @@
 use sge::prelude::*;
 use sge::ri::CandidateMode;
 use sge::util::SplitMix64;
+use sge::Strategy;
 use std::time::Duration;
 
 fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: usize) -> Graph {
@@ -243,6 +244,46 @@ fn intersection_candidates_match_single_parent_and_vf2() {
                     legacy, reference,
                     "case={case} {algorithm} {scheduler}: single-parent mappings diverged"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_strategies_and_modes_agree_with_each_other_and_vf2() {
+    // The planning satellite of the strategy extraction: for randomized
+    // pattern/target pairs (multiple node and edge labels, self-loops), all
+    // three ordering strategies × both candidate modes must produce
+    // byte-identical sorted mapping sets, cross-checked against the
+    // independent VF2 oracle.  Strategies only reshape the search tree —
+    // never the result set.
+    for case in 0..10u64 {
+        let mut rng = SplitMix64::new(0x9A17 ^ case);
+        let n = 10 + rng.next_below(8);
+        let k = 3 + rng.next_below(3);
+        let target = random_multi_label_graph(rng.next_u64(), n, 0.2, 3, 2);
+        let pattern = extracted_pattern(rng.next_u64(), &target, k);
+        let oracle = sge::vf2::count_matches(&pattern, &target);
+        for algorithm in [Algorithm::Ri, Algorithm::RiDsSiFc] {
+            let reference = Engine::prepare(&pattern, &target, algorithm);
+            let total = reference.run(&RunConfig::default()).matches;
+            assert_eq!(total, oracle, "case={case} {algorithm} vs VF2");
+            let collect_all = |e: &Engine<'_>| {
+                e.run(&RunConfig::default().with_collected_mappings(total as usize + 1))
+                    .mappings
+            };
+            let expected = collect_all(&reference);
+            assert_eq!(expected.len(), total as usize, "case={case} {algorithm}");
+            for strategy in Strategy::ALL {
+                for mode in [CandidateMode::Intersection, CandidateMode::SingleParent] {
+                    let engine =
+                        Engine::prepare_planned(&pattern, &target, algorithm, mode, strategy);
+                    let mappings = collect_all(&engine);
+                    assert_eq!(
+                        mappings, expected,
+                        "case={case} {algorithm} {strategy} {mode:?}: mappings diverged"
+                    );
+                }
             }
         }
     }
