@@ -39,11 +39,11 @@
 use sge_graph::{Graph, GraphStats, NodeId};
 use sge_parallel::{enumerate_prepared, enumerate_rayon_prepared, ParallelConfig};
 use sge_ri::{
-    search_prepared, Algorithm, CandidateMode, CollectingVisitor, MatchVisitor, PreparedParts,
-    QueryPlan, SearchContext, SearchLimits, Strategy,
+    search_prepared, Algorithm, CandidateMode, ChannelVisitor, CollectingVisitor, MatchVisitor,
+    PreparedParts, QueryPlan, SearchContext, SearchLimits, Strategy,
 };
 use sge_stealing::WorkerStats;
-use sge_util::PhaseTimer;
+use sge_util::{CancelToken, PhaseTimer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -287,6 +287,11 @@ pub struct EnumerationOutcome {
     pub timed_out: bool,
     /// Whether the match limit stopped the run early.
     pub limit_hit: bool,
+    /// Whether cooperative cancellation stopped the run early — set when a
+    /// [`Engine::run_streaming`] consumer vanished (e.g. a streaming client
+    /// disconnected) or returned `false`.  Counts are then lower bounds,
+    /// exactly as for a timed-out run.
+    pub cancelled: bool,
     /// Successful steals (work-stealing scheduler only; 0 otherwise).
     pub steals: u64,
     /// Steal requests issued (work-stealing scheduler only; 0 otherwise).
@@ -450,14 +455,67 @@ impl<'g> Engine<'g> {
 
     /// Executes one run under `config.scheduler`.
     pub fn run(&self, config: &RunConfig) -> EnumerationOutcome {
-        self.execute(config, None)
+        self.execute(config, None, None)
     }
 
     /// Executes one run, streaming every match to `visitor` (called from
     /// worker threads under the parallel schedulers; from the calling thread,
     /// as worker 0, under the sequential one).
     pub fn run_with(&self, config: &RunConfig, visitor: &dyn MatchVisitor) -> EnumerationOutcome {
-        self.execute(config, Some(visitor))
+        self.execute(config, Some(visitor), None)
+    }
+
+    /// Executes one run while handing every discovered mapping to `consumer`
+    /// **on the calling thread**, with enumeration running concurrently on a
+    /// second thread and a bounded channel of `channel_capacity` mappings in
+    /// between — memory stays O(`channel_capacity`) regardless of the result
+    /// cardinality, and enumeration overlaps with whatever the consumer does
+    /// (e.g. socket writes).
+    ///
+    /// The consumer returns `true` to keep going; returning `false` (the
+    /// client is gone, enough rows were delivered, …) cooperatively cancels
+    /// the run: the channel is torn down, the in-flight schedulers observe
+    /// the cancellation at their next budget check and stop early, and the
+    /// returned outcome reports [`EnumerationOutcome::cancelled`].
+    ///
+    /// Mappings arrive in **discovery order** (schedule-dependent under the
+    /// parallel schedulers), not sorted like
+    /// [`EnumerationOutcome::mappings`].
+    pub fn run_streaming<F>(
+        &self,
+        config: &RunConfig,
+        channel_capacity: usize,
+        mut consumer: F,
+    ) -> EnumerationOutcome
+    where
+        F: FnMut(Vec<NodeId>) -> bool,
+    {
+        let cancel = Arc::new(CancelToken::new());
+        let (sender, receiver) = std::sync::mpsc::sync_channel(channel_capacity.max(1));
+        std::thread::scope(|scope| {
+            let producer = {
+                let cancel = Arc::clone(&cancel);
+                scope.spawn(move || {
+                    let bridge = ChannelVisitor::new(sender, Arc::clone(&cancel));
+                    // The bridge owns the sender; dropping it when this
+                    // closure returns disconnects the receiver below.
+                    self.execute(config, Some(&bridge), Some(&cancel))
+                })
+            };
+            while let Ok(mapping) = receiver.recv() {
+                if !consumer(mapping) {
+                    cancel.cancel();
+                    break;
+                }
+            }
+            // Unblock any sender stuck on a full channel: once the receiver
+            // is gone every `send` fails fast and the bridge keeps the token
+            // fired, so the producer winds down promptly.
+            drop(receiver);
+            producer
+                .join()
+                .expect("streaming enumeration thread panicked")
+        })
     }
 
     /// Convenience: count all matches sequentially.
@@ -469,9 +527,10 @@ impl<'g> Engine<'g> {
         &self,
         config: &RunConfig,
         visitor: Option<&dyn MatchVisitor>,
+        cancel: Option<&Arc<CancelToken>>,
     ) -> EnumerationOutcome {
         let mut outcome = match config.scheduler {
-            Scheduler::Sequential => self.run_sequential(config, visitor),
+            Scheduler::Sequential => self.run_sequential(config, visitor, cancel),
             Scheduler::WorkStealing {
                 workers,
                 task_group_size,
@@ -485,6 +544,7 @@ impl<'g> Engine<'g> {
                     max_matches: config.max_matches,
                     time_limit: config.time_limit,
                     collect_limit: config.collect_mappings,
+                    cancel: cancel.map(Arc::clone),
                     seed: config.seed,
                 };
                 let result = enumerate_prepared(&self.ctx, &parallel, visitor);
@@ -499,6 +559,7 @@ impl<'g> Engine<'g> {
                     max_matches: config.max_matches,
                     time_limit: config.time_limit,
                     collect_limit: config.collect_mappings,
+                    cancel: cancel.map(Arc::clone),
                     seed: config.seed,
                 };
                 let result = enumerate_rayon_prepared(&self.ctx, &parallel, visitor);
@@ -513,10 +574,12 @@ impl<'g> Engine<'g> {
         &self,
         config: &RunConfig,
         visitor: Option<&dyn MatchVisitor>,
+        cancel: Option<&Arc<CancelToken>>,
     ) -> EnumerationOutcome {
         let limits = SearchLimits {
             max_matches: config.max_matches,
             time_limit: config.time_limit,
+            cancel: cancel.map(Arc::clone),
         };
         let (run, mut mappings) = if visitor.is_none() && config.collect_mappings == 0 {
             // Count-only fast path: nothing observes individual matches, so
@@ -557,6 +620,7 @@ impl<'g> Engine<'g> {
             match_seconds: run.match_seconds,
             timed_out: run.timed_out,
             limit_hit: run.limit_hit,
+            cancelled: run.cancelled,
             steals: 0,
             steal_requests: 0,
             worker_states_stddev: 0.0,
@@ -587,6 +651,7 @@ impl<'g> Engine<'g> {
             match_seconds: result.match_seconds,
             timed_out: result.timed_out,
             limit_hit: result.limit_hit,
+            cancelled: result.cancelled,
             steals: result.steals,
             steal_requests: result.steal_requests,
             worker_states_stddev: result.worker_states_stddev,
@@ -710,6 +775,23 @@ impl PreparedEngine {
     /// Executes one run, streaming every match to `visitor`.
     pub fn run_with(&self, config: &RunConfig, visitor: &dyn MatchVisitor) -> EnumerationOutcome {
         self.engine().run_with(config, visitor)
+    }
+
+    /// Executes one run, handing every mapping to `consumer` on the calling
+    /// thread through a bounded channel while enumeration proceeds on a
+    /// second thread — see [`Engine::run_streaming`].  The consumer returns
+    /// `false` to cooperatively cancel the run.
+    pub fn run_streaming<F>(
+        &self,
+        config: &RunConfig,
+        channel_capacity: usize,
+        consumer: F,
+    ) -> EnumerationOutcome
+    where
+        F: FnMut(Vec<NodeId>) -> bool,
+    {
+        self.engine()
+            .run_streaming(config, channel_capacity, consumer)
     }
 
     /// Convenience: count all matches sequentially.
@@ -880,6 +962,69 @@ mod tests {
             let limited = engine.run(&RunConfig::default().with_max_matches(3));
             assert_eq!(limited.matches, counted.matches.min(3), "{algorithm}");
         }
+    }
+
+    #[test]
+    fn streaming_delivers_every_match_with_bounded_memory() {
+        let pattern = generators::directed_cycle(3, 0);
+        let target = generators::clique(5, 0); // 60 embeddings
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+        let reference = engine
+            .run(&RunConfig::default().with_collected_mappings(100))
+            .mappings;
+        for scheduler in schedulers() {
+            // A tiny channel forces backpressure; every match still arrives.
+            let mut rows: Vec<Vec<sge_graph::NodeId>> = Vec::new();
+            let outcome = engine.run_streaming(&RunConfig::new(scheduler), 2, |mapping| {
+                rows.push(mapping);
+                true
+            });
+            assert_eq!(outcome.matches, 60, "{scheduler}");
+            assert!(!outcome.cancelled, "{scheduler}");
+            assert_eq!(rows.len(), 60, "{scheduler}");
+            rows.sort_unstable();
+            assert_eq!(rows, reference, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn streaming_consumer_cancels_the_run_early() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(16, 0); // 240 embeddings
+        let engine = Engine::prepare(&pattern, &target, Algorithm::Ri);
+        for scheduler in schedulers() {
+            let mut seen = 0u64;
+            let outcome = engine.run_streaming(&RunConfig::new(scheduler), 4, |_| {
+                seen += 1;
+                seen < 5
+            });
+            assert!(outcome.cancelled, "{scheduler}");
+            assert!(
+                outcome.matches < 240,
+                "{scheduler}: enumeration must stop early, got {}",
+                outcome.matches
+            );
+            assert!(seen >= 5, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn prepared_engine_streams_like_the_borrowing_engine() {
+        let pattern = Arc::new(generators::directed_cycle(3, 0));
+        let target = Arc::new(generators::clique(5, 0));
+        let prepared = PreparedEngine::prepare(pattern, target, Algorithm::RiDsSiFc);
+        let mut rows: Vec<Vec<sge_graph::NodeId>> = Vec::new();
+        let outcome = prepared.run_streaming(&RunConfig::default(), 8, |mapping| {
+            rows.push(mapping);
+            true
+        });
+        assert_eq!(outcome.matches, 60);
+        assert_eq!(rows.len(), 60);
+        rows.sort_unstable();
+        let reference = prepared
+            .run(&RunConfig::default().with_collected_mappings(100))
+            .mappings;
+        assert_eq!(rows, reference);
     }
 
     #[test]

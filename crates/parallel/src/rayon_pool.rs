@@ -29,12 +29,15 @@ use std::time::Instant;
 /// How often (in visited states) a worker consults the wall clock.
 const DEADLINE_CHECK_INTERVAL: u64 = 4096;
 
-/// Shared early-stop state: match budget, deadline and the stop flag.
+/// Shared early-stop state: match budget, deadline, cancellation and the
+/// stop flag.
 struct Stop {
     flag: AtomicBool,
     timed_out: AtomicBool,
     budget: MatchBudget,
     deadline: Option<Instant>,
+    cancel: Option<std::sync::Arc<sge_util::CancelToken>>,
+    cancelled: AtomicBool,
 }
 
 impl Stop {
@@ -44,6 +47,8 @@ impl Stop {
             timed_out: AtomicBool::new(false),
             budget: MatchBudget::new(config.max_matches),
             deadline: config.time_limit.map(|limit| start + limit),
+            cancel: config.cancel.clone(),
+            cancelled: AtomicBool::new(false),
         }
     }
 
@@ -52,8 +57,26 @@ impl Stop {
         self.flag.load(Ordering::Relaxed)
     }
 
+    /// `true` once the external cancellation token has fired; latches the
+    /// result flag and the stop flag on first observation.
+    fn cancel_requested(&self) -> bool {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => {
+                self.cancelled.store(true, Ordering::SeqCst);
+                self.flag.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Claims one slot of the match budget; `true` means "count this match".
+    /// Cancellation trips this path like an exhausted budget: matches found
+    /// after the token fired are discarded.
     fn claim(&self) -> bool {
+        if self.cancel_requested() {
+            return false;
+        }
         let counted = self.budget.claim();
         if self.budget.is_exhausted() {
             self.flag.store(true, Ordering::SeqCst);
@@ -61,7 +84,8 @@ impl Stop {
         counted
     }
 
-    fn check_deadline(&self) {
+    fn check_interrupts(&self) {
+        self.cancel_requested();
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 self.timed_out.store(true, Ordering::SeqCst);
@@ -94,7 +118,7 @@ impl Explorer<'_, '_> {
             }
             self.states += 1;
             if self.states.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
-                self.stop.check_deadline();
+                self.stop.check_interrupts();
             }
             if !self.ctx.is_consistent(depth, vt, state) {
                 continue;
@@ -159,9 +183,10 @@ pub fn enumerate_rayon_prepared(
 
     let collector = CollectingVisitor::new(config.collect_limit);
     let stop = Stop::new(config, start);
-    // An already-expired deadline stops the run before any worker claims a
-    // root, mirroring the sequential matcher and the stealing engine.
-    stop.check_deadline();
+    // An already-expired deadline (or pre-fired cancellation token) stops the
+    // run before any worker claims a root, mirroring the sequential matcher
+    // and the stealing engine.
+    stop.check_interrupts();
     let cursor = AtomicUsize::new(0);
 
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -230,6 +255,7 @@ pub fn enumerate_rayon_prepared(
     result.match_seconds = run.elapsed_seconds;
     result.timed_out = run.timed_out;
     result.limit_hit = stop.budget.is_exhausted();
+    result.cancelled = stop.cancelled.load(Ordering::SeqCst);
     result.worker_states_stddev = run.worker_states_stddev();
     result.worker_stats = run.workers;
     result.mappings = collector.take();

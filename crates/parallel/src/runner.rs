@@ -4,7 +4,8 @@ use crate::problem::SubgraphProblem;
 use sge_graph::{Graph, NodeId};
 use sge_ri::{Algorithm, MatchVisitor, SearchContext};
 use sge_stealing::{run, EngineConfig, WorkerStats};
-use sge_util::PhaseTimer;
+use sge_util::{CancelToken, PhaseTimer};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of a parallel enumeration run.
@@ -26,6 +27,10 @@ pub struct ParallelConfig {
     pub time_limit: Option<Duration>,
     /// Collect up to this many full mappings in the result.
     pub collect_limit: usize,
+    /// External cooperative cancellation, polled alongside the match budget
+    /// and deadline; matches found after the token fires are discarded and
+    /// the result reports `cancelled`.
+    pub cancel: Option<Arc<CancelToken>>,
     /// Seed for victim selection.
     pub seed: u64,
 }
@@ -44,6 +49,7 @@ impl ParallelConfig {
             max_matches: None,
             time_limit: None,
             collect_limit: 0,
+            cancel: None,
             seed: 0xC0FF_EE00,
         }
     }
@@ -83,6 +89,12 @@ impl ParallelConfig {
         self.collect_limit = limit;
         self
     }
+
+    /// Attaches an external cancellation token.
+    pub fn with_cancel_token(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
 /// Outcome of a parallel enumeration run.
@@ -105,6 +117,8 @@ pub struct ParallelResult {
     pub timed_out: bool,
     /// Whether the match limit stopped the search early.
     pub limit_hit: bool,
+    /// Whether an external [`CancelToken`] stopped the search early.
+    pub cancelled: bool,
     /// Total successful steals.
     pub steals: u64,
     /// Total steal requests issued.
@@ -131,6 +145,7 @@ impl ParallelResult {
             match_seconds: 0.0,
             timed_out: false,
             limit_hit: false,
+            cancelled: false,
             steals: 0,
             steal_requests: 0,
             worker_states_stddev: 0.0,
@@ -218,6 +233,9 @@ pub fn enumerate_prepared(
     if let Some(limit) = config.max_matches {
         engine = engine.max_solutions(limit);
     }
+    if let Some(token) = &config.cancel {
+        engine = engine.cancel_token(Arc::clone(token));
+    }
 
     let run_result = run(&problem, &engine);
 
@@ -226,6 +244,7 @@ pub fn enumerate_prepared(
     result.match_seconds = run_result.elapsed_seconds;
     result.timed_out = run_result.timed_out;
     result.limit_hit = run_result.limit_hit;
+    result.cancelled = run_result.cancelled;
     result.steals = run_result.steals;
     result.steal_requests = run_result.steal_requests;
     result.worker_states_stddev = run_result.worker_states_stddev();

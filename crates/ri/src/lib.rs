@@ -62,4 +62,4 @@ pub use sge_plan::{
     greatest_constraint_first, CandidatePlan, Domains, EdgeConstraint, MatchOrder, ParentLink,
     PlanStep, Planner, QueryPlan, Strategy,
 };
-pub use visitor::{CollectingVisitor, MatchVisitor, NoopVisitor};
+pub use visitor::{ChannelVisitor, CollectingVisitor, MatchVisitor, NoopVisitor};

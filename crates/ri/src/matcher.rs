@@ -8,7 +8,8 @@
 
 use crate::search::{SearchContext, WorkerState};
 use sge_graph::{Graph, NodeId};
-use sge_util::PhaseTimer;
+use sge_util::{CancelToken, PhaseTimer};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // The algorithm selector moved to the planning crate with the rest of the
@@ -65,6 +66,7 @@ impl MatchConfig {
         SearchLimits {
             max_matches: self.max_matches,
             time_limit: self.time_limit,
+            cancel: None,
         }
     }
 }
@@ -109,12 +111,18 @@ impl MatchResult {
 
 /// Search-phase knobs of one prepared run — everything *except* the
 /// preprocessing choices, which are fixed once a [`SearchContext`] exists.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SearchLimits {
     /// Stop after this many matches (`None` = enumerate all).
     pub max_matches: Option<u64>,
     /// Wall-clock budget for the matching phase.
     pub time_limit: Option<Duration>,
+    /// Cooperative cancellation flag, polled alongside the match budget;
+    /// when it fires the search stops early and reports
+    /// [`SearchRun::cancelled`] (counts become lower bounds, exactly like a
+    /// timed-out run).  The streaming bridge uses this to stop enumeration
+    /// once its consumer is gone.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 /// Raw outcome of one prepared sequential search (no preprocessing figures —
@@ -131,6 +139,8 @@ pub struct SearchRun {
     pub timed_out: bool,
     /// Whether the match limit stopped the search early.
     pub limit_hit: bool,
+    /// Whether a [`CancelToken`] stopped the search early.
+    pub cancelled: bool,
 }
 
 struct SearchDriver<'a, F> {
@@ -142,13 +152,23 @@ struct SearchDriver<'a, F> {
     deadline: Option<Instant>,
     timed_out: bool,
     max_matches: Option<u64>,
+    cancel: Option<&'a CancelToken>,
+    cancelled: bool,
     visitor: F,
 }
 
 impl<'a, F: FnMut(&SearchContext<'a>, &WorkerState)> SearchDriver<'a, F> {
-    fn stop(&self) -> bool {
-        if self.timed_out {
+    fn stop(&mut self) -> bool {
+        if self.timed_out || self.cancelled {
             return true;
+        }
+        if let Some(cancel) = self.cancel {
+            // The load is relaxed and only taken when a token exists, so
+            // uncancellable runs pay nothing on the hot path.
+            if cancel.is_cancelled() {
+                self.cancelled = true;
+                return true;
+            }
         }
         if let Some(limit) = self.max_matches {
             if self.matches >= limit {
@@ -253,6 +273,8 @@ where
         deadline,
         timed_out: false,
         max_matches: limits.max_matches,
+        cancel: limits.cancel.as_deref(),
+        cancelled: false,
         visitor: |ctx: &SearchContext<'_>, state: &WorkerState| visitor(ctx, state),
     };
     driver.search(0);
@@ -260,6 +282,7 @@ where
     run.matches = driver.matches;
     run.states = driver.states;
     run.timed_out = driver.timed_out;
+    run.cancelled = driver.cancelled;
     run.limit_hit = limits
         .max_matches
         .is_some_and(|limit| driver.matches >= limit);
@@ -511,6 +534,37 @@ mod tests {
         let config = MatchConfig::new(Algorithm::Ri).with_time_limit(Duration::from_nanos(1));
         let result = enumerate(&pattern, &target, &config);
         assert!(result.timed_out || result.match_seconds < 0.05);
+    }
+
+    #[test]
+    fn cancel_token_stops_the_search_early() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(12, 0); // 132 embeddings
+        let ctx = SearchContext::prepare(&pattern, &target, Algorithm::Ri);
+        let cancel = Arc::new(CancelToken::new());
+        let limits = SearchLimits {
+            cancel: Some(Arc::clone(&cancel)),
+            ..SearchLimits::default()
+        };
+        let mut seen = 0u64;
+        let run = search_prepared(&ctx, &limits, |_, _| {
+            seen += 1;
+            if seen == 3 {
+                cancel.cancel();
+            }
+        });
+        assert!(run.cancelled);
+        assert_eq!(run.matches, 3, "the search stops at the next state");
+        assert!(!run.timed_out);
+        assert!(!run.limit_hit);
+        // A token that never fires changes nothing.
+        let untouched = SearchLimits {
+            cancel: Some(Arc::new(CancelToken::new())),
+            ..SearchLimits::default()
+        };
+        let full = search_prepared(&ctx, &untouched, |_, _| {});
+        assert!(!full.cancelled);
+        assert_eq!(full.matches, 132);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!
 //! Each positional argument is one protocol line (batch continuation lines
 //! are further arguments); with no request arguments, the script is read
-//! from stdin.  Responses are printed one JSON line per request.  Exits
+//! from stdin.  Responses are printed one JSON line per request — a
+//! streaming query (`emit=stream`) prints its whole header/frames/footer
+//! block.  Exits
 //! nonzero when any response reports `"ok":false` — including an `ok:false`
 //! *sub-result* inside an otherwise-successful `BATCH` response — and
 //! mirrors every protocol-level `error` message to stderr so CI smoke

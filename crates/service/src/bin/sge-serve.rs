@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! sge-serve [--addr HOST:PORT] [--cache N] [--workers N]
-//!           [--max-in-flight N] [--load NAME=PATH]...
+//!           [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]...
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts wait for
-//! that line), then serves until a client sends `SHUTDOWN`.
+//! that line), then serves until a client sends `SHUTDOWN`; in-flight
+//! connections get up to `--drain-ms` (default 5000) to finish their
+//! responses before the process exits.
 
 use sge_service::{Server, Service, ServiceConfig};
 use std::io::Write;
@@ -16,7 +18,7 @@ fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
-         [--max-in-flight N] [--load NAME=PATH]..."
+         [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]..."
     );
     std::process::exit(2);
 }
@@ -26,6 +28,7 @@ fn main() {
     let mut addr = String::from("127.0.0.1:7878");
     let mut config = ServiceConfig::default();
     let mut preloads: Vec<(String, String)> = Vec::new();
+    let mut drain_ms: u64 = 5000;
 
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +60,12 @@ fn main() {
                     Err(_) => fail("invalid --max-in-flight"),
                 }
             }
+            "--drain-ms" => {
+                drain_ms = match value().parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("invalid --drain-ms"),
+                }
+            }
             "--load" => {
                 let spec = value();
                 match spec.split_once('=') {
@@ -67,7 +76,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
-                     [--max-in-flight N] [--load NAME=PATH]..."
+                     [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]..."
                 );
                 return;
             }
@@ -88,7 +97,7 @@ fn main() {
     }
 
     let server = match Server::bind(addr.as_str(), service) {
-        Ok(server) => server,
+        Ok(server) => server.with_drain_timeout(std::time::Duration::from_millis(drain_ms)),
         Err(err) => fail(&format!("cannot bind {addr}: {err}")),
     };
     let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);

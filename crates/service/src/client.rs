@@ -23,11 +23,15 @@ pub fn continuation_lines(line: &str) -> usize {
         .unwrap_or(0)
 }
 
-/// Runs a protocol script over one connection and returns one response line
-/// per request (batch continuation lines are grouped with their header).
+/// Runs a protocol script over one connection and returns one response
+/// *block* per request (batch continuation lines are grouped with their
+/// header).
 ///
 /// The script is sent request by request in lockstep — each request waits
-/// for the previous response — so responses map 1:1 onto requests.
+/// for the previous response — so responses map 1:1 onto requests.  A
+/// streaming query (`emit=stream`) answers with several lines (header, row
+/// frames, footer); they are returned as one newline-joined block so the
+/// 1:1 mapping holds.
 pub fn run_script(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Result<Vec<String>> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
@@ -60,16 +64,35 @@ pub fn run_script(addr: impl ToSocketAddrs, lines: &[String]) -> std::io::Result
         }
         writer.write_all(request.as_bytes())?;
         writer.flush()?;
-        let mut response = String::new();
-        if reader.read_line(&mut response)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before responding",
-            ));
+        let mut response = read_response_line(&mut reader)?;
+        if response.starts_with("{\"ok\":true,\"stream\":true") {
+            // Streamed response: header already read; keep reading row
+            // frames until the first non-frame line — the footer.
+            loop {
+                let next = read_response_line(&mut reader)?;
+                let is_frame = next.starts_with("{\"rows\":");
+                response.push('\n');
+                response.push_str(&next);
+                if !is_frame {
+                    break;
+                }
+            }
         }
-        responses.push(response.trim_end().to_string());
+        responses.push(response);
     }
     Ok(responses)
+}
+
+/// Reads one trimmed response line, treating EOF as an error.
+fn read_response_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection before responding",
+        ));
+    }
+    Ok(response.trim_end().to_string())
 }
 
 #[cfg(test)]

@@ -18,9 +18,14 @@
 //!   (queries served, total matches, and a latency distribution built on
 //!   [`sge_util::LatencyHistogram`]);
 //! * [`Server`] is a std-only TCP front end speaking the newline-delimited
-//!   text protocol documented in [`protocol`] (`LOAD`, `QUERY`, `BATCH`,
-//!   `STATS`, `SHUTDOWN`) with single-line JSON responses, driven by the
-//!   `sge-serve` / `sge-client` binaries.
+//!   text protocol documented in [`protocol`] (`LOAD`, `QUERY`, `EXPLAIN`,
+//!   `BATCH`, `STATS`, `SHUTDOWN`) with single-line JSON responses, driven
+//!   by the `sge-serve` / `sge-client` binaries.  A `QUERY` with
+//!   `emit=stream` answers with a header line, newline-delimited row frames
+//!   of `chunk` mappings each and a footer line instead — backed by
+//!   [`Service::run_query_streaming`], whose bounded-channel bridge keeps
+//!   server memory independent of the result cardinality and cancels
+//!   enumeration when the client disconnects mid-stream.
 //!
 //! Everything is `std`-only: no async runtime, no serialization crates —
 //! the JSON responses come from the hand-rolled encoder in [`json`].
@@ -47,10 +52,18 @@ pub use stats::{ServiceStats, StatsSnapshot};
 
 use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig};
 use sge_graph::io::ParseError;
+use sge_graph::NodeId;
 use sge_ri::{Algorithm, CandidateMode};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default number of rows per streamed frame (`chunk=` on the wire).
+pub const DEFAULT_STREAM_CHUNK: usize = 64;
+
+/// Upper bound on `chunk=`: larger requests are clamped, keeping server
+/// memory O(chunk) with a sane constant.
+pub const MAX_STREAM_CHUNK: usize = 65_536;
 
 /// Errors produced by the serving layer.
 #[derive(Debug)]
@@ -115,6 +128,43 @@ impl Default for ServiceConfig {
     }
 }
 
+/// How query results leave the service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EmitMode {
+    /// One buffered JSON response; mappings (if collected) ride along in a
+    /// single `mappings` array.  The pre-streaming behavior.
+    #[default]
+    Buffered,
+    /// A header line, then newline-delimited row frames of up to `chunk`
+    /// mappings each, then a footer line with the outcome — server memory is
+    /// O(chunk), independent of the result cardinality.
+    Stream,
+}
+
+impl fmt::Display for EmitMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EmitMode::Buffered => "buffered",
+            EmitMode::Stream => "stream",
+        })
+    }
+}
+
+impl std::str::FromStr for EmitMode {
+    type Err = String;
+
+    /// Parses `buffered` / `stream` (case-insensitive).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text.to_ascii_lowercase().as_str() {
+            "buffered" => Ok(EmitMode::Buffered),
+            "stream" => Ok(EmitMode::Stream),
+            other => Err(format!(
+                "unknown emit mode '{other}' (expected buffered or stream)"
+            )),
+        }
+    }
+}
+
 /// One query: a pattern (as `.gfu`/`.gfd` text) to enumerate with a given
 /// algorithm and run configuration against a registry target.
 #[derive(Clone, Debug)]
@@ -130,17 +180,25 @@ pub struct QuerySpec {
     /// `RunConfig::strategy` selects the ordering strategy the engine is
     /// prepared with (also part of the cache key).
     pub run: RunConfig,
+    /// How results leave the service (buffered response vs. row stream).
+    /// Not part of the cache key: the same prepared engine serves both.
+    pub emit: EmitMode,
+    /// Rows per streamed frame (clamped to `1..=`[`MAX_STREAM_CHUNK`]);
+    /// ignored in buffered mode.
+    pub chunk: usize,
 }
 
 impl QuerySpec {
     /// A query with the given pattern text, the paper's strongest variant
-    /// (RI-DS-SI-FC) and a sequential, unlimited run.
+    /// (RI-DS-SI-FC) and a sequential, unlimited, buffered run.
     pub fn new(pattern_text: impl Into<String>) -> Self {
         QuerySpec {
             pattern_text: pattern_text.into(),
             algorithm: Algorithm::RiDsSiFc,
             mode: CandidateMode::default(),
             run: RunConfig::default(),
+            emit: EmitMode::default(),
+            chunk: DEFAULT_STREAM_CHUNK,
         }
     }
 
@@ -159,6 +217,13 @@ impl QuerySpec {
     /// Sets the run configuration.
     pub fn with_run(mut self, run: RunConfig) -> Self {
         self.run = run;
+        self
+    }
+
+    /// Switches to streaming emission with `chunk` rows per frame.
+    pub fn with_streaming(mut self, chunk: usize) -> Self {
+        self.emit = EmitMode::Stream;
+        self.chunk = chunk;
         self
     }
 }
@@ -301,6 +366,102 @@ impl Service {
         })
     }
 
+    /// Executes one query against the named target, delivering mappings to
+    /// `sink` in frames of up to `spec.chunk` rows while enumeration runs —
+    /// the machinery behind the protocol's `emit=stream` QUERY mode.
+    ///
+    /// Enumeration and sink writes overlap (bounded-channel bridge inside
+    /// [`sge_engine::Engine::run_streaming`]), so service memory is O(chunk)
+    /// regardless of how many matches exist.  A failing sink write —
+    /// typically a disconnected client — cooperatively cancels enumeration:
+    /// the schedulers stop at their next budget check instead of running the
+    /// search to completion into a dead socket, and the returned outcome
+    /// reports `cancelled`.
+    ///
+    /// Rows arrive in discovery order (schedule-dependent under parallel
+    /// schedulers); `spec.run.collect_mappings` is ignored — rows go through
+    /// the sink, not into the outcome.
+    pub fn run_query_streaming(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+        sink: &mut dyn StreamSink,
+    ) -> Result<StreamedQueryOutcome, ServiceError> {
+        let started = Instant::now();
+        let result = self.run_query_streaming_inner(target, spec, sink, started);
+        if result.is_err() {
+            self.stats.record_error();
+        }
+        result
+    }
+
+    fn run_query_streaming_inner(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+        sink: &mut dyn StreamSink,
+        started: Instant,
+    ) -> Result<StreamedQueryOutcome, ServiceError> {
+        let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
+        let chunk = spec.chunk.clamp(1, MAX_STREAM_CHUNK);
+        let header = StreamHeader {
+            target: target.to_string(),
+            chunk,
+            cache_hit,
+            pattern_hash,
+            algorithm: engine.algorithm(),
+            strategy: engine.strategy(),
+            scheduler: spec.run.scheduler,
+        };
+        // A failing header write means the client is already gone; nothing
+        // ran, so surface it as a plain error instead of a result.
+        sink.begin(&header)?;
+        let mut run = spec.run;
+        run.collect_mappings = 0;
+        let mut buffer: Vec<Vec<NodeId>> = Vec::with_capacity(chunk);
+        let mut rows_sent: u64 = 0;
+        let mut sink_alive = true;
+        let outcome = {
+            let _permit = self.admission.acquire();
+            engine.run_streaming(&run, chunk, |mapping| {
+                buffer.push(mapping);
+                if buffer.len() < chunk {
+                    return true;
+                }
+                sink_alive = sink.rows(&buffer).is_ok();
+                if sink_alive {
+                    rows_sent += buffer.len() as u64;
+                }
+                buffer.clear();
+                // Returning false cancels enumeration: the write failed, so
+                // the client will never read another row.
+                sink_alive
+            })
+        };
+        if sink_alive && !buffer.is_empty() {
+            if sink.rows(&buffer).is_ok() {
+                rows_sent += buffer.len() as u64;
+            } else {
+                sink_alive = false;
+            }
+        }
+        let cancelled = outcome.cancelled || !sink_alive;
+        let latency_seconds = started.elapsed().as_secs_f64();
+        self.stats.record_query(outcome.matches, latency_seconds);
+        self.stats.record_stream(rows_sent, cancelled);
+        Ok(StreamedQueryOutcome {
+            query: QueryOutcome {
+                target: target.to_string(),
+                pattern_hash,
+                cache_hit,
+                latency_seconds,
+                outcome,
+            },
+            rows_sent,
+            cancelled,
+        })
+    }
+
     /// Plans (or fetches the cached plan for) one query without running it
     /// and reports the plan — the machinery behind the protocol's `EXPLAIN`
     /// verb.  Preparation goes through the same [`PreparedCache`] as
@@ -353,6 +514,51 @@ pub struct ExplainOutcome {
     /// The prepared engine; its [`PreparedEngine::plan`] carries the match
     /// order, strategy and cost estimates.
     pub engine: Arc<PreparedEngine>,
+}
+
+/// Receiver of a streamed query's frames, driven by
+/// [`Service::run_query_streaming`] on the calling thread.
+///
+/// The TCP server implements this over the connection socket (one JSON line
+/// per call); tests implement it over plain vectors.  Returning an error
+/// from [`StreamSink::rows`] cancels the enumeration cooperatively.
+pub trait StreamSink {
+    /// Called once, before enumeration starts, with the stream metadata.
+    fn begin(&mut self, header: &StreamHeader) -> std::io::Result<()>;
+    /// Called for every frame of up to `chunk` mappings (`rows[i][p]` is the
+    /// target node pattern node `p` maps to).  The final frame may be short.
+    fn rows(&mut self, rows: &[Vec<NodeId>]) -> std::io::Result<()>;
+}
+
+/// Metadata delivered to a [`StreamSink`] before the first row frame.
+#[derive(Clone, Debug)]
+pub struct StreamHeader {
+    /// Name of the target the query runs against.
+    pub target: String,
+    /// Effective rows-per-frame (after clamping).
+    pub chunk: usize,
+    /// Whether the prepared engine came out of the [`PreparedCache`].
+    pub cache_hit: bool,
+    /// Stable-within-process hash of the canonical pattern.
+    pub pattern_hash: u64,
+    /// Algorithm variant that will run.
+    pub algorithm: Algorithm,
+    /// Ordering strategy of the prepared plan.
+    pub strategy: sge_ri::Strategy,
+    /// Scheduler the run executes under.
+    pub scheduler: sge_engine::Scheduler,
+}
+
+/// The result of one streamed query: the usual outcome plus delivery facts.
+#[derive(Clone, Debug)]
+pub struct StreamedQueryOutcome {
+    /// The underlying query outcome (mappings empty — rows went to the sink).
+    pub query: QueryOutcome,
+    /// Rows successfully handed to the sink.
+    pub rows_sent: u64,
+    /// Whether the stream was cut short (sink write failed / consumer gone);
+    /// enumeration then stopped early and counts are lower bounds.
+    pub cancelled: bool,
 }
 
 /// Convenience alias: a service shared across server connection threads.

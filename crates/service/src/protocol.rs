@@ -7,6 +7,7 @@
 //! LOAD <name> <path>
 //! QUERY target=<name> [algo=<a>] [sched=<s>] [strategy=<o>] [mode=<m>]
 //!       [max=<n>] [timeout_ms=<n>] [collect=<n>] [seed=<n>]
+//!       [emit=stream] [chunk=<k>]
 //!       pattern=<inline> | pattern_file=<path>
 //! EXPLAIN target=<name> [algo=<a>] [strategy=<o>] [mode=<m>]
 //!         pattern=<inline> | pattern_file=<path>
@@ -24,6 +25,9 @@
 //!   `least-frequent-label` or `degree-descending`.
 //! * `mode` — candidate generation: `intersection` (default) or
 //!   `single-parent`.
+//! * `emit` — `buffered` (default, one JSON response) or `stream` (see
+//!   below); `chunk` — rows per streamed frame (default 64, clamped to at
+//!   most 65536).  Not valid on `BATCH` continuation lines.
 //! * `EXPLAIN` plans (through the prepared cache) without running and
 //!   reports the match order, chosen strategy and per-position cost
 //!   estimates.
@@ -34,11 +38,53 @@
 //!
 //! Responses always carry an `ok` field; errors are
 //! `{"ok":false,"error":"..."}`.
+//!
+//! # Streaming responses (`emit=stream`)
+//!
+//! A streaming `QUERY` is answered with **multiple** lines instead of one:
+//!
+//! ```text
+//! {"ok":true,"stream":true,"target":...,"chunk":K,...}     header
+//! {"rows":[[...],[...],...]}                               ≤K rows per frame
+//! ...                                                      more frames
+//! {"ok":true,"done":true,"matches":N,"rows_sent":M,
+//!  "cancelled":false,...}                                  footer
+//! ```
+//!
+//! Clients read the header, then lines while they start with `{"rows":`;
+//! the first non-frame line is the footer carrying the usual outcome fields
+//! (`matches`, `latency_seconds`, `cache_hit`, `strategy`, …) plus
+//! `rows_sent` and `cancelled`.  Rows are emitted in discovery order; on an
+//! uncancelled stream `rows_sent == matches`.  Server memory is O(chunk)
+//! regardless of result cardinality, and a client that disconnects
+//! mid-stream cancels the enumeration cooperatively.
+//!
+//! # Robustness limits
+//!
+//! Request lines longer than [`MAX_REQUEST_LINE_BYTES`] and `BATCH` headers
+//! announcing more than [`MAX_BATCH_QUERIES`] continuation lines are
+//! answered with a structured error and the connection is closed.
 
 use crate::json::Json;
-use crate::{BatchOutcome, QueryOutcome, QuerySpec, Service, ServiceError};
+use crate::{
+    BatchOutcome, EmitMode, QueryOutcome, QuerySpec, Service, ServiceError, StreamHeader,
+    StreamedQueryOutcome,
+};
 use sge_engine::RunConfig;
+use sge_graph::NodeId;
 use std::time::Duration;
+
+/// Hard cap on one request line (newline included): longer lines are
+/// answered with a structured error and the connection is dropped, so an
+/// attacker cannot grow server memory by never sending a newline.
+pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20; // 1 MiB
+
+/// Hard cap on `BATCH n=<count>`: both the number of continuation lines a
+/// valid batch may carry and the number of lines the server is willing to
+/// drain after a malformed header (the header's announced count is attacker
+/// controlled — an unbounded drain would let `n=u64::MAX` pin the
+/// connection forever).
+pub const MAX_BATCH_QUERIES: usize = 4096;
 
 /// A parsed protocol request.
 #[derive(Clone, Debug)]
@@ -104,6 +150,8 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
     let mut algorithm = sge_ri::Algorithm::RiDsSiFc;
     let mut mode = sge_ri::CandidateMode::default();
     let mut run = RunConfig::default();
+    let mut emit = EmitMode::default();
+    let mut chunk = crate::DEFAULT_STREAM_CHUNK;
     for token in tokens {
         let (key, value) = token
             .split_once('=')
@@ -144,6 +192,20 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
                     .parse()
                     .map_err(|_| protocol_error(format!("invalid seed '{value}'")))?;
             }
+            "emit" => {
+                emit = value.parse().map_err(protocol_error)?;
+            }
+            "chunk" => {
+                chunk = value
+                    .parse()
+                    .ok()
+                    .filter(|&k: &usize| k >= 1)
+                    .ok_or_else(|| {
+                        protocol_error(format!(
+                            "invalid chunk '{value}' (expected an integer >= 1)"
+                        ))
+                    })?;
+            }
             "pattern" => pattern_text = Some(decode_inline_pattern(value)),
             "pattern_file" => {
                 pattern_text = Some(std::fs::read_to_string(value).map_err(|err| {
@@ -158,6 +220,8 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
         algorithm,
         mode,
         run,
+        emit,
+        chunk,
     });
     Ok(QueryArgs { target, spec })
 }
@@ -218,6 +282,11 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
                 // no continuation lines to consume for n=0).
                 return Err(protocol_error("BATCH requires n >= 1 query lines"));
             }
+            if count > MAX_BATCH_QUERIES {
+                return Err(protocol_error(format!(
+                    "BATCH n={count} exceeds the per-batch cap of {MAX_BATCH_QUERIES} queries"
+                )));
+            }
             Ok(Command::Batch {
                 target: target.ok_or_else(|| protocol_error("BATCH requires target=<name>"))?,
                 count,
@@ -241,9 +310,17 @@ pub fn parse_batch_query(line: &str) -> Result<QuerySpec, ServiceError> {
             "batch query lines must not carry target= (it is fixed by the BATCH header)",
         ));
     }
-    args.spec.ok_or_else(|| {
+    let spec = args.spec.ok_or_else(|| {
         protocol_error("batch query requires pattern=<inline> or pattern_file=<path>")
-    })
+    })?;
+    if spec.emit == EmitMode::Stream {
+        // A batch is answered with one aggregated JSON line; there is no
+        // per-query framing for row streams to ride on.
+        return Err(protocol_error(
+            "emit=stream is only valid on a top-level QUERY, not inside a BATCH",
+        ));
+    }
+    Ok(spec)
 }
 
 /// `{"ok":false,"error":...}`.
@@ -306,6 +383,53 @@ fn query_body(query: &QueryOutcome) -> Vec<(&'static str, Json)> {
 pub fn query_response(query: &QueryOutcome) -> Json {
     let mut pairs = vec![("ok", Json::Bool(true))];
     pairs.extend(query_body(query));
+    Json::obj(pairs)
+}
+
+/// Header line of a streamed `QUERY` (`emit=stream`): announces the stream
+/// and its framing before any rows are enumerated.
+pub fn stream_header_response(header: &StreamHeader) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("stream", Json::Bool(true)),
+        ("target", Json::str(header.target.clone())),
+        ("chunk", Json::U64(header.chunk as u64)),
+        ("algorithm", Json::str(header.algorithm.name())),
+        ("strategy", Json::str(header.strategy.name())),
+        ("scheduler", Json::str(header.scheduler.to_string())),
+        ("cache_hit", Json::Bool(header.cache_hit)),
+        (
+            "pattern_hash",
+            Json::str(format!("{:016x}", header.pattern_hash)),
+        ),
+    ])
+}
+
+/// One row frame of a streamed `QUERY`: up to `chunk` mappings
+/// (`rows[i][p]` = target node pattern node `p` maps to).
+pub fn stream_rows_frame(rows: &[Vec<NodeId>]) -> Json {
+    Json::obj(vec![(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|mapping| {
+                    Json::Arr(mapping.iter().map(|&node| Json::U64(node as u64)).collect())
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Footer line of a streamed `QUERY`: the usual outcome fields plus how many
+/// rows were delivered and whether the stream was cut short.
+pub fn stream_footer_response(streamed: &StreamedQueryOutcome) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("done", Json::Bool(true)),
+        ("rows_sent", Json::U64(streamed.rows_sent)),
+        ("cancelled", Json::Bool(streamed.cancelled)),
+    ];
+    pairs.extend(query_body(&streamed.query));
     Json::obj(pairs)
 }
 
@@ -409,6 +533,9 @@ pub fn stats_response(service: &Service) -> Json {
         ("batches_served", Json::U64(snapshot.batches_served)),
         ("total_matches", Json::U64(snapshot.total_matches)),
         ("errors", Json::U64(snapshot.errors)),
+        ("streams_served", Json::U64(snapshot.streams_served)),
+        ("rows_streamed", Json::U64(snapshot.rows_streamed)),
+        ("streams_cancelled", Json::U64(snapshot.streams_cancelled)),
         ("targets", Json::Arr(targets)),
         (
             "cache",
@@ -552,6 +679,66 @@ mod tests {
         let rendered = error_response(&err).render();
         assert!(rendered.starts_with("{\"ok\":false,"), "{rendered}");
         assert!(rendered.contains("n >= 1"), "{rendered}");
+    }
+
+    #[test]
+    fn parses_streaming_knobs() {
+        match parse_command("QUERY target=k5 emit=stream chunk=5 pattern=1;0;0").unwrap() {
+            Command::Query { spec, .. } => {
+                assert_eq!(spec.emit, EmitMode::Stream);
+                assert_eq!(spec.chunk, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_command("QUERY target=k5 emit=buffered pattern=1;0;0").unwrap() {
+            Command::Query { spec, .. } => {
+                assert_eq!(spec.emit, EmitMode::Buffered);
+                assert_eq!(spec.chunk, crate::DEFAULT_STREAM_CHUNK);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_command("QUERY target=k5 emit=wat pattern=1;0;0").is_err());
+        assert!(parse_command("QUERY target=k5 emit=stream chunk=0 pattern=1;0;0").is_err());
+        assert!(parse_command("QUERY target=k5 chunk=x pattern=1;0;0").is_err());
+        // Streaming is a top-level QUERY affair; batch lines are rejected.
+        let err = parse_batch_query("emit=stream pattern=1;0;0").expect_err("no batch streams");
+        assert!(err.to_string().contains("only valid on a top-level QUERY"));
+    }
+
+    #[test]
+    fn oversized_batch_header_is_rejected() {
+        let err = parse_command(&format!("BATCH target=k5 n={}", MAX_BATCH_QUERIES + 1))
+            .expect_err("over-cap batch must be rejected");
+        assert!(err.to_string().contains("per-batch cap"), "{err}");
+        // The attacker-controlled extreme is rejected the same way.
+        assert!(parse_command("BATCH target=k5 n=18446744073709551615").is_err());
+        // The cap itself is fine.
+        assert!(parse_command(&format!("BATCH target=k5 n={MAX_BATCH_QUERIES}")).is_ok());
+    }
+
+    #[test]
+    fn stream_frames_render_as_documented() {
+        use sge_engine::Scheduler;
+        let header = StreamHeader {
+            target: "k5".into(),
+            chunk: 2,
+            cache_hit: true,
+            pattern_hash: 0xABCD,
+            algorithm: Algorithm::RiDsSiFc,
+            strategy: sge_ri::Strategy::RiGreedy,
+            scheduler: Scheduler::Sequential,
+        };
+        let rendered = stream_header_response(&header).render();
+        assert!(
+            rendered.starts_with("{\"ok\":true,\"stream\":true,"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"chunk\":2"));
+        assert!(rendered.contains("\"cache_hit\":true"));
+
+        let frame = stream_rows_frame(&[vec![0, 1, 2], vec![3, 4, 5]]).render();
+        assert_eq!(frame, "{\"rows\":[[0,1,2],[3,4,5]]}");
+        assert_eq!(stream_rows_frame(&[]).render(), "{\"rows\":[]}");
     }
 
     #[test]

@@ -9,9 +9,13 @@ pub(crate) struct Semaphore {
 }
 
 impl Semaphore {
+    /// A semaphore with `permits` slots, clamped to at least one: zero
+    /// permits can never be granted, so every `acquire` would block forever —
+    /// a misconfigured `max_in_flight=0` used to deadlock the whole service
+    /// on its first query.
     pub(crate) fn new(permits: usize) -> Self {
         Semaphore {
-            permits: Mutex::new(permits),
+            permits: Mutex::new(permits.max(1)),
             available: Condvar::new(),
         }
     }
@@ -56,6 +60,16 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    #[test]
+    fn zero_permits_is_clamped_instead_of_deadlocking() {
+        // Regression: `Semaphore::new(0)` used to make every `acquire` wait
+        // forever.  Construction now clamps to one permit, so a single
+        // acquire/release cycle completes.
+        let semaphore = Semaphore::new(0);
+        drop(semaphore.acquire());
+        drop(semaphore.acquire()); // the permit was released and re-granted
+    }
 
     #[test]
     fn limits_concurrency() {

@@ -10,6 +10,9 @@ pub struct ServiceStats {
     batches: AtomicU64,
     matches: AtomicU64,
     errors: AtomicU64,
+    streams: AtomicU64,
+    rows_streamed: AtomicU64,
+    streams_cancelled: AtomicU64,
     latency: Mutex<(RunningStats, LatencyHistogram)>,
 }
 
@@ -27,6 +30,9 @@ impl ServiceStats {
             batches: AtomicU64::new(0),
             matches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            streams: AtomicU64::new(0),
+            rows_streamed: AtomicU64::new(0),
+            streams_cancelled: AtomicU64::new(0),
             latency: Mutex::new((RunningStats::new(), LatencyHistogram::new())),
         }
     }
@@ -48,6 +54,16 @@ impl ServiceStats {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one streamed query: how many rows went over the wire and
+    /// whether the client vanished mid-stream (cancelling enumeration).
+    pub fn record_stream(&self, rows_sent: u64, cancelled: bool) {
+        self.streams.fetch_add(1, Ordering::Relaxed);
+        self.rows_streamed.fetch_add(rows_sent, Ordering::Relaxed);
+        if cancelled {
+            self.streams_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records one failed query.
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
@@ -67,6 +83,9 @@ impl ServiceStats {
             batches_served: self.batches.load(Ordering::Relaxed),
             total_matches: self.matches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            streams_served: self.streams.load(Ordering::Relaxed),
+            rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
+            streams_cancelled: self.streams_cancelled.load(Ordering::Relaxed),
             latency_mean_seconds: running.mean(),
             latency_stddev_seconds: running.stddev(),
             latency_min_seconds: running.min().unwrap_or(0.0),
@@ -89,6 +108,13 @@ pub struct StatsSnapshot {
     pub total_matches: u64,
     /// Queries that failed (unknown target, parse error, …).
     pub errors: u64,
+    /// Streamed queries served (also counted in `queries_served`).
+    pub streams_served: u64,
+    /// Total rows delivered over all streamed queries.
+    pub rows_streamed: u64,
+    /// Streamed queries whose client vanished mid-stream (enumeration was
+    /// cancelled early).
+    pub streams_cancelled: u64,
     /// Mean end-to-end query latency in seconds.
     pub latency_mean_seconds: f64,
     /// Population standard deviation of query latency.
@@ -116,11 +142,16 @@ mod tests {
         stats.record_query(40, 0.003);
         stats.record_batch();
         stats.record_error();
+        stats.record_stream(40, false);
+        stats.record_stream(7, true);
         let snap = stats.snapshot();
         assert_eq!(snap.queries_served, 2);
         assert_eq!(snap.batches_served, 1);
         assert_eq!(snap.total_matches, 100);
         assert_eq!(snap.errors, 1);
+        assert_eq!(snap.streams_served, 2);
+        assert_eq!(snap.rows_streamed, 47);
+        assert_eq!(snap.streams_cancelled, 1);
         assert!((snap.latency_mean_seconds - 0.002).abs() < 1e-12);
         assert_eq!(snap.latency_min_seconds, 0.001);
         assert_eq!(snap.latency_max_seconds, 0.003);

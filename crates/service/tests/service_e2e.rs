@@ -224,3 +224,146 @@ fn explain_counts_errors_and_reports_the_cached_plan() {
     // Explains do not count as served queries.
     assert_eq!(service.stats().queries_served, 1);
 }
+
+/// A [`StreamSink`] over plain vectors, optionally failing after a number of
+/// frames to emulate a client that disconnects mid-stream.
+struct VecSink {
+    header: Option<sge_service::StreamHeader>,
+    rows: Vec<Vec<sge_graph::NodeId>>,
+    frames: usize,
+    fail_after_frames: Option<usize>,
+}
+
+impl VecSink {
+    fn new() -> Self {
+        VecSink {
+            header: None,
+            rows: Vec::new(),
+            frames: 0,
+            fail_after_frames: None,
+        }
+    }
+
+    fn failing_after(frames: usize) -> Self {
+        VecSink {
+            fail_after_frames: Some(frames),
+            ..VecSink::new()
+        }
+    }
+}
+
+impl sge_service::StreamSink for VecSink {
+    fn begin(&mut self, header: &sge_service::StreamHeader) -> std::io::Result<()> {
+        self.header = Some(header.clone());
+        Ok(())
+    }
+
+    fn rows(&mut self, rows: &[Vec<sge_graph::NodeId>]) -> std::io::Result<()> {
+        if self
+            .fail_after_frames
+            .is_some_and(|limit| self.frames >= limit)
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "client gone",
+            ));
+        }
+        self.frames += 1;
+        self.rows.extend(rows.iter().cloned());
+        Ok(())
+    }
+}
+
+#[test]
+fn streamed_rows_match_buffered_collection_for_every_scheduler() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("k5", generators::clique(5, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+
+    let reference = service
+        .run_query(
+            "k5",
+            &QuerySpec::new(&pattern).with_run(RunConfig::default().with_collected_mappings(1000)),
+        )
+        .unwrap();
+    assert_eq!(reference.outcome.mappings.len(), 60);
+
+    for scheduler in [
+        Scheduler::Sequential,
+        Scheduler::work_stealing(3),
+        Scheduler::Rayon { workers: 2 },
+    ] {
+        for chunk in [1usize, 7, 1000] {
+            let mut sink = VecSink::new();
+            let streamed = service
+                .run_query_streaming(
+                    "k5",
+                    &QuerySpec::new(&pattern)
+                        .with_run(RunConfig::new(scheduler))
+                        .with_streaming(chunk),
+                    &mut sink,
+                )
+                .unwrap();
+            assert_eq!(streamed.query.outcome.matches, 60, "{scheduler} {chunk}");
+            assert_eq!(streamed.rows_sent, 60, "{scheduler} {chunk}");
+            assert!(!streamed.cancelled, "{scheduler} {chunk}");
+            assert!(
+                streamed.query.outcome.mappings.is_empty(),
+                "rows go to the sink, not the outcome"
+            );
+            let header = sink.header.expect("header delivered before rows");
+            assert_eq!(header.chunk, chunk.min(65_536));
+            let mut rows = sink.rows;
+            assert_eq!(rows.len(), 60, "{scheduler} {chunk}");
+            rows.sort_unstable();
+            assert_eq!(rows, reference.outcome.mappings, "{scheduler} {chunk}");
+        }
+    }
+    // Streamed queries show up in the aggregate stream counters.
+    let stats = service.stats();
+    assert_eq!(stats.streams_served, 9);
+    assert_eq!(stats.rows_streamed, 9 * 60);
+    assert_eq!(stats.streams_cancelled, 0);
+}
+
+#[test]
+fn failing_sink_cancels_enumeration_and_is_counted() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("k16", generators::clique(16, 0));
+    let pattern = write_graph(&generators::directed_path(2, 0)); // 240 matches
+
+    let mut sink = VecSink::failing_after(2);
+    let streamed = service
+        .run_query_streaming(
+            "k16",
+            &QuerySpec::new(&pattern).with_streaming(4),
+            &mut sink,
+        )
+        .unwrap();
+    assert!(streamed.cancelled);
+    assert_eq!(streamed.rows_sent, 8, "two 4-row frames were delivered");
+    assert!(
+        streamed.query.outcome.matches < 240,
+        "enumeration stopped early, got {}",
+        streamed.query.outcome.matches
+    );
+    let stats = service.stats();
+    assert_eq!(stats.streams_served, 1);
+    assert_eq!(stats.streams_cancelled, 1);
+    assert_eq!(stats.rows_streamed, 8);
+}
+
+#[test]
+fn zero_max_in_flight_is_clamped_not_deadlocked() {
+    // Regression: admission with zero permits used to block the first query
+    // forever.  The semaphore now clamps to one permit.
+    let service = Service::new(ServiceConfig {
+        cache_capacity: 4,
+        batch_workers: 2,
+        max_in_flight: 0,
+    });
+    service.registry().insert("k5", generators::clique(5, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+    let outcome = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+    assert_eq!(outcome.outcome.matches, 60);
+}

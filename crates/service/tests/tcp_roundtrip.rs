@@ -357,3 +357,352 @@ fn strategy_is_selectable_on_query_and_batch() {
     assert!(responses[6].contains("\"shutdown\":true"));
     server.join().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Streaming (`emit=stream`) over the wire
+// ---------------------------------------------------------------------------
+
+/// Parses every row out of a streamed response block's `{"rows":[...]}`
+/// frame lines.
+fn parse_streamed_rows(block: &str) -> Vec<Vec<u64>> {
+    block
+        .lines()
+        .filter(|line| line.starts_with("{\"rows\":["))
+        .flat_map(|line| {
+            let inner = line
+                .trim_start_matches("{\"rows\":[")
+                .trim_end_matches("]}");
+            parse_row_list(inner)
+        })
+        .collect()
+}
+
+/// Parses `[0,1],[2,3]` (possibly empty) into rows of integers.
+fn parse_row_list(inner: &str) -> Vec<Vec<u64>> {
+    let mut rows = Vec::new();
+    let mut rest = inner;
+    while let Some(open) = rest.find('[') {
+        let close = rest[open..].find(']').expect("balanced row") + open;
+        let row: Vec<u64> = rest[open + 1..close]
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("integer node id"))
+            .collect();
+        rows.push(row);
+        rest = &rest[close + 1..];
+    }
+    rows
+}
+
+#[test]
+fn streamed_rows_are_parity_with_buffered_mappings_and_vf2() {
+    let (addr, server) = start_server();
+    let target_path = write_target_file("sge-tcp-stream-parity");
+    let triangle_graph = generators::directed_cycle(3, 0);
+    let triangle = encode_inline_pattern(&write_graph(&triangle_graph));
+
+    // Independent oracle for the match count.
+    let oracle = sge_vf2::count_matches(&triangle_graph, &generators::clique(5, 0));
+    assert_eq!(oracle, 60);
+
+    let script = vec![
+        format!("LOAD k5 {}", target_path.display()),
+        format!("QUERY target=k5 collect=1000 pattern={triangle}"),
+        format!("QUERY target=k5 emit=stream chunk=7 pattern={triangle}"),
+        format!("QUERY target=k5 emit=stream chunk=7 sched=ws:3 pattern={triangle}"),
+        "STATS".to_string(),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(responses.len(), 6, "{responses:?}");
+
+    // Reference: the buffered response's sorted mappings array.
+    let buffered = &responses[1];
+    let mappings_field = buffered.split("\"mappings\":[").nth(1).expect("mappings");
+    let reference = parse_row_list(mappings_field.trim_end_matches("]}"));
+    assert_eq!(reference.len(), 60);
+
+    for (label, block) in [("seq", &responses[2]), ("ws", &responses[3])] {
+        let lines: Vec<&str> = block.lines().collect();
+        assert!(
+            lines[0].starts_with("{\"ok\":true,\"stream\":true"),
+            "{label}: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"chunk\":7"), "{label}");
+        let footer = lines.last().unwrap();
+        assert!(
+            footer.starts_with("{\"ok\":true,\"done\":true"),
+            "{label}: {footer}"
+        );
+        assert!(footer.contains("\"matches\":60"), "{label}: {footer}");
+        assert!(footer.contains("\"rows_sent\":60"), "{label}: {footer}");
+        assert!(footer.contains("\"cancelled\":false"), "{label}: {footer}");
+        assert!(
+            !footer.contains("\"mappings\""),
+            "{label}: rows travel in frames, not the footer"
+        );
+        // 60 rows in chunks of 7 → 9 frames (8 full + 1 of 4) between
+        // header and footer.
+        assert_eq!(lines.len(), 2 + 9, "{label}: {block}");
+        let mut rows = parse_streamed_rows(block);
+        assert_eq!(rows.len() as u64, oracle, "{label}");
+        rows.sort_unstable();
+        assert_eq!(
+            rows, reference,
+            "{label}: streamed rows == collect_mappings"
+        );
+    }
+
+    // The stream counters saw both streamed queries, none cancelled.
+    assert!(
+        responses[4].contains("\"streams_served\":2"),
+        "{}",
+        responses[4]
+    );
+    assert!(
+        responses[4].contains("\"rows_streamed\":120"),
+        "{}",
+        responses[4]
+    );
+    assert!(
+        responses[4].contains("\"streams_cancelled\":0"),
+        "{}",
+        responses[4]
+    );
+    assert!(
+        responses[4].contains("\"queries_served\":3"),
+        "{}",
+        responses[4]
+    );
+    assert!(responses[5].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn mid_stream_disconnect_cancels_enumeration_without_hurting_other_connections() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, server) = start_server();
+
+    // A large instance: a directed triangle in a 64-clique has 249,984
+    // embeddings (64*63*62) — far more than the socket buffers can swallow,
+    // so the server is guaranteed to still be streaming when the client
+    // vanishes.
+    let target_path =
+        std::env::temp_dir().join(format!("sge-tcp-disconnect-{}.gfd", std::process::id()));
+    std::fs::write(&target_path, write_graph(&generators::clique(64, 0))).unwrap();
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+
+    let load = vec![format!("LOAD big {}", target_path.display())];
+    run_script(addr, &load).expect("load");
+
+    // Raw client: start the stream, read the header and one frame, then
+    // drop the connection with rows still in flight (unread data makes the
+    // close an immediate RST, so server writes start failing).
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(
+            writer,
+            "QUERY target=big emit=stream chunk=4 pattern={triangle}"
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("{\"ok\":true,\"stream\":true"), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("{\"rows\":["), "{line}");
+        // Drop both halves: the client is gone mid-stream.
+    }
+
+    // The handler notices the dead socket, cancels enumeration and records
+    // the cancelled stream; poll STATS from a *different* connection.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let stats = loop {
+        let responses =
+            run_script(addr, &["STATS".to_string()]).expect("stats over a fresh connection");
+        if responses[0].contains("\"streams_cancelled\":1") {
+            break responses.into_iter().next().unwrap();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never recorded the cancelled stream: {}",
+            responses[0]
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    // Enumeration terminated early: the recorded match count is a strict
+    // lower bound of the full 249,984.
+    let total: u64 = stats
+        .split("\"total_matches\":")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("total_matches in stats");
+    assert!(
+        total < 249_984,
+        "enumeration ran to completion into a dead socket: {total}"
+    );
+
+    // Other connections are unaffected: a buffered query still serves.
+    let check = run_script(
+        addr,
+        &[
+            format!("QUERY target=big max=10 pattern={triangle}"),
+            "SHUTDOWN".to_string(),
+        ],
+    )
+    .expect("query after disconnect");
+    std::fs::remove_file(&target_path).ok();
+    assert!(check[0].contains("\"matches\":10"), "{}", check[0]);
+    assert!(check[1].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: line cap, drain cap, graceful shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_request_line_is_rejected_and_connection_dropped() {
+    use std::io::{Read, Write};
+    let (addr, server) = start_server();
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // One byte over the cap, no newline: the server must not buffer forever.
+    let oversized = vec![b'Q'; (1 << 20) + 1];
+    writer.write_all(&oversized).unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    let mut reader = stream;
+    reader.read_to_string(&mut response).unwrap();
+    // A structured error, then EOF (read_to_string returned → closed).
+    assert!(response.starts_with("{\"ok\":false,"), "{response}");
+    assert!(response.contains("exceeds"), "{response}");
+
+    let responses = run_script(addr, &["SHUTDOWN".to_string()]).unwrap();
+    assert!(responses[0].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn huge_announced_batch_drain_is_capped_and_connection_closed() {
+    use std::io::{Read, Write};
+    let (addr, server) = start_server();
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // Malformed header (missing target=) announcing u64::MAX continuation
+    // lines: the server must refuse to drain them and close instead.
+    writeln!(writer, "BATCH n=18446744073709551615").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    let mut reader = stream;
+    reader.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("{\"ok\":false,"), "{response}");
+    assert!(
+        response.contains("closing connection") || response.contains("cap"),
+        "{response}"
+    );
+
+    // A header over the cap but with a valid shape is rejected the same way
+    // (and its announced drain is refused).
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(writer, "BATCH target=x n=100000").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    let mut reader = stream;
+    reader.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("{\"ok\":false,"), "{response}");
+
+    // The server itself is unharmed.
+    let responses = run_script(addr, &["STATS".to_string(), "SHUTDOWN".to_string()]).unwrap();
+    assert!(responses[0].contains("\"ok\":true"));
+    assert!(responses[1].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries_and_ignores_idle_connections() {
+    use std::io::{BufRead, BufReader, Write};
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.registry().insert("k5", generators::clique(5, 0));
+    let server = Server::bind("127.0.0.1:0", service)
+        .expect("bind loopback")
+        .with_drain_timeout(std::time::Duration::from_millis(500));
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    let triangle = encode_inline_pattern(&write_graph(&generators::directed_cycle(3, 0)));
+
+    // An idle connection that never sends anything must not block shutdown.
+    let idle = std::net::TcpStream::connect(addr).unwrap();
+
+    // A connection with a query in flight: send it, then SHUTDOWN from a
+    // second connection, then read the full response.
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "QUERY target=k5 collect=100 pattern={triangle}").unwrap();
+    writer.flush().unwrap();
+
+    let responses = run_script(addr, &["SHUTDOWN".to_string()]).unwrap();
+    assert!(responses[0].contains("\"shutdown\":true"));
+
+    // The in-flight response arrives complete, not truncated.
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.contains("\"matches\":60"), "{response}");
+    assert!(response.trim_end().ends_with('}'), "{response}");
+
+    // run() returns despite the idle connection (drain deadline).
+    let start = std::time::Instant::now();
+    handle.join().expect("server thread exits after SHUTDOWN");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown drain took too long"
+    );
+    drop(idle);
+}
+
+#[test]
+fn oversized_line_splitting_a_multibyte_char_still_gets_a_structured_error() {
+    use std::io::{Read, Write};
+    let (addr, server) = start_server();
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // (cap+1) bytes of valid UTF-8 whose final character straddles the cap
+    // boundary: the length check must fire before UTF-8 validation, or the
+    // truncated read turns into an InvalidData error and the connection
+    // drops without the documented structured response.
+    let mut oversized = "é".repeat((1 << 19) + 1).into_bytes(); // 2 bytes each
+    oversized.truncate((1 << 20) + 1);
+    writer.write_all(&oversized).unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    let mut reader = stream;
+    reader.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("{\"ok\":false,"), "{response}");
+    assert!(response.contains("exceeds"), "{response}");
+
+    // A short but non-UTF-8 line is refused with its own structured error.
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"QUERY \xff\xfe target=x\n").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    let mut reader = stream;
+    reader.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("{\"ok\":false,"), "{response}");
+    assert!(response.contains("not valid UTF-8"), "{response}");
+
+    let responses = run_script(addr, &["SHUTDOWN".to_string()]).unwrap();
+    assert!(responses[0].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}

@@ -26,9 +26,9 @@ use crate::problem::BacktrackProblem;
 use crate::stats::{RunResult, WorkerStats};
 use crate::task::{PrivateDeque, TaskGroup, Transfer};
 use crate::termination::Termination;
-use sge_util::{MatchBudget, SplitMix64};
+use sge_util::{CancelToken, MatchBudget, SplitMix64};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Sentinel meaning "no pending steal request".
@@ -55,6 +55,11 @@ pub struct EngineConfig {
     /// exactly `min(max_solutions, total)` solutions are counted and reported
     /// to [`BacktrackProblem::on_solution`].
     pub max_solutions: Option<u64>,
+    /// External cooperative cancellation: when the token fires, termination
+    /// is forced exactly as if the solution budget had been exhausted, and
+    /// the result reports `cancelled`.  Solutions discovered after the token
+    /// fires are discarded, not counted.
+    pub cancel: Option<Arc<CancelToken>>,
     /// Seed for the (deterministic per worker) victim-selection RNG.
     pub seed: u64,
 }
@@ -69,6 +74,7 @@ impl Default for EngineConfig {
             steal_enabled: true,
             time_limit: None,
             max_solutions: None,
+            cancel: None,
             seed: 0x5EED_1234_ABCD,
         }
     }
@@ -107,6 +113,12 @@ impl EngineConfig {
         self.max_solutions = Some(limit);
         self
     }
+
+    /// Attaches an external cancellation token.
+    pub fn cancel_token(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
 /// One thief's transfer mailbox.
@@ -130,10 +142,12 @@ struct Shared<C> {
     /// Budget of countable solutions (`EngineConfig::max_solutions`); claims
     /// beyond it are discarded, so the counted total is exact.
     budget: MatchBudget,
+    cancel: Option<Arc<CancelToken>>,
+    cancelled: AtomicBool,
 }
 
 impl<C> Shared<C> {
-    fn new(workers: usize, deadline: Option<Instant>, max_solutions: Option<u64>) -> Self {
+    fn new(workers: usize, deadline: Option<Instant>, config: &EngineConfig) -> Self {
         Shared {
             work_available: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             requests: (0..workers).map(|_| AtomicUsize::new(NO_REQUEST)).collect(),
@@ -143,7 +157,9 @@ impl<C> Shared<C> {
             termination: Termination::new(workers),
             deadline,
             timed_out: AtomicBool::new(false),
-            budget: MatchBudget::new(max_solutions),
+            budget: MatchBudget::new(config.max_solutions),
+            cancel: config.cancel.clone(),
+            cancelled: AtomicBool::new(false),
         }
     }
 
@@ -155,6 +171,26 @@ impl<C> Shared<C> {
                 self.termination.force();
             }
         }
+    }
+
+    /// `true` once the external cancellation token has fired; latches the
+    /// `cancelled` result flag and forces termination the first time it is
+    /// observed.
+    fn cancel_requested(&self) -> bool {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => {
+                self.cancelled.store(true, Ordering::SeqCst);
+                self.termination.force();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The per-tick interrupt poll: cancellation, then the deadline.
+    fn check_interrupts(&self) {
+        self.cancel_requested();
+        self.check_deadline();
     }
 }
 
@@ -266,7 +302,14 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
     /// solution should be counted; once the budget is exhausted termination is
     /// forced so all workers stop promptly, and over-claims are discarded —
     /// the run reports exactly `min(max_solutions, total)` solutions.
+    ///
+    /// An external cancellation trips this path too: solutions found after
+    /// the token fired are discarded, so cancellation behaves exactly like a
+    /// budget that ran out the moment the token fired.
     fn claim_solution(&mut self) -> bool {
+        if self.shared.cancel_requested() {
+            return false;
+        }
         let counted = self.shared.budget.claim();
         if self.shared.budget.is_exhausted() {
             self.shared.termination.force();
@@ -317,7 +360,7 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
     fn tick(&mut self) {
         self.ticks += 1;
         if self.ticks.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
-            self.shared.check_deadline();
+            self.shared.check_interrupts();
         }
     }
 
@@ -348,7 +391,16 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
                     .compare_exchange(NO_REQUEST, self.id, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
-                    // Wait for the victim's answer.
+                    // Wait for the victim's answer.  The token is NOT
+                    // forwarded while the request is pending: a transfer the
+                    // victim already committed to may still be sitting unread
+                    // in our mailbox, and the ring would otherwise be able to
+                    // complete a white round around us and declare
+                    // termination with that stolen task group in flight
+                    // (dropping its whole subtree).  Holding the token here
+                    // makes delivery look instantaneous to the Dijkstra ring;
+                    // every victim answers every request (even while idle or
+                    // winding down), so the wait always ends.
                     let mut waits: u64 = 0;
                     loop {
                         if self.shared.termination.is_terminated() {
@@ -356,9 +408,6 @@ impl<'a, P: BacktrackProblem> Worker<'a, P> {
                         }
                         self.tick();
                         self.process_requests();
-                        if self.shared.termination.poll_idle(self.id) {
-                            return false;
-                        }
                         let mut cell = self.shared.transfers[self.id]
                             .lock()
                             .expect("mutex poisoned");
@@ -464,11 +513,12 @@ pub fn run<P: BacktrackProblem>(problem: &P, config: &EngineConfig) -> RunResult
     }
 
     let deadline = config.time_limit.map(|limit| start + limit);
-    let shared: Shared<P::Choice> = Shared::new(workers, deadline, config.max_solutions);
-    // An already-expired deadline forces termination before any worker runs,
-    // so every scheduler agrees on the degenerate-budget outcome (timed out,
-    // zero work) instead of racing the periodic per-worker deadline checks.
-    shared.check_deadline();
+    let shared: Shared<P::Choice> = Shared::new(workers, deadline, config);
+    // An already-expired deadline (or an already-fired cancellation token)
+    // forces termination before any worker runs, so every scheduler agrees
+    // on the degenerate outcome (zero work) instead of racing the periodic
+    // per-worker interrupt checks.
+    shared.check_interrupts();
     let group_size = config.task_group_size.max(1);
 
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -502,6 +552,7 @@ pub fn run<P: BacktrackProblem>(problem: &P, config: &EngineConfig) -> RunResult
         shared.timed_out.load(Ordering::SeqCst),
     );
     result.limit_hit = shared.budget.is_exhausted();
+    result.cancelled = shared.cancelled.load(Ordering::SeqCst);
     result
 }
 
@@ -676,6 +727,113 @@ mod tests {
             &EngineConfig::with_workers(2).max_solutions(0),
         );
         assert_eq!(result.solutions, 0);
+    }
+
+    #[test]
+    fn slow_solution_observers_lose_no_solutions() {
+        // A blocking on_solution (the streaming bridge blocks on a bounded
+        // channel) drastically changes steal timing; counts must not change.
+        struct SlowQueens {
+            inner: NQueens,
+        }
+        impl BacktrackProblem for SlowQueens {
+            type State = QueensState;
+            type Choice = u32;
+            fn depth(&self) -> usize {
+                self.inner.depth()
+            }
+            fn new_state(&self) -> QueensState {
+                self.inner.new_state()
+            }
+            fn candidates(&self, level: usize, state: &QueensState, out: &mut Vec<u32>) {
+                self.inner.candidates(level, state, out);
+            }
+            fn is_consistent(&self, level: usize, choice: u32, state: &QueensState) -> bool {
+                self.inner.is_consistent(level, choice, state)
+            }
+            fn apply(&self, level: usize, choice: u32, state: &mut QueensState) {
+                self.inner.apply(level, choice, state);
+            }
+            fn undo(&self, level: usize, state: &mut QueensState) {
+                self.inner.undo(level, state);
+            }
+            fn on_solution(&self, _worker_id: usize, _state: &QueensState) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        for trial in 0..20 {
+            let problem = SlowQueens {
+                inner: NQueens { n: 7 },
+            };
+            let result = run(&problem, &EngineConfig::with_workers(2));
+            assert_eq!(result.solutions, 40, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run_with_zero_work() {
+        let problem = NQueens { n: 9 };
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        for workers in [1usize, 4] {
+            let result = run(
+                &problem,
+                &EngineConfig::with_workers(workers).cancel_token(Arc::clone(&token)),
+            );
+            assert!(result.cancelled, "workers={workers}");
+            assert_eq!(result.solutions, 0, "workers={workers}");
+            assert!(!result.limit_hit);
+            assert!(!result.timed_out);
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_run_discards_later_solutions() {
+        /// Cancels its own run after observing `after` solutions.
+        struct SelfCancelling {
+            inner: NQueens,
+            token: Arc<CancelToken>,
+            seen: std::sync::atomic::AtomicU64,
+            after: u64,
+        }
+        impl BacktrackProblem for SelfCancelling {
+            type State = QueensState;
+            type Choice = u32;
+            fn depth(&self) -> usize {
+                self.inner.depth()
+            }
+            fn new_state(&self) -> QueensState {
+                self.inner.new_state()
+            }
+            fn candidates(&self, level: usize, state: &QueensState, out: &mut Vec<u32>) {
+                self.inner.candidates(level, state, out);
+            }
+            fn is_consistent(&self, level: usize, choice: u32, state: &QueensState) -> bool {
+                self.inner.is_consistent(level, choice, state)
+            }
+            fn apply(&self, level: usize, choice: u32, state: &mut QueensState) {
+                self.inner.apply(level, choice, state);
+            }
+            fn undo(&self, level: usize, state: &mut QueensState) {
+                self.inner.undo(level, state);
+            }
+            fn on_solution(&self, _worker_id: usize, _state: &QueensState) {
+                if self.seen.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+                    self.token.cancel();
+                }
+            }
+        }
+        let token = Arc::new(CancelToken::new());
+        let problem = SelfCancelling {
+            inner: NQueens { n: 8 },
+            token: Arc::clone(&token),
+            seen: std::sync::atomic::AtomicU64::new(0),
+            after: 5,
+        };
+        let result = run(&problem, &EngineConfig::with_workers(3).cancel_token(token));
+        assert!(result.cancelled);
+        assert!(result.solutions < 92, "cancellation cut the run short");
+        assert!(result.solutions >= 5, "counted solutions before the cancel");
     }
 
     #[test]

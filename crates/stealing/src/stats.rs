@@ -45,6 +45,9 @@ pub struct RunResult {
     /// `true` when the run stopped because the solution budget
     /// (`EngineConfig::max_solutions`) was exhausted.
     pub limit_hit: bool,
+    /// `true` when the run stopped because the external cancellation token
+    /// (`EngineConfig::cancel`) fired.
+    pub cancelled: bool,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerStats>,
 }
@@ -64,6 +67,7 @@ impl RunResult {
             elapsed_seconds,
             timed_out,
             limit_hit: false,
+            cancelled: false,
             workers,
         }
     }

@@ -8,8 +8,43 @@
 //! budget was already exhausted and the solution must be discarded.  The
 //! moment the last slot is claimed the budget reports
 //! [`MatchBudget::is_exhausted`], which callers use to stop their workers.
+//!
+//! [`CancelToken`] is the budget's external sibling: a shared flag an
+//! *observer* of the run (a streaming consumer whose client disconnected, a
+//! supervisor) flips to make every scheduler stop as if its budget had been
+//! exhausted — cooperative, checked at the same points as the match budget.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A shared cooperative cancellation flag.
+///
+/// Cancellation is one-way (there is no reset) and idempotent.  Schedulers
+/// poll [`CancelToken::is_cancelled`] at the same cadence as their match
+/// budget / deadline checks and stop early when it fires; the run then
+/// reports `cancelled = true` and its counts are lower bounds, exactly like
+/// a timed-out run.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, safe from any thread).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
 
 /// Shared solution budget (see module docs).  `limit = None` never exhausts.
 #[derive(Debug)]
@@ -55,6 +90,16 @@ impl MatchBudget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_token_is_one_way_and_idempotent() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
 
     #[test]
     fn unlimited_budget_never_exhausts() {

@@ -26,7 +26,7 @@ pub mod stats;
 pub mod timing;
 
 pub use bitset::Bitset;
-pub use budget::MatchBudget;
+pub use budget::{CancelToken, MatchBudget};
 pub use rng::SplitMix64;
 pub use stats::{geometric_mean, LatencyHistogram, RunningStats, SpeedupSummary};
 pub use timing::PhaseTimer;

@@ -390,3 +390,40 @@ fn collected_mappings_are_deterministic_across_schedulers() {
         }
     }
 }
+
+#[test]
+fn streamed_rows_cross_validate_against_collection_and_vf2() {
+    // The streaming path (bounded channel, discovery order, optional
+    // cancellation) must deliver exactly the matches the buffered collection
+    // and the independent VF2 oracle agree on, under every scheduler.
+    for case in 0..6u64 {
+        let mut rng = SplitMix64::new(0x57AE ^ case);
+        let n = 10 + rng.next_below(6);
+        let target = random_labeled_graph(rng.next_u64(), n, 0.2, 2);
+        let pattern = extracted_pattern(rng.next_u64(), &target, 4);
+        let oracle = sge::vf2::count_matches(&pattern, &target);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+        let reference = engine
+            .run(&RunConfig::default().with_collected_mappings(1_000_000))
+            .mappings;
+        assert_eq!(reference.len() as u64, oracle, "case={case}");
+        for scheduler in [
+            Scheduler::Sequential,
+            Scheduler::work_stealing(3),
+            Scheduler::Rayon { workers: 2 },
+        ] {
+            let mut rows: Vec<Vec<sge::graph::NodeId>> = Vec::new();
+            let outcome = engine.run_streaming(&RunConfig::new(scheduler), 3, |mapping| {
+                rows.push(mapping);
+                true
+            });
+            assert_eq!(outcome.matches, oracle, "case={case} {scheduler}");
+            assert!(!outcome.cancelled, "case={case} {scheduler}");
+            rows.sort_unstable();
+            assert_eq!(
+                rows, reference,
+                "case={case} {scheduler}: streamed rows != collected mappings"
+            );
+        }
+    }
+}
