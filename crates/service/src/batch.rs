@@ -3,7 +3,6 @@
 use crate::{QueryOutcome, QuerySpec, Service, ServiceError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Many queries against one registered target.
 #[derive(Clone, Debug)]
@@ -98,9 +97,10 @@ impl BatchExecutor {
     }
 
     /// Runs every query of `set` and returns the per-query results in
-    /// submission order.
+    /// submission order.  Wall time is measured on the service's clock, so
+    /// batch throughput figures are deterministic under a virtual clock.
     pub fn execute(&self, service: &Service, set: &QuerySet) -> BatchOutcome {
-        let started = Instant::now();
+        let started = service.clock().now();
         let n = set.queries.len();
         let workers = self.workers.min(n.max(1));
         let next = AtomicUsize::new(0);
@@ -131,7 +131,7 @@ impl BatchExecutor {
         BatchOutcome {
             target: set.target.clone(),
             results,
-            wall_seconds: started.elapsed().as_secs_f64(),
+            wall_seconds: service.clock().now().saturating_sub(started).as_secs_f64(),
             workers,
         }
     }

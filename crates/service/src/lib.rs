@@ -36,6 +36,7 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod connection;
 pub mod json;
 pub mod protocol;
 pub mod registry;
@@ -46,6 +47,7 @@ mod semaphore;
 
 pub use batch::{BatchExecutor, BatchOutcome, QuerySet};
 pub use cache::{CacheStats, PreparedCache};
+pub use connection::{Connection, StepOutcome};
 pub use registry::{GraphInfo, GraphRegistry};
 pub use server::Server;
 pub use stats::{ServiceStats, StatsSnapshot};
@@ -54,9 +56,10 @@ use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig};
 use sge_graph::io::ParseError;
 use sge_graph::NodeId;
 use sge_ri::{Algorithm, CandidateMode};
+use sge_util::{Clock, SystemClock};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Default number of rows per streamed frame (`chunk=` on the wire).
 pub const DEFAULT_STREAM_CHUNK: usize = 64;
@@ -269,18 +272,37 @@ pub struct Service {
     stats: ServiceStats,
     admission: semaphore::Semaphore,
     config: ServiceConfig,
+    clock: Arc<dyn Clock>,
 }
 
 impl Service {
-    /// Creates an empty service with the given sizing knobs.
+    /// Creates an empty service with the given sizing knobs, measuring time
+    /// on the real [`SystemClock`].
     pub fn new(config: ServiceConfig) -> Self {
+        Service::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates an empty service that measures time on `clock`.
+    ///
+    /// Every latency the service reports — per-query `latency_seconds`, the
+    /// `STATS` latency distribution, batch wall time, admission-wait time —
+    /// derives from this clock, so a [`sge_util::VirtualClock`] makes them
+    /// fully deterministic (what the simulator's same-seed/same-trace
+    /// guarantee relies on).
+    pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
         Service {
             registry: GraphRegistry::new(),
             cache: PreparedCache::new(config.cache_capacity),
             stats: ServiceStats::new(),
             admission: semaphore::Semaphore::new(config.max_in_flight.max(1)),
             config,
+            clock,
         }
+    }
+
+    /// The clock all service latencies are measured on.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// The target-graph registry.
@@ -309,7 +331,7 @@ impl Service {
     /// the prepared engine is fetched from (or inserted into) the cache, and
     /// the run is gated by the global admission limit.
     pub fn run_query(&self, target: &str, spec: &QuerySpec) -> Result<QueryOutcome, ServiceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let result = self.run_query_inner(target, spec, started);
         if result.is_err() {
             self.stats.record_error();
@@ -344,18 +366,29 @@ impl Service {
         Ok((engine, cache_hit, PreparedCache::pattern_hash(&pattern)))
     }
 
+    /// Acquires an admission permit, recording how long the caller waited
+    /// (on this service's clock) so admission-control pressure is visible in
+    /// `STATS` — and deterministic under a virtual clock.
+    fn admit(&self) -> semaphore::Permit<'_> {
+        let wait_started = self.clock.now();
+        let permit = self.admission.acquire();
+        let waited = self.clock.now().saturating_sub(wait_started);
+        self.stats.record_admission_wait(waited.as_secs_f64());
+        permit
+    }
+
     fn run_query_inner(
         &self,
         target: &str,
         spec: &QuerySpec,
-        started: Instant,
+        started: Duration,
     ) -> Result<QueryOutcome, ServiceError> {
         let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
         let outcome = {
-            let _permit = self.admission.acquire();
+            let _permit = self.admit();
             engine.run(&spec.run)
         };
-        let latency_seconds = started.elapsed().as_secs_f64();
+        let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
         Ok(QueryOutcome {
             target: target.to_string(),
@@ -387,7 +420,7 @@ impl Service {
         spec: &QuerySpec,
         sink: &mut dyn StreamSink,
     ) -> Result<StreamedQueryOutcome, ServiceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let result = self.run_query_streaming_inner(target, spec, sink, started);
         if result.is_err() {
             self.stats.record_error();
@@ -400,7 +433,7 @@ impl Service {
         target: &str,
         spec: &QuerySpec,
         sink: &mut dyn StreamSink,
-        started: Instant,
+        started: Duration,
     ) -> Result<StreamedQueryOutcome, ServiceError> {
         let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
         let chunk = spec.chunk.clamp(1, MAX_STREAM_CHUNK);
@@ -422,7 +455,7 @@ impl Service {
         let mut rows_sent: u64 = 0;
         let mut sink_alive = true;
         let outcome = {
-            let _permit = self.admission.acquire();
+            let _permit = self.admit();
             engine.run_streaming(&run, chunk, |mapping| {
                 buffer.push(mapping);
                 if buffer.len() < chunk {
@@ -446,7 +479,7 @@ impl Service {
             }
         }
         let cancelled = outcome.cancelled || !sink_alive;
-        let latency_seconds = started.elapsed().as_secs_f64();
+        let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
         self.stats.record_stream(rows_sent, cancelled);
         Ok(StreamedQueryOutcome {
@@ -480,13 +513,13 @@ impl Service {
         target: &str,
         spec: &QuerySpec,
     ) -> Result<ExplainOutcome, ServiceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
         Ok(ExplainOutcome {
             target: target.to_string(),
             pattern_hash,
             cache_hit,
-            latency_seconds: started.elapsed().as_secs_f64(),
+            latency_seconds: self.clock.now().saturating_sub(started).as_secs_f64(),
             engine,
         })
     }

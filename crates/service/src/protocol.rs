@@ -536,6 +536,11 @@ pub fn stats_response(service: &Service) -> Json {
         ("streams_served", Json::U64(snapshot.streams_served)),
         ("rows_streamed", Json::U64(snapshot.rows_streamed)),
         ("streams_cancelled", Json::U64(snapshot.streams_cancelled)),
+        ("admissions", Json::U64(snapshot.admissions)),
+        (
+            "admission_wait_seconds",
+            Json::F64(snapshot.admission_wait_seconds),
+        ),
         ("targets", Json::Arr(targets)),
         (
             "cache",

@@ -3,29 +3,26 @@
 //! One thread per connection, newline-delimited requests, one JSON line per
 //! response — except streaming queries (`emit=stream`), which answer with a
 //! header line, row frames and a footer line (see [`crate::protocol`]).
-//! `SHUTDOWN` answers, stops the accept loop (a loopback self-connection
-//! wakes the blocking `accept`), and the server then joins the per-connection
-//! threads with a drain deadline so in-flight responses are not truncated.
+//! The per-connection request loop itself lives in [`crate::connection`]
+//! (transport-generic, so the deterministic simulator drives the same code);
+//! this module owns what is irreducibly TCP: binding, the accept loop, the
+//! thread-per-connection model, and drain-on-`SHUTDOWN`.
 //!
-//! Robustness: request lines are read through [`Read::take`] so a client
-//! that never sends a newline cannot grow server memory past
-//! [`MAX_REQUEST_LINE_BYTES`], and the continuation-line drain after a
-//! malformed `BATCH` header is capped at [`MAX_BATCH_QUERIES`] lines — both
-//! overflows are answered with a structured error before the connection is
-//! dropped.
+//! `SHUTDOWN` answers, stops the accept loop (a loopback self-connection
+//! wakes the blocking `accept`), and the server then waits for in-flight
+//! connection handlers on a [`ConnectionTracker`] — a counter plus condvar,
+//! so draining parks instead of burning a sleep-spin — up to a drain
+//! deadline measured on the server's injectable [`Clock`].
 
-use crate::protocol::{
-    batch_response, error_response, explain_response, load_response, parse_batch_query,
-    parse_command, query_response, shutdown_response, stats_response, stream_footer_response,
-    stream_header_response, stream_rows_frame, Command, MAX_BATCH_QUERIES, MAX_REQUEST_LINE_BYTES,
-};
-use crate::{EmitMode, QuerySet, ServiceError, SharedService, StreamHeader, StreamSink};
-use sge_graph::NodeId;
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::connection::{Connection, StepOutcome};
+use crate::SharedService;
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sge_util::Clock;
 
 /// How long [`Server::run`] waits for in-flight connection threads after
 /// `SHUTDOWN` before giving up on them (idle keep-alive connections would
@@ -63,13 +60,13 @@ impl Server {
     }
 
     /// Serves connections until a client issues `SHUTDOWN`, then drains:
-    /// connection threads are joined until the drain deadline expires, so
-    /// mid-query/mid-write connections finish their responses before the
-    /// server returns (idle connections that outlast the deadline are
-    /// abandoned — they hold no half-written response).
+    /// the server waits for in-flight connection handlers until the drain
+    /// deadline expires, so mid-query/mid-write connections finish their
+    /// responses before the server returns (idle connections that outlast
+    /// the deadline are abandoned — they hold no half-written response).
     pub fn run(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let tracker = Arc::new(ConnectionTracker::new());
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -78,89 +75,91 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
-            // Reap finished handlers so the vector tracks live connections,
-            // not connection history.
-            connections.retain(|handle| !handle.is_finished());
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
-            connections.push(std::thread::spawn(move || {
-                // Per-connection errors only terminate that connection.
+            let guard = tracker.register();
+            std::thread::spawn(move || {
+                let _live = guard; // deregisters (and wakes the drain) on exit
+                                   // Per-connection errors only terminate that connection.
                 let _ = handle_connection(stream, &service, &shutdown, local_addr);
-            }));
+            });
         }
-        // Drain: give in-flight handlers until the deadline to finish.
-        let deadline = Instant::now() + self.drain_timeout;
-        for handle in connections {
-            while !handle.is_finished() && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            if handle.is_finished() {
-                let _ = handle.join();
-            }
-            // else: an idle client is still connected; abandon the handler
-            // (it owns no partially-written response) so shutdown completes.
-        }
+        // Drain: give in-flight handlers until the deadline to finish.  The
+        // deadline is measured on the service's clock, so drain semantics
+        // are the same whether time is real or simulated.
+        tracker.drain(self.service.clock().as_ref(), self.drain_timeout);
         Ok(())
     }
 }
 
-/// Outcome of one bounded request-line read.
-enum LineRead {
-    /// Clean end of stream.
-    Eof,
-    /// A complete line (newline seen within the cap).
-    Line,
-    /// The cap was hit before a newline arrived.
-    Overflow,
-    /// The line fit the cap but is not valid UTF-8.
-    Invalid,
+/// Counts live connection handlers so drain can wait for them to finish
+/// without polling.  Handlers hold a [`LiveGuard`]; dropping it decrements
+/// the count and wakes any drainer.
+struct ConnectionTracker {
+    live: Mutex<usize>,
+    changed: Condvar,
 }
 
-/// Reads one request line through a [`Read::take`] guard so an unterminated
-/// line cannot grow past [`MAX_REQUEST_LINE_BYTES`].
-///
-/// Bytes are read raw (`read_until`) and UTF-8 validated *after* the length
-/// check: validating first would turn a cap boundary that splits a
-/// multi-byte character into an `InvalidData` I/O error, silently dropping
-/// the connection instead of answering the documented structured error.
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<LineRead> {
-    line.clear();
-    let mut bytes = Vec::new();
-    let read = (&mut *reader)
-        .take(MAX_REQUEST_LINE_BYTES as u64 + 1)
-        .read_until(b'\n', &mut bytes)?;
-    if read == 0 {
-        return Ok(LineRead::Eof);
-    }
-    if read > MAX_REQUEST_LINE_BYTES {
-        return Ok(LineRead::Overflow);
-    }
-    match String::from_utf8(bytes) {
-        Ok(text) => {
-            *line = text;
-            Ok(LineRead::Line)
+impl ConnectionTracker {
+    fn new() -> Self {
+        ConnectionTracker {
+            live: Mutex::new(0),
+            changed: Condvar::new(),
         }
-        Err(_) => Ok(LineRead::Invalid),
+    }
+
+    /// Registers one handler; the guard deregisters on drop.
+    fn register(self: &Arc<Self>) -> LiveGuard {
+        let mut live = self
+            .live
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *live += 1;
+        LiveGuard {
+            tracker: Arc::clone(self),
+        }
+    }
+
+    /// Waits until every registered handler finished or `timeout` elapsed on
+    /// `clock`.  Returns `true` when the drain completed (no live handlers).
+    fn drain(&self, clock: &dyn Clock, timeout: Duration) -> bool {
+        let deadline = clock.now().saturating_add(timeout);
+        let mut live = self
+            .live
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *live > 0 {
+            let now = clock.now();
+            if now >= deadline {
+                // An idle client is still connected; abandon its handler (it
+                // owns no partially-written response) so shutdown completes.
+                return false;
+            }
+            let (guard, _timeout) = self
+                .changed
+                .wait_timeout(live, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            live = guard;
+        }
+        true
     }
 }
 
-fn line_too_long_error() -> ServiceError {
-    ServiceError::Protocol(format!(
-        "request line exceeds {MAX_REQUEST_LINE_BYTES} bytes; closing connection"
-    ))
+/// RAII registration of one live connection handler.
+struct LiveGuard {
+    tracker: Arc<ConnectionTracker>,
 }
 
-fn invalid_utf8_error() -> ServiceError {
-    ServiceError::Protocol("request line is not valid UTF-8; closing connection".to_string())
-}
-
-/// Writes one structured error line before the caller drops the connection.
-fn refuse(writer: &mut TcpStream, err: &ServiceError) -> std::io::Result<()> {
-    writeln!(writer, "{}", error_response(err).render())?;
-    writer.flush()
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        let mut live = self
+            .tracker
+            .live
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *live = live.saturating_sub(1);
+        self.tracker.changed.notify_all();
+    }
 }
 
 fn handle_connection(
@@ -169,120 +168,23 @@ fn handle_connection(
     shutdown: &AtomicBool,
     local_addr: SocketAddr,
 ) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let writer = stream.try_clone()?;
+    let mut connection = Connection::new(BufReader::new(stream), writer);
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(()); // server is draining; stop taking requests
         }
-        match read_bounded_line(&mut reader, &mut line)? {
-            LineRead::Eof => return Ok(()), // client closed
-            LineRead::Overflow => {
-                // Answer with a structured error, then drop the connection:
-                // the rest of the oversized line cannot be resynchronized.
-                return refuse(&mut writer, &line_too_long_error());
-            }
-            LineRead::Invalid => return refuse(&mut writer, &invalid_utf8_error()),
-            LineRead::Line => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match parse_command(&line) {
-            Ok(Command::Load { name, path }) => match service.registry().load_file(&name, &path) {
-                Ok(info) => load_response(&info),
-                Err(err) => error_response(&err),
-            },
-            Ok(Command::Query { target, spec }) if spec.emit == EmitMode::Stream => {
-                let mut sink = SocketSink {
-                    writer: &mut writer,
-                };
-                match service.run_query_streaming(&target, &spec, &mut sink) {
-                    Ok(streamed) => {
-                        // A dead client makes this write fail, which ends the
-                        // connection — exactly what a footer to nobody needs.
-                        writeln!(writer, "{}", stream_footer_response(&streamed).render())?;
-                        writer.flush()?;
-                        continue;
-                    }
-                    // The header never went out (client vanished first):
-                    // nothing ran, drop the connection.
-                    Err(ServiceError::Io(err)) => return Err(err),
-                    // Pre-run failures (unknown target, parse error) are a
-                    // normal single-line error, like a buffered query.
-                    Err(err) => error_response(&err),
-                }
-            }
-            Ok(Command::Query { target, spec }) => match service.run_query(&target, &spec) {
-                Ok(outcome) => query_response(&outcome),
-                Err(err) => error_response(&err),
-            },
-            Ok(Command::Explain { target, spec }) => match service.explain(&target, &spec) {
-                Ok(outcome) => explain_response(&outcome),
-                Err(err) => error_response(&err),
-            },
-            Ok(Command::Batch { target, count }) => match read_batch(&mut reader, target, count)? {
-                BatchRead::Set(set) => batch_response(&service.run_batch(&set)),
-                BatchRead::Failed(err) => error_response(&err),
-                BatchRead::Overflow => return refuse(&mut writer, &line_too_long_error()),
-            },
-            Ok(Command::Stats) => stats_response(service),
-            Ok(Command::Shutdown) => {
-                writeln!(writer, "{}", shutdown_response().render())?;
-                writer.flush()?;
+        match connection.step(service)? {
+            StepOutcome::Continue => {}
+            StepOutcome::Closed => return Ok(()),
+            StepOutcome::ShutdownRequested => {
                 shutdown.store(true, Ordering::SeqCst);
                 // Wake the blocking accept loop so Server::run observes the
                 // flag even with no further client traffic.
                 let _ = TcpStream::connect(wake_addr(local_addr));
                 return Ok(());
             }
-            Err(err) => {
-                // A malformed BATCH header still announced continuation
-                // lines (the client sends them regardless); consume them so
-                // they are not misread as top-level commands.  The announced
-                // count comes from the *unvalidated* header, so the drain is
-                // capped — a header announcing more than the cap closes the
-                // connection instead of pinning the handler forever.
-                let announced = crate::client::continuation_lines(&line);
-                if announced > MAX_BATCH_QUERIES {
-                    let err = ServiceError::Protocol(format!(
-                        "malformed BATCH header announces {announced} continuation lines \
-                         (cap {MAX_BATCH_QUERIES}); closing connection"
-                    ));
-                    return refuse(&mut writer, &err);
-                }
-                let mut continuation = String::new();
-                for _ in 0..announced {
-                    match read_bounded_line(&mut reader, &mut continuation)? {
-                        LineRead::Eof => break,
-                        LineRead::Overflow => return refuse(&mut writer, &line_too_long_error()),
-                        // Drained lines are never parsed; any bytes do.
-                        LineRead::Invalid | LineRead::Line => {}
-                    }
-                }
-                error_response(&err)
-            }
-        };
-        writeln!(writer, "{}", response.render())?;
-        writer.flush()?;
-    }
-}
-
-/// [`StreamSink`] over the connection socket: one JSON line per call.
-struct SocketSink<'a> {
-    writer: &'a mut TcpStream,
-}
-
-impl StreamSink for SocketSink<'_> {
-    fn begin(&mut self, header: &StreamHeader) -> std::io::Result<()> {
-        writeln!(self.writer, "{}", stream_header_response(header).render())?;
-        self.writer.flush()
-    }
-
-    fn rows(&mut self, rows: &[Vec<NodeId>]) -> std::io::Result<()> {
-        writeln!(self.writer, "{}", stream_rows_frame(rows).render())?;
-        self.writer.flush()
+        }
     }
 }
 
@@ -300,58 +202,47 @@ fn wake_addr(local_addr: SocketAddr) -> SocketAddr {
     addr
 }
 
-/// Outcome of reading a batch's continuation lines.
-enum BatchRead {
-    /// All lines parsed.
-    Set(QuerySet),
-    /// At least one line failed to parse (all lines were still consumed so
-    /// the connection stays in sync).
-    Failed(ServiceError),
-    /// A continuation line overflowed the request-line cap; the connection
-    /// cannot be resynchronized and must be dropped.
-    Overflow,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sge_util::{SystemClock, VirtualClock};
 
-/// Reads the `count` continuation lines of a `BATCH` request.
-///
-/// All `count` lines are consumed even when one fails to parse — bailing
-/// early would leave the remaining continuation lines in the stream to be
-/// misread as top-level commands, desynchronizing the request/response
-/// pairing for the rest of the connection.  (`count` was validated against
-/// [`MAX_BATCH_QUERIES`] by the protocol parser.)
-fn read_batch(
-    reader: &mut BufReader<TcpStream>,
-    target: String,
-    count: usize,
-) -> std::io::Result<BatchRead> {
-    let mut set = QuerySet::new(target);
-    let mut first_error = None;
-    let mut line = String::new();
-    for index in 0..count {
-        match read_bounded_line(reader, &mut line)? {
-            LineRead::Eof => {
-                return Ok(BatchRead::Failed(ServiceError::Protocol(format!(
-                    "connection closed after {index} of {count} batch query lines"
-                ))));
-            }
-            LineRead::Overflow => return Ok(BatchRead::Overflow),
-            LineRead::Invalid => {
-                // The newline framing held, so the connection stays in sync;
-                // the garbage line just fails like any unparsable query.
-                first_error = first_error.or(Some(invalid_utf8_error()));
-                continue;
-            }
-            LineRead::Line => {}
-        }
-        match parse_batch_query(&line) {
-            Ok(spec) => {
-                set.push(spec);
-            }
-            Err(err) => first_error = first_error.or(Some(err)),
-        }
+    #[test]
+    fn tracker_drains_immediately_with_no_handlers() {
+        let tracker = Arc::new(ConnectionTracker::new());
+        assert!(tracker.drain(&SystemClock::new(), Duration::from_secs(1)));
     }
-    Ok(match first_error {
-        Some(err) => BatchRead::Failed(err),
-        None => BatchRead::Set(set),
-    })
+
+    #[test]
+    fn tracker_waits_for_a_live_handler() {
+        let tracker = Arc::new(ConnectionTracker::new());
+        let guard = tracker.register();
+        let worker = {
+            let tracker = Arc::clone(&tracker);
+            std::thread::spawn(move || tracker.drain(&SystemClock::new(), Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        drop(guard);
+        assert!(worker.join().unwrap(), "drain should observe the release");
+    }
+
+    #[test]
+    fn tracker_gives_up_at_the_deadline() {
+        let tracker = Arc::new(ConnectionTracker::new());
+        let _guard = tracker.register(); // never released
+        let clock = SystemClock::new();
+        assert!(!tracker.drain(&clock, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn tracker_deadline_respects_an_expired_virtual_clock() {
+        // Under simulated time an already-expired deadline abandons the
+        // handler without any real-time wait.
+        let tracker = Arc::new(ConnectionTracker::new());
+        let _guard = tracker.register();
+        let clock = VirtualClock::starting_at(Duration::from_secs(100));
+        let wall = std::time::Instant::now();
+        assert!(!tracker.drain(&clock, Duration::ZERO));
+        assert!(wall.elapsed() < Duration::from_secs(1));
+    }
 }

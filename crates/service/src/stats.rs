@@ -13,6 +13,8 @@ pub struct ServiceStats {
     streams: AtomicU64,
     rows_streamed: AtomicU64,
     streams_cancelled: AtomicU64,
+    admissions: AtomicU64,
+    admission_wait_nanos: AtomicU64,
     latency: Mutex<(RunningStats, LatencyHistogram)>,
 }
 
@@ -33,6 +35,8 @@ impl ServiceStats {
             streams: AtomicU64::new(0),
             rows_streamed: AtomicU64::new(0),
             streams_cancelled: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
+            admission_wait_nanos: AtomicU64::new(0),
             latency: Mutex::new((RunningStats::new(), LatencyHistogram::new())),
         }
     }
@@ -69,6 +73,18 @@ impl ServiceStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one admission-permit acquisition and how long the caller
+    /// waited for it.  The wait is measured on the service's injected clock,
+    /// so under the simulator's virtual clock it is exactly reproducible —
+    /// admission-control pressure becomes an observable, assertable fact
+    /// instead of invisible latency jitter.
+    pub fn record_admission_wait(&self, wait_seconds: f64) {
+        self.admissions.fetch_add(1, Ordering::Relaxed);
+        let nanos = (wait_seconds.max(0.0) * 1e9).round() as u64;
+        self.admission_wait_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+
     /// A point-in-time snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         let (running, histogram) = {
@@ -86,6 +102,8 @@ impl ServiceStats {
             streams_served: self.streams.load(Ordering::Relaxed),
             rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
             streams_cancelled: self.streams_cancelled.load(Ordering::Relaxed),
+            admissions: self.admissions.load(Ordering::Relaxed),
+            admission_wait_seconds: self.admission_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             latency_mean_seconds: running.mean(),
             latency_stddev_seconds: running.stddev(),
             latency_min_seconds: running.min().unwrap_or(0.0),
@@ -115,6 +133,11 @@ pub struct StatsSnapshot {
     /// Streamed queries whose client vanished mid-stream (enumeration was
     /// cancelled early).
     pub streams_cancelled: u64,
+    /// Admission permits acquired (one per executed enumeration run).
+    pub admissions: u64,
+    /// Total time runs spent waiting for an admission permit, in seconds
+    /// (measured on the service's injected clock).
+    pub admission_wait_seconds: f64,
     /// Mean end-to-end query latency in seconds.
     pub latency_mean_seconds: f64,
     /// Population standard deviation of query latency.
@@ -144,6 +167,8 @@ mod tests {
         stats.record_error();
         stats.record_stream(40, false);
         stats.record_stream(7, true);
+        stats.record_admission_wait(0.5);
+        stats.record_admission_wait(0.25);
         let snap = stats.snapshot();
         assert_eq!(snap.queries_served, 2);
         assert_eq!(snap.batches_served, 1);
@@ -152,6 +177,8 @@ mod tests {
         assert_eq!(snap.streams_served, 2);
         assert_eq!(snap.rows_streamed, 47);
         assert_eq!(snap.streams_cancelled, 1);
+        assert_eq!(snap.admissions, 2);
+        assert!((snap.admission_wait_seconds - 0.75).abs() < 1e-9);
         assert!((snap.latency_mean_seconds - 0.002).abs() < 1e-12);
         assert_eq!(snap.latency_min_seconds, 0.001);
         assert_eq!(snap.latency_max_seconds, 0.003);

@@ -1,0 +1,230 @@
+//! `sge-sim` — run the deterministic simulator from the command line.
+//!
+//! ```text
+//! sge-sim --list                                  list corpus scenarios
+//! sge-sim --corpus                                run the pinned corpus
+//! sge-sim --scenario NAME [--seed N] [--trace]    run one scenario
+//! sge-sim --swarm N [--start-seed S] [--budget-ms M]
+//!                                                 run N random scenarios
+//! sge-sim --seed N [--trace]                      replay one swarm seed
+//! ```
+//!
+//! Every failure prints the scenario name and the seed that reproduces it;
+//! the exit code is 1 when anything failed.
+
+use sge_sim::{corpus, swarm};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(mode) => run(mode),
+        Err(message) => {
+            eprintln!("sge-sim: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sge-sim --list
+  sge-sim --corpus
+  sge-sim --scenario NAME [--seed N] [--trace]
+  sge-sim --swarm N [--start-seed S] [--budget-ms M]
+  sge-sim --seed N [--trace]";
+
+enum Mode {
+    List,
+    Corpus,
+    Scenario {
+        name: String,
+        seed: Option<u64>,
+        show_trace: bool,
+    },
+    Swarm {
+        count: usize,
+        start_seed: u64,
+        budget: Option<Duration>,
+    },
+    Replay {
+        seed: u64,
+        show_trace: bool,
+    },
+}
+
+fn parse(args: &[String]) -> Result<Mode, String> {
+    let mut list = false;
+    let mut run_corpus = false;
+    let mut scenario: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut swarm_count: Option<usize> = None;
+    let mut start_seed: u64 = 1;
+    let mut budget: Option<Duration> = None;
+    let mut show_trace = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--list" => list = true,
+            "--corpus" => run_corpus = true,
+            "--scenario" => scenario = Some(value("--scenario")?),
+            "--seed" => {
+                seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be a u64".to_string())?,
+                )
+            }
+            "--swarm" => {
+                swarm_count = Some(
+                    value("--swarm")?
+                        .parse()
+                        .map_err(|_| "--swarm must be a count".to_string())?,
+                )
+            }
+            "--start-seed" => {
+                start_seed = value("--start-seed")?
+                    .parse()
+                    .map_err(|_| "--start-seed must be a u64".to_string())?
+            }
+            "--budget-ms" => {
+                budget = Some(Duration::from_millis(
+                    value("--budget-ms")?
+                        .parse()
+                        .map_err(|_| "--budget-ms must be milliseconds".to_string())?,
+                ))
+            }
+            "--trace" => show_trace = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    if list {
+        return Ok(Mode::List);
+    }
+    if run_corpus {
+        return Ok(Mode::Corpus);
+    }
+    if let Some(name) = scenario {
+        return Ok(Mode::Scenario {
+            name,
+            seed,
+            show_trace,
+        });
+    }
+    if let Some(count) = swarm_count {
+        return Ok(Mode::Swarm {
+            count,
+            start_seed,
+            budget,
+        });
+    }
+    if let Some(seed) = seed {
+        return Ok(Mode::Replay { seed, show_trace });
+    }
+    Err("pick a mode".to_string())
+}
+
+fn run(mode: Mode) -> ExitCode {
+    match mode {
+        Mode::List => {
+            for scenario in corpus::corpus() {
+                println!(
+                    "{:<28} seed {:#010x}  {} client(s)",
+                    scenario.name,
+                    scenario.seed,
+                    scenario.clients.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Mode::Corpus => report_swarm("corpus", swarm::run_corpus()),
+        Mode::Scenario {
+            name,
+            seed,
+            show_trace,
+        } => {
+            let Some(scenario) = corpus::find(&name) else {
+                eprintln!("sge-sim: no corpus scenario named '{name}' (try --list)");
+                return ExitCode::FAILURE;
+            };
+            let seed = seed.unwrap_or(scenario.seed);
+            run_one(&scenario, seed, show_trace)
+        }
+        Mode::Replay { seed, show_trace } => {
+            let scenario = swarm::random_scenario(seed);
+            run_one(&scenario, seed, show_trace)
+        }
+        Mode::Swarm {
+            count,
+            start_seed,
+            budget,
+        } => report_swarm("swarm", swarm::run_random(start_seed, count, budget)),
+    }
+}
+
+fn run_one(scenario: &sge_sim::Scenario, seed: u64, show_trace: bool) -> ExitCode {
+    match sge_sim::check_determinism(scenario, seed) {
+        Ok(report) => {
+            if show_trace {
+                print!("{}", report.trace);
+            }
+            if report.passed() {
+                println!(
+                    "PASS {} seed {seed} ({} queries, {} streams, {} errors)",
+                    report.scenario,
+                    report.stats.queries_served,
+                    report.stats.streams_served,
+                    report.stats.errors
+                );
+                ExitCode::SUCCESS
+            } else {
+                for violation in &report.violations {
+                    eprintln!("VIOLATION {violation}");
+                }
+                eprintln!(
+                    "FAIL {} — replay with: sge-sim --scenario {} --seed {seed} --trace",
+                    report.scenario, report.scenario
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(divergence) => {
+            eprintln!("NONDETERMINISM {divergence}");
+            eprintln!("replay with: sge-sim --seed {seed} --trace");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_swarm(what: &str, outcome: swarm::SwarmOutcome) -> ExitCode {
+    if outcome.skipped > 0 {
+        println!(
+            "{what}: {} run(s), {} skipped (budget exhausted)",
+            outcome.runs, outcome.skipped
+        );
+    } else {
+        println!("{what}: {} run(s)", outcome.runs);
+    }
+    if outcome.passed() {
+        println!("{what}: all passed");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            eprintln!(
+                "FAIL {} seed {} — {}",
+                failure.scenario, failure.seed, failure.reason
+            );
+            eprintln!("  replay with: sge-sim --seed {} --trace", failure.seed);
+        }
+        eprintln!("{what}: {} failure(s)", outcome.failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,83 @@
+//! The same-seed guarantee, asserted over the whole corpus: every scenario,
+//! run twice under its pinned seed, renders the byte-identical trace.
+
+use sge_sim::{check_determinism, corpus, run_scenario, swarm};
+
+#[test]
+fn full_corpus_runs_twice_with_byte_identical_traces() {
+    let scenarios = corpus::corpus();
+    assert!(
+        scenarios.len() >= 8,
+        "the corpus shrank below its 8-scenario floor"
+    );
+    for scenario in &scenarios {
+        match check_determinism(scenario, scenario.seed) {
+            Ok(report) => assert!(
+                report.passed(),
+                "scenario '{}' seed {} violated invariants: {:?}",
+                scenario.name,
+                scenario.seed,
+                report.violations
+            ),
+            Err(divergence) => panic!("{divergence}"),
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_the_required_fault_classes() {
+    let names: Vec<String> = corpus::corpus().into_iter().map(|s| s.name).collect();
+    for required in [
+        "disconnect_mid_stream",
+        "slow_reader_stall",
+        "oversized_line",
+        "shutdown_during_drain",
+        "cache_interleave",
+    ] {
+        assert!(
+            names.iter().any(|name| name == required),
+            "corpus lost required scenario '{required}' (have: {names:?})"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_really_change_the_interleaving() {
+    // Sanity check that the seed is load-bearing: the shutdown race resolves
+    // differently under these two seeds (verified shapes — seed 13 serves
+    // one query before the flag goes up, seed 11 serves none).
+    let scenario = corpus::find("shutdown_during_drain").unwrap();
+    let a = sge_sim::run_scenario_with_seed(&scenario, 13);
+    let b = sge_sim::run_scenario_with_seed(&scenario, 11);
+    assert_eq!(a.stats.queries_served, 1);
+    assert_eq!(b.stats.queries_served, 0);
+    assert_ne!(a.trace, b.trace);
+}
+
+#[test]
+fn swarm_generated_scenarios_replay_bit_for_bit() {
+    for seed in 1..=25u64 {
+        let scenario = swarm::random_scenario(seed);
+        if let Err(divergence) = check_determinism(&scenario, seed) {
+            panic!("swarm seed {seed}: {divergence}");
+        }
+    }
+}
+
+#[test]
+fn traces_embed_deterministic_clock_derived_latencies() {
+    // The slow-reader scenario stalls 5 ms per response line on the virtual
+    // clock; the resulting latency must appear *unscrubbed* in the trace —
+    // service-level timing is part of the determinism witness.
+    let scenario = corpus::find("slow_reader_stall").unwrap();
+    let report = run_scenario(&scenario);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(
+        report.trace.contains("\"latency_seconds\":0.045"),
+        "expected the 9-line x 5 ms stall to surface as latency_seconds=0.045:\n{}",
+        report.trace
+    );
+    // Engine-internal timings measured on a raw Instant are always scrubbed.
+    assert!(report.trace.contains("\"preprocess_seconds\":_"));
+    assert!(!report.trace.contains("\"preprocess_seconds\":0"));
+}

@@ -1,0 +1,163 @@
+//! Time as a capability: the `Clock` abstraction.
+//!
+//! The serving layer used to reach for [`std::time::Instant::now`] and
+//! [`std::thread::sleep`] directly, which welds wall-clock time into every
+//! latency measurement and drain deadline.  That makes concurrency bugs
+//! unreproducible: a failing interleaving depends on how long the OS actually
+//! slept.  Threading a [`Clock`] through instead lets production code keep
+//! real time ([`SystemClock`], the default everywhere) while the
+//! deterministic simulator substitutes a [`VirtualClock`] whose time only
+//! moves when the simulation advances it — so a seeded run observes the
+//! *same* timestamps on every replay.
+//!
+//! Timestamps are [`Duration`]s since the clock's epoch rather than opaque
+//! [`std::time::Instant`]s: an `Instant` cannot be fabricated by a virtual
+//! clock, a `Duration` can.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus a way to wait.
+///
+/// `now` reports time elapsed since the clock's epoch (whatever "epoch"
+/// means for the implementation — process start for [`SystemClock`], zero
+/// for [`VirtualClock`]).  Implementations must be monotonic: `now` never
+/// decreases.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Waits for `duration` to pass.  [`SystemClock`] blocks the calling
+    /// thread; [`VirtualClock`] advances simulated time instead and returns
+    /// immediately.
+    fn sleep(&self, duration: Duration);
+}
+
+/// The real-time clock: `now` is time since construction, `sleep` is
+/// [`std::thread::sleep`].  This is the default wherever a [`Clock`] is
+/// injectable, so production behavior matches the pre-abstraction code.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// A simulated clock: time is a counter that moves only when somebody calls
+/// [`VirtualClock::advance`] (or [`Clock::sleep`], which advances by the
+/// requested amount).  Two runs that perform the same sequence of advances
+/// observe bit-identical timestamps — the property the deterministic
+/// simulator's same-seed/same-trace guarantee rests on.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Mutex<Duration>,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// A clock starting at `now` past its epoch.
+    pub fn starting_at(now: Duration) -> Self {
+        VirtualClock {
+            now: Mutex::new(now),
+        }
+    }
+
+    /// Moves simulated time forward by `duration`.
+    pub fn advance(&self, duration: Duration) {
+        let mut now = self
+            .now
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *now = now.saturating_add(duration);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        *self
+            .now
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn sleep(&self, duration: Duration) {
+        // Simulated sleeping costs no wall time; the sleeper just observes a
+        // later timestamp afterwards.
+        self.advance(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_sleeps() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        clock.sleep(Duration::from_millis(1));
+        let b = clock.now();
+        assert!(b >= a + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        // Repeated reads do not drift.
+        assert_eq!(clock.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn virtual_sleep_advances_instead_of_blocking() {
+        let clock = VirtualClock::starting_at(Duration::from_secs(1));
+        let wall = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(1), "sleep blocked");
+        assert_eq!(clock.now(), Duration::from_secs(3601));
+    }
+
+    #[test]
+    fn advance_saturates_instead_of_overflowing() {
+        let clock = VirtualClock::starting_at(Duration::MAX);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::MAX);
+    }
+
+    #[test]
+    fn works_through_a_trait_object() {
+        let clock: std::sync::Arc<dyn Clock> = std::sync::Arc::new(VirtualClock::new());
+        clock.sleep(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+    }
+}

@@ -14,19 +14,24 @@
 //!   early termination by every parallel scheduler,
 //! * [`rng`] — a tiny deterministic SplitMix64/xorshift generator for places
 //!   where reproducibility matters more than statistical quality (e.g. victim
-//!   selection in the work-stealing scheduler).
+//!   selection in the work-stealing scheduler),
+//! * [`clock`] — the injectable time source: [`SystemClock`] (real time, the
+//!   default everywhere) and [`VirtualClock`] (simulated time for the
+//!   deterministic serving-layer simulator).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
 pub mod budget;
+pub mod clock;
 pub mod rng;
 pub mod stats;
 pub mod timing;
 
 pub use bitset::Bitset;
 pub use budget::{CancelToken, MatchBudget};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use rng::SplitMix64;
 pub use stats::{geometric_mean, LatencyHistogram, RunningStats, SpeedupSummary};
 pub use timing::PhaseTimer;
