@@ -1,4 +1,4 @@
-//! The machine-readable perf-trajectory report (`BENCH_pr4.json`).
+//! The machine-readable perf-trajectory report (`BENCH_pr7.json`).
 //!
 //! Criterion benches print human-oriented tables; CI and future PRs need a
 //! stable, machine-readable record of where the hot path stands.  This module
@@ -18,7 +18,9 @@
 //!           "intersection_seconds": 0.0123,
 //!           "single_parent_seconds": 0.0187,
 //!           "speedup_vs_sequential": 1.7,
-//!           "speedup_over_single_parent": 1.5
+//!           "speedup_over_single_parent": 1.5,
+//!           "observed_states_total": 123456,
+//!           "steals_total": 42
 //!         }
 //!       ]
 //!     }
@@ -33,7 +35,15 @@
 //! * `speedup_vs_sequential` — the figure's sequential intersection median
 //!   divided by this case's intersection median,
 //! * `speedup_over_single_parent` — `single_parent_seconds /
-//!   intersection_seconds` for the same case.
+//!   intersection_seconds` for the same case,
+//! * `observed_states_total` / `steals_total` — since PR 7: the consistency
+//!   checks and successful steals a [`sge::obs::TraceSink`] records over one
+//!   extra *untimed* instrumented pass of the case's intersection workload
+//!   (the timed passes stay sink-free, preserving the zero-overhead
+//!   contract).  States are schedule-invariant — identical across the
+//!   scheduler cases of a figure — while steals depend on the scheduler, so
+//!   the pair documents how much search each figure does and how much of it
+//!   moved between workers.
 //!
 //! Since PR 4 the report also carries a `strategy_comparison` figure: the
 //! same count-only workload enumerated once per ordering strategy
@@ -48,12 +58,14 @@
 use crate::experiments::collection;
 use crate::report::Table;
 use crate::ExperimentConfig;
+use sge::obs::TraceSink;
 use sge::prelude::*;
 use sge::ri::CandidateMode;
 use sge_datasets::CollectionKind;
 use sge_graph::{generators, io::write_graph, Graph};
 use sge_ri::Algorithm;
 use sge_service::json::Json;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Figure names every report must contain; CI's `bench-smoke` job validates
@@ -89,6 +101,8 @@ struct Case {
     intersection_seconds: f64,
     single_parent_seconds: f64,
     speedup_vs_sequential: f64,
+    observed_states_total: u64,
+    steals_total: u64,
 }
 
 impl Case {
@@ -108,6 +122,11 @@ impl Case {
                 "speedup_over_single_parent",
                 Json::F64(self.single_parent_seconds / self.intersection_seconds.max(1e-12)),
             ),
+            (
+                "observed_states_total",
+                Json::U64(self.observed_states_total),
+            ),
+            ("steals_total", Json::U64(self.steals_total)),
         ])
     }
 }
@@ -143,8 +162,12 @@ fn schedulers() -> Vec<(&'static str, Scheduler)> {
 
 /// Runs the scheduler sweep over a workload of prepared engines, once per
 /// candidate mode, timing each sweep as one count-only pass over the set.
+///
+/// All timed passes run first, while every engine is still sink-free — the
+/// instrumented counter pass attaches [`TraceSink`]s, and the zero-overhead
+/// contract only holds for engines without one.
 fn sweep_engine_sets(
-    intersection: &[Engine<'_>],
+    intersection: &mut [Engine<'_>],
     single: &[Engine<'_>],
     repeats: usize,
 ) -> Vec<Case> {
@@ -155,7 +178,7 @@ fn sweep_engine_sets(
             }
         })
     };
-    let mut cases = Vec::new();
+    let mut timed = Vec::new();
     let mut sequential_median = f64::NAN;
     for (name, scheduler) in schedulers() {
         let inter = time_set(intersection, scheduler);
@@ -163,14 +186,46 @@ fn sweep_engine_sets(
         if scheduler == Scheduler::Sequential {
             sequential_median = inter;
         }
-        cases.push(Case {
+        timed.push((
             name,
-            intersection_seconds: inter,
-            single_parent_seconds: legacy,
-            speedup_vs_sequential: sequential_median / inter.max(1e-12),
-        });
+            scheduler,
+            inter,
+            legacy,
+            sequential_median / inter.max(1e-12),
+        ));
     }
-    cases
+    timed
+        .into_iter()
+        .map(|(name, scheduler, inter, legacy, speedup)| {
+            let (observed_states_total, steals_total) =
+                instrumented_totals(intersection, scheduler);
+            Case {
+                name,
+                intersection_seconds: inter,
+                single_parent_seconds: legacy,
+                speedup_vs_sequential: speedup,
+                observed_states_total,
+                steals_total,
+            }
+        })
+        .collect()
+}
+
+/// One untimed instrumented pass over the intersection workload: attaches a
+/// fresh [`TraceSink`] to every engine, runs the count-only sweep once under
+/// `scheduler`, and sums the observed consistency checks and successful
+/// steals across the set.
+fn instrumented_totals(engines: &mut [Engine<'_>], scheduler: Scheduler) -> (u64, u64) {
+    let mut states = 0u64;
+    let mut steals = 0u64;
+    for engine in engines.iter_mut() {
+        let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
+        engine.set_trace_sink(Arc::clone(&sink));
+        std::hint::black_box(engine.run(&RunConfig::new(scheduler)).matches);
+        states += sink.states_total();
+        steals += sink.steals();
+    }
+    (states, steals)
 }
 
 /// Runs the scheduler sweep over one instance in both candidate modes.
@@ -180,9 +235,9 @@ fn sweep_instance(
     algorithm: Algorithm,
     repeats: usize,
 ) -> Vec<Case> {
-    let intersection = Engine::prepare(pattern, target, algorithm);
+    let mut intersection = [Engine::prepare(pattern, target, algorithm)];
     let single = Engine::prepare_with_mode(pattern, target, algorithm, CandidateMode::SingleParent);
-    sweep_engine_sets(&[intersection], &[single], repeats)
+    sweep_engine_sets(&mut intersection, &[single], repeats)
 }
 
 /// Figure `fig3_work_stealing`: the PPIS32-like collection under the
@@ -211,9 +266,9 @@ fn fig3_cases(config: &ReportConfig) -> Vec<Case> {
             })
             .collect()
     }
-    let intersection = prepare_all(&coll, CandidateMode::Intersection);
+    let mut intersection = prepare_all(&coll, CandidateMode::Intersection);
     let single = prepare_all(&coll, CandidateMode::SingleParent);
-    sweep_engine_sets(&intersection, &single, config.repeats)
+    sweep_engine_sets(&mut intersection, &single, config.repeats)
 }
 
 /// The grid target the `batch_throughput` figure (engine-level cases *and*
@@ -253,9 +308,9 @@ fn batch_cases(config: &ReportConfig) -> Vec<Case> {
     }
     let target = batch_target(config);
     let patterns = zoo_patterns();
-    let intersection = prepare_set(&patterns, &target, CandidateMode::Intersection);
+    let mut intersection = prepare_set(&patterns, &target, CandidateMode::Intersection);
     let single = prepare_set(&patterns, &target, CandidateMode::SingleParent);
-    sweep_engine_sets(&intersection, &single, config.repeats)
+    sweep_engine_sets(&mut intersection, &single, config.repeats)
 }
 
 /// The 100-pattern batch through the *real* service stack (registry, parse,
@@ -413,7 +468,15 @@ pub fn run_report(config: &ReportConfig) -> String {
 
     let mut table = Table::new(
         "bench-report (median wall seconds)",
-        &["figure", "case", "intersection", "single-parent", "vs-seq"],
+        &[
+            "figure",
+            "case",
+            "intersection",
+            "single-parent",
+            "vs-seq",
+            "states",
+            "steals",
+        ],
     );
     for (figure, cases) in [
         ("fig3_work_stealing", &fig3),
@@ -427,6 +490,8 @@ pub fn run_report(config: &ReportConfig) -> String {
                 format!("{:.6}", case.intersection_seconds),
                 format!("{:.6}", case.single_parent_seconds),
                 format!("{:.2}", case.speedup_vs_sequential),
+                case.observed_states_total.to_string(),
+                case.steals_total.to_string(),
             ]);
         }
     }
@@ -457,7 +522,7 @@ pub fn run_report(config: &ReportConfig) -> String {
         .unwrap_or(1);
     Json::obj(vec![
         ("schema", Json::str("sge-bench-report/v1")),
-        ("pr", Json::str("pr4")),
+        ("pr", Json::str("pr7")),
         ("repeats", Json::U64(config.repeats as u64)),
         ("host_parallelism", Json::U64(host_parallelism as u64)),
         (
@@ -501,6 +566,14 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         if !text.contains(&format!("\"{figure}\"")) {
             return Err(format!("missing figure key '{figure}'"));
         }
+    }
+    // Records since PR 7 carry the observed-counter columns; the committed
+    // pr3/pr4 records predate them and stay valid as-is.
+    let legacy = ["\"pr\":\"pr3\"", "\"pr\":\"pr4\""]
+        .iter()
+        .any(|marker| text.contains(marker));
+    if !legacy && !text.contains("\"observed_states_total\"") {
+        return Err("missing 'observed_states_total' counter column".to_string());
     }
     Ok(())
 }
@@ -648,6 +721,8 @@ mod tests {
         }
         assert!(report.contains("\"speedup_over_single_parent\""));
         assert!(report.contains("\"speedup_vs_ri_greedy\""));
+        assert!(report.contains("\"observed_states_total\""));
+        assert!(report.contains("\"steals_total\""));
         for strategy in Strategy::ALL {
             assert!(
                 report.contains(&format!("\"{}\"", strategy.name())),
@@ -675,13 +750,35 @@ mod tests {
     fn validator_accepts_minimal_complete_documents() {
         let figures: Vec<String> = EXPECTED_FIGURES
             .iter()
-            .map(|f| format!("\"{f}\":{{}}"))
+            .map(|f| format!("\"{f}\":{{\"cases\":[{{\"observed_states_total\":0}}]}}"))
             .collect();
         let doc = format!(
             "{{\"schema\":\"sge-bench-report/v1\",\"figures\":{{{}}}}}",
             figures.join(",")
         );
         validate_report(&doc).expect("complete minimal document");
+    }
+
+    #[test]
+    fn validator_grandfathers_pre_counter_records() {
+        // The committed BENCH_pr4.json predates the counter columns and must
+        // keep validating; a current-format record without them must not.
+        let figures: Vec<String> = EXPECTED_FIGURES
+            .iter()
+            .map(|f| format!("\"{f}\":{{}}"))
+            .collect();
+        let legacy = format!(
+            "{{\"schema\":\"sge-bench-report/v1\",\"pr\":\"pr4\",\"figures\":{{{}}}}}",
+            figures.join(",")
+        );
+        validate_report(&legacy).expect("pr4-era record stays valid");
+        let current = legacy.replace("\"pr\":\"pr4\"", "\"pr\":\"pr7\"");
+        assert!(
+            validate_report(&current)
+                .unwrap_err()
+                .contains("observed_states_total"),
+            "current records must carry the counter columns"
+        );
     }
 
     #[test]

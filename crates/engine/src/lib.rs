@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 use sge_graph::{Graph, GraphStats, NodeId};
+use sge_obs::TraceSink;
 use sge_parallel::{enumerate_prepared, enumerate_rayon_prepared, ParallelConfig};
 use sge_ri::{
     search_prepared, Algorithm, CandidateMode, ChannelVisitor, CollectingVisitor, MatchVisitor,
@@ -446,6 +447,30 @@ impl<'g> Engine<'g> {
     /// Seconds spent in [`Engine::prepare`].
     pub fn preprocess_seconds(&self) -> f64 {
         self.preprocess_seconds
+    }
+
+    /// Attaches a [`TraceSink`] that observes candidate generation and
+    /// consistency checks at every match-order position, for every scheduler
+    /// this engine subsequently runs under.  Per-position totals are
+    /// schedule-invariant on complete runs (the scheduler-equivalence
+    /// contract extends to the observed counts); the sink additionally
+    /// accumulates steal/task counters under the parallel schedulers.
+    ///
+    /// Without a sink the hot path pays a single predictable branch — the
+    /// zero-overhead-when-disabled contract the benchmarks rely on.
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceSink>) {
+        self.ctx.set_trace_sink(sink);
+    }
+
+    /// Builder-style [`Engine::set_trace_sink`].
+    pub fn with_trace_sink(mut self, sink: Arc<TraceSink>) -> Self {
+        self.set_trace_sink(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.ctx.trace_sink()
     }
 
     /// `true` when preprocessing already proved there are no matches.
@@ -1230,6 +1255,46 @@ mod tests {
         assert_eq!(prepared.plan().num_positions(), 3);
         assert!(prepared.plan().cost.est_total_states > 0.0);
         assert_eq!(prepared.run(&RunConfig::default()).matches, 60);
+    }
+
+    #[test]
+    fn trace_sink_observes_schedule_invariant_counts() {
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        let reference: Option<(Vec<u64>, Vec<u64>)> = schedulers()
+            .into_iter()
+            .map(|scheduler| {
+                let mut engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+                let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
+                engine.set_trace_sink(Arc::clone(&sink));
+                let outcome = engine.run(&RunConfig::new(scheduler));
+                // Every consistency check lands in exactly one position
+                // bucket, so the sink total reproduces the outcome's count.
+                assert_eq!(sink.states_total(), outcome.states, "{scheduler}");
+                (sink.candidates_per_position(), sink.states_per_position())
+            })
+            .fold(None, |reference, observed| match reference {
+                None => Some(observed),
+                Some(reference) => {
+                    assert_eq!(observed, reference);
+                    Some(reference)
+                }
+            });
+        assert!(reference.is_some());
+    }
+
+    #[test]
+    fn trace_sink_collects_steal_counters_under_work_stealing() {
+        let pattern = generators::directed_path(2, 0);
+        let target = generators::clique(16, 0);
+        let mut engine = Engine::prepare(&pattern, &target, Algorithm::Ri);
+        let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
+        engine.set_trace_sink(Arc::clone(&sink));
+        let outcome = engine.run(&RunConfig::new(Scheduler::work_stealing(4)));
+        assert_eq!(sink.steals(), outcome.steals);
+        assert_eq!(sink.steal_requests(), outcome.steal_requests);
+        let executed: u64 = outcome.worker_stats.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(sink.tasks_executed(), executed);
     }
 
     #[test]

@@ -249,6 +249,14 @@ pub fn enumerate_prepared(
     result.steal_requests = run_result.steal_requests;
     result.worker_states_stddev = run_result.worker_states_stddev();
     result.worker_stats = run_result.workers;
+    // Scheduler-level counters are only known after the workers joined; fold
+    // them into the attached trace sink (per-position candidate/state counts
+    // were recorded live through the shared context).
+    if let Some(sink) = ctx.trace_sink() {
+        sink.add_steals(result.steals);
+        sink.add_steal_requests(result.steal_requests);
+        sink.add_tasks(result.worker_stats.iter().map(|w| w.tasks_executed).sum());
+    }
     result.mappings = problem.take_collected();
     // Workers race for the collector, so the raw order is schedule-dependent;
     // sorting restores determinism (see `ParallelResult::mappings`).

@@ -21,6 +21,7 @@
 
 use crate::matcher::Algorithm;
 use sge_graph::{EdgeRef, Graph, GraphStats, NodeId};
+use sge_obs::TraceSink;
 use sge_plan::ordering::{MatchOrder, PlanStep};
 use sge_plan::{Domains, PlanCost, Planner, QueryPlan, Strategy};
 use std::sync::Arc;
@@ -80,6 +81,10 @@ pub struct SearchContext<'a> {
     plan: QueryPlan,
     /// Candidate generation scheme (intersection by default).
     mode: CandidateMode,
+    /// Optional per-run observation sink.  When attached, candidate
+    /// generation and consistency checks record per-position counters; when
+    /// absent the cost is one predictable branch per call.
+    sink: Option<Arc<TraceSink>>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -147,7 +152,21 @@ impl<'a> SearchContext<'a> {
             target,
             plan,
             mode,
+            sink: None,
         }
+    }
+
+    /// Attaches a [`TraceSink`]: from now on every candidate list generated
+    /// and every consistency check performed through this context is
+    /// recorded per position.  All schedulers drive the same context, so the
+    /// recorded totals are schedule-invariant on complete runs.
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.sink.as_ref()
     }
 
     /// Builds a context from explicitly prepared parts (used by tests and by
@@ -252,6 +271,13 @@ impl<'a> SearchContext<'a> {
     ///
     /// Candidates are *raw*: they still need [`Self::is_consistent`].
     pub fn candidates(&self, depth: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
+        self.fill_candidates(depth, state, out);
+        if let Some(sink) = &self.sink {
+            sink.record_candidates(depth, out.len() as u64);
+        }
+    }
+
+    fn fill_candidates(&self, depth: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
         out.clear();
         let step = &self.plan.order.plan.steps[depth];
         if step.constraints.is_empty() {
@@ -367,6 +393,9 @@ impl<'a> SearchContext<'a> {
     /// mode those back-edges are already guaranteed by
     /// [`Self::candidates`], so the per-edge probe loop is skipped.
     pub fn is_consistent(&self, depth: usize, vt: NodeId, state: &WorkerState) -> bool {
+        if let Some(sink) = &self.sink {
+            sink.record_state(depth);
+        }
         let vp = self.plan.order.positions[depth];
         if state.used[vt as usize] {
             return false;

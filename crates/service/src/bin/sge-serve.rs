@@ -3,22 +3,29 @@
 //! ```text
 //! sge-serve [--addr HOST:PORT] [--cache N] [--workers N]
 //!           [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]...
+//!           [--log PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts wait for
 //! that line), then serves until a client sends `SHUTDOWN`; in-flight
 //! connections get up to `--drain-ms` (default 5000) to finish their
-//! responses before the process exits.
+//! responses before the process exits.  `--log PATH` appends one JSON line
+//! per server lifecycle event (`listening`, `conn_open`, `conn_close`,
+//! `shutdown`, `drained`) to PATH.
 
+use sge_obs::EventLog;
 use sge_service::{Server, Service, ServiceConfig};
 use std::io::Write;
 use std::sync::Arc;
+
+/// Ring capacity for the in-memory tail of the event log.
+const EVENT_LOG_CAPACITY: usize = 1024;
 
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
-         [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]..."
+         [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]... [--log PATH]"
     );
     std::process::exit(2);
 }
@@ -29,6 +36,7 @@ fn main() {
     let mut config = ServiceConfig::default();
     let mut preloads: Vec<(String, String)> = Vec::new();
     let mut drain_ms: u64 = 5000;
+    let mut log_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -73,10 +81,11 @@ fn main() {
                     None => fail("--load expects NAME=PATH"),
                 }
             }
+            "--log" => log_path = Some(value()),
             "--help" | "-h" => {
                 println!(
                     "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
-                     [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]..."
+                     [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]... [--log PATH]"
                 );
                 return;
             }
@@ -96,10 +105,16 @@ fn main() {
         }
     }
 
-    let server = match Server::bind(addr.as_str(), service) {
+    let mut server = match Server::bind(addr.as_str(), service) {
         Ok(server) => server.with_drain_timeout(std::time::Duration::from_millis(drain_ms)),
         Err(err) => fail(&format!("cannot bind {addr}: {err}")),
     };
+    if let Some(path) = &log_path {
+        match EventLog::with_file(EVENT_LOG_CAPACITY, path) {
+            Ok(log) => server = server.with_event_log(Arc::new(log)),
+            Err(err) => fail(&format!("cannot open event log {path}: {err}")),
+        }
+    }
     let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     println!("listening on {bound}");
     std::io::stdout().flush().ok();

@@ -50,6 +50,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the LRU bound.
     pub evictions: u64,
+    /// Entries actually retained (misses that made it into the map; a
+    /// capacity-0 cache and race-adopted duplicates never insert).
+    pub inserts: u64,
 }
 
 /// A bounded LRU of prepared engines keyed by *(pattern, target name,
@@ -66,6 +69,7 @@ pub struct PreparedCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl PreparedCache {
@@ -81,6 +85,7 @@ impl PreparedCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -235,6 +240,7 @@ impl PreparedCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         inner.map.insert(
             key,
             Entry {
@@ -268,6 +274,7 @@ impl PreparedCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
         }
     }
 }
@@ -293,6 +300,7 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.inserts, 1);
     }
 
     #[test]
@@ -430,6 +438,7 @@ mod tests {
         assert!(!hit1);
         assert!(!hit2);
         assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().inserts, 0, "capacity-0 never inserts");
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! virtual clients deterministically from a seed.
 
 use crate::protocol::{
-    batch_response, error_response, explain_response, load_response, parse_batch_query,
-    parse_command, query_response, shutdown_response, stats_response, stream_footer_response,
-    stream_header_response, stream_rows_frame, Command, MAX_BATCH_QUERIES, MAX_REQUEST_LINE_BYTES,
+    batch_response, error_response, explain_analyze_response, explain_response, load_response,
+    metrics_response, parse_batch_query, parse_command, query_response, shutdown_response,
+    stats_response, stream_footer_response, stream_header_response, stream_rows_frame, Command,
+    MAX_BATCH_QUERIES, MAX_REQUEST_LINE_BYTES,
 };
 use crate::{EmitMode, QuerySet, Service, ServiceError, StreamHeader, StreamSink};
 use sge_graph::NodeId;
@@ -111,6 +112,12 @@ impl<R: BufRead, W: Write> Connection<R, W> {
                 Ok(outcome) => explain_response(&outcome),
                 Err(err) => error_response(&err),
             },
+            Ok(Command::ExplainAnalyze { target, spec }) => {
+                match service.explain_analyze(&target, &spec) {
+                    Ok(outcome) => explain_analyze_response(&outcome),
+                    Err(err) => error_response(&err),
+                }
+            }
             Ok(Command::Batch { target, count }) => {
                 match read_batch(&mut self.reader, target, count)? {
                     BatchRead::Set(set) => batch_response(&service.run_batch(&set)),
@@ -122,6 +129,7 @@ impl<R: BufRead, W: Write> Connection<R, W> {
                 }
             }
             Ok(Command::Stats) => stats_response(service),
+            Ok(Command::Metrics) => metrics_response(service),
             Ok(Command::Shutdown) => {
                 writeln!(self.writer, "{}", shutdown_response().render())?;
                 self.writer.flush()?;

@@ -55,6 +55,7 @@ pub use stats::{ServiceStats, StatsSnapshot};
 use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig};
 use sge_graph::io::ParseError;
 use sge_graph::NodeId;
+use sge_obs::{Counter, MetricsRegistry, MetricsSnapshot, QueryTrace, SpanRecord, TraceSink};
 use sge_ri::{Algorithm, CandidateMode};
 use sge_util::{Clock, SystemClock};
 use std::fmt;
@@ -270,9 +271,42 @@ pub struct Service {
     registry: GraphRegistry,
     cache: PreparedCache,
     stats: ServiceStats,
+    metrics: MetricsRegistry,
+    engine_counters: EngineCounters,
     admission: semaphore::Semaphore,
     config: ServiceConfig,
     clock: Arc<dyn Clock>,
+}
+
+/// Pre-registered handles for the post-run enumeration counters, so the
+/// normal query path never takes the registry's registration lock.
+struct EngineCounters {
+    states: Counter,
+    steals: Counter,
+    steal_requests: Counter,
+    tasks: Counter,
+}
+
+impl EngineCounters {
+    fn with_registry(registry: &MetricsRegistry) -> Self {
+        EngineCounters {
+            states: registry.counter("engine.states"),
+            steals: registry.counter("engine.steals"),
+            steal_requests: registry.counter("engine.steal_requests"),
+            tasks: registry.counter("engine.tasks"),
+        }
+    }
+
+    /// Folds one finished run into the registry — the outcome already
+    /// aggregates the per-worker counters, so no trace sink is needed on
+    /// the hot path.
+    fn record(&self, outcome: &EnumerationOutcome) {
+        self.states.add(outcome.states);
+        self.steals.add(outcome.steals);
+        self.steal_requests.add(outcome.steal_requests);
+        self.tasks
+            .add(outcome.worker_stats.iter().map(|w| w.tasks_executed).sum());
+    }
 }
 
 impl Service {
@@ -290,10 +324,13 @@ impl Service {
     /// fully deterministic (what the simulator's same-seed/same-trace
     /// guarantee relies on).
     pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
+        let metrics = MetricsRegistry::new();
         Service {
             registry: GraphRegistry::new(),
             cache: PreparedCache::new(config.cache_capacity),
-            stats: ServiceStats::new(),
+            stats: ServiceStats::with_registry(&metrics),
+            engine_counters: EngineCounters::with_registry(&metrics),
+            metrics,
             admission: semaphore::Semaphore::new(config.max_in_flight.max(1)),
             config,
             clock,
@@ -323,6 +360,39 @@ impl Service {
     /// A point-in-time snapshot of the aggregate service statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The metrics registry behind the `METRICS` wire verb.  The `service.*`
+    /// counters are the same cells [`Service::stats`] reads; `engine.*`
+    /// accumulates enumeration-level totals across all served queries.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every registered metric, with the cache
+    /// counters and occupancy gauges synchronized first — what the `METRICS`
+    /// verb serializes.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let cache = self.cache.stats();
+        // Cache counters live on the cache itself (it predates the registry);
+        // mirror them through monotonic deltas so repeated snapshots never
+        // double-count.
+        for (name, observed) in [
+            ("cache.hits", cache.hits),
+            ("cache.misses", cache.misses),
+            ("cache.evictions", cache.evictions),
+            ("cache.inserts", cache.inserts),
+        ] {
+            let counter = self.metrics.counter(name);
+            counter.add(observed.saturating_sub(counter.value()));
+        }
+        self.metrics
+            .gauge("cache.entries")
+            .set(cache.entries as u64);
+        self.metrics
+            .gauge("cache.capacity")
+            .set(cache.capacity as u64);
+        self.metrics.snapshot()
     }
 
     /// Executes one query against the named target.
@@ -390,6 +460,7 @@ impl Service {
         };
         let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
+        self.engine_counters.record(&outcome);
         Ok(QueryOutcome {
             target: target.to_string(),
             pattern_hash,
@@ -482,6 +553,7 @@ impl Service {
         let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
         self.stats.record_stream(rows_sent, cancelled);
+        self.engine_counters.record(&outcome);
         Ok(StreamedQueryOutcome {
             query: QueryOutcome {
                 target: target.to_string(),
@@ -524,6 +596,73 @@ impl Service {
         })
     }
 
+    /// `EXPLAIN ANALYZE`: plans the query **and** executes it with a
+    /// per-query [`TraceSink`] attached, returning the planner's estimates
+    /// side-by-side with what the run actually observed, plus a span
+    /// breakdown of where the wall time went.
+    ///
+    /// Spans are measured on the service's injected clock (deterministic
+    /// under a virtual clock): `plan` covers parse + cache lookup /
+    /// preparation, `admission_wait` the wait for an in-flight permit,
+    /// `enumeration` the run itself.  Mapping collection is disabled — the
+    /// deliverable is the instrumentation, not the rows.  The run counts
+    /// into `STATS`/`METRICS` exactly like a served query.
+    pub fn explain_analyze(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+    ) -> Result<ExplainAnalyzeOutcome, ServiceError> {
+        let result = self.explain_analyze_inner(target, spec);
+        if result.is_err() {
+            self.stats.record_error();
+        }
+        result
+    }
+
+    fn explain_analyze_inner(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+    ) -> Result<ExplainAnalyzeOutcome, ServiceError> {
+        let started = self.clock.now();
+        let mut trace = QueryTrace::begin(started);
+        let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
+        let planned = self.clock.now();
+        trace.record_span("plan", started, planned);
+
+        let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
+        let outcome = {
+            let wait_started = self.clock.now();
+            let permit = self.admission.acquire();
+            let admitted = self.clock.now();
+            self.stats
+                .record_admission_wait(admitted.saturating_sub(wait_started).as_secs_f64());
+            trace.record_span("admission_wait", wait_started, admitted);
+            let _permit = permit;
+            let mut run = spec.run;
+            run.collect_mappings = 0;
+            let mut instrumented = engine.engine();
+            instrumented.set_trace_sink(Arc::clone(&sink));
+            let outcome = instrumented.run(&run);
+            trace.record_span("enumeration", admitted, self.clock.now());
+            outcome
+        };
+        let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
+        self.stats.record_query(outcome.matches, latency_seconds);
+        self.engine_counters.record(&outcome);
+        Ok(ExplainAnalyzeOutcome {
+            target: target.to_string(),
+            pattern_hash,
+            cache_hit,
+            latency_seconds,
+            observed_candidates: sink.candidates_per_position(),
+            observed_states: sink.states_per_position(),
+            spans: trace.spans().to_vec(),
+            engine,
+            outcome,
+        })
+    }
+
     /// Executes a [`QuerySet`] on this service's batch worker pool.
     pub fn run_batch(&self, set: &QuerySet) -> BatchOutcome {
         let executor = BatchExecutor::new(self.config.batch_workers);
@@ -547,6 +686,34 @@ pub struct ExplainOutcome {
     /// The prepared engine; its [`PreparedEngine::plan`] carries the match
     /// order, strategy and cost estimates.
     pub engine: Arc<PreparedEngine>,
+}
+
+/// The result of an `EXPLAIN ANALYZE`: the prepared engine (for the plan
+/// and its estimates), the executed outcome, and what the attached
+/// [`TraceSink`] observed — per match-order position — while it ran.
+#[derive(Clone)]
+pub struct ExplainAnalyzeOutcome {
+    /// Name of the target the query ran against.
+    pub target: String,
+    /// Stable-within-process hash of the canonical pattern.
+    pub pattern_hash: u64,
+    /// Whether the plan came out of the [`PreparedCache`].
+    pub cache_hit: bool,
+    /// End-to-end service latency in seconds (covers all spans).
+    pub latency_seconds: f64,
+    /// Candidates generated at each match-order position (the observed
+    /// counterpart of the plan's `est_candidates`).
+    pub observed_candidates: Vec<u64>,
+    /// Consistency checks performed at each position (the observed
+    /// counterpart of `est_states`); sums to the outcome's `states`.
+    pub observed_states: Vec<u64>,
+    /// Where the wall time went: `plan`, `admission_wait`, `enumeration`,
+    /// with offsets relative to the query start.
+    pub spans: Vec<SpanRecord>,
+    /// The prepared engine whose plan carries the estimates.
+    pub engine: Arc<PreparedEngine>,
+    /// The executed enumeration (mappings empty — collection is disabled).
+    pub outcome: EnumerationOutcome,
 }
 
 /// Receiver of a streamed query's frames, driven by

@@ -11,10 +11,13 @@
 //!       pattern=<inline> | pattern_file=<path>
 //! EXPLAIN target=<name> [algo=<a>] [strategy=<o>] [mode=<m>]
 //!         pattern=<inline> | pattern_file=<path>
+//! EXPLAIN ANALYZE target=<name> [...QUERY knobs...]
+//!         pattern=<inline> | pattern_file=<path>
 //! BATCH target=<name> n=<count>        (followed by <count> query lines
 //!                                       using the QUERY grammar sans verb
 //!                                       and target)
 //! STATS
+//! METRICS
 //! SHUTDOWN
 //! ```
 //!
@@ -31,6 +34,14 @@
 //! * `EXPLAIN` plans (through the prepared cache) without running and
 //!   reports the match order, chosen strategy and per-position cost
 //!   estimates.
+//! * `EXPLAIN ANALYZE` plans **and executes** (accepting the full QUERY
+//!   knob set): the response carries the planner's per-position
+//!   `est_candidates`/`est_states` side-by-side with the
+//!   `observed_candidates`/`observed_states` a trace sink recorded during
+//!   the run, plus a `spans` array (`plan`, `admission_wait`,
+//!   `enumeration`) measured on the service clock.
+//! * `METRICS` reports every registered metric (the `service.*`,
+//!   `engine.*` and `cache.*` catalogue) as one JSON object.
 //! * `pattern` — the `.gfu`/`.gfd` text with newlines replaced by `;` and
 //!   in-line whitespace by `,` (a directed triangle is
 //!   `3;0;0;0;3;0,1;1,2;2,0`).
@@ -67,11 +78,12 @@
 
 use crate::json::Json;
 use crate::{
-    BatchOutcome, EmitMode, QueryOutcome, QuerySpec, Service, ServiceError, StreamHeader,
-    StreamedQueryOutcome,
+    BatchOutcome, EmitMode, ExplainAnalyzeOutcome, QueryOutcome, QuerySpec, Service, ServiceError,
+    StreamHeader, StreamedQueryOutcome,
 };
 use sge_engine::RunConfig;
 use sge_graph::NodeId;
+use sge_obs::MetricValue;
 use std::time::Duration;
 
 /// Hard cap on one request line (newline included): longer lines are
@@ -110,6 +122,14 @@ pub enum Command {
         /// The query whose plan is reported (run limits are ignored).
         spec: QuerySpec,
     },
+    /// Plan **and execute** one query, reporting estimates vs. observed
+    /// per-position counts and a span breakdown (`EXPLAIN ANALYZE`).
+    ExplainAnalyze {
+        /// Registry name of the target.
+        target: String,
+        /// The query to instrument (full QUERY knob set honored).
+        spec: QuerySpec,
+    },
     /// Header of a batch; `count` query lines follow.
     Batch {
         /// Registry name of the target all batched queries run against.
@@ -119,6 +139,8 @@ pub enum Command {
     },
     /// Report service statistics.
     Stats,
+    /// Report a snapshot of every registered metric.
+    Metrics,
     /// Stop the server.
     Shutdown,
 }
@@ -246,7 +268,13 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
             })
         }
         "QUERY" | "EXPLAIN" => {
-            let args = parse_query_args(&rest)?;
+            // `EXPLAIN ANALYZE` is the two-token form; the modifier comes
+            // before the first key=value pair.
+            let analyze = verb == "EXPLAIN"
+                && rest
+                    .first()
+                    .is_some_and(|token| token.eq_ignore_ascii_case("ANALYZE"));
+            let args = parse_query_args(if analyze { &rest[1..] } else { &rest })?;
             let target = args
                 .target
                 .ok_or_else(|| protocol_error(format!("{verb} requires target=<name>")))?;
@@ -255,7 +283,9 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
                     "{verb} requires pattern=<inline> or pattern_file=<path>"
                 ))
             })?;
-            if verb == "EXPLAIN" {
+            if analyze {
+                Ok(Command::ExplainAnalyze { target, spec })
+            } else if verb == "EXPLAIN" {
                 Ok(Command::Explain { target, spec })
             } else {
                 Ok(Command::Query { target, spec })
@@ -293,9 +323,11 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
             })
         }
         "STATS" => Ok(Command::Stats),
+        "METRICS" => Ok(Command::Metrics),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err(protocol_error(format!(
-            "unknown verb '{other}' (expected LOAD, QUERY, EXPLAIN, BATCH, STATS or SHUTDOWN)"
+            "unknown verb '{other}' (expected LOAD, QUERY, EXPLAIN, EXPLAIN ANALYZE, BATCH, \
+             STATS, METRICS or SHUTDOWN)"
         ))),
     }
 }
@@ -482,6 +514,116 @@ pub fn explain_response(explain: &crate::ExplainOutcome) -> Json {
     ])
 }
 
+/// Response to a successful `EXPLAIN ANALYZE`: the plan's per-position
+/// estimates side-by-side with the observed counts, the executed outcome,
+/// and a span breakdown of the wall time (offsets relative to query start,
+/// measured on the service clock).
+pub fn explain_analyze_response(analyze: &ExplainAnalyzeOutcome) -> Json {
+    let plan = analyze.engine.plan();
+    let outcome = &analyze.outcome;
+    let order = Json::Arr(
+        plan.order
+            .positions
+            .iter()
+            .map(|&v| Json::U64(v as u64))
+            .collect(),
+    );
+    let est_candidates = Json::Arr(
+        plan.cost
+            .positions
+            .iter()
+            .map(|p| Json::F64(p.est_candidates))
+            .collect(),
+    );
+    let est_states = Json::Arr(
+        plan.cost
+            .positions
+            .iter()
+            .map(|p| Json::F64(p.est_states))
+            .collect(),
+    );
+    let observed = |counts: &[u64]| Json::Arr(counts.iter().map(|&c| Json::U64(c)).collect());
+    let spans = Json::Arr(
+        analyze
+            .spans
+            .iter()
+            .map(|span| {
+                Json::obj(vec![
+                    ("name", Json::str(span.name.clone())),
+                    ("start_seconds", Json::F64(span.start_seconds)),
+                    ("duration_seconds", Json::F64(span.duration_seconds)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("analyze", Json::Bool(true)),
+        ("target", Json::str(analyze.target.clone())),
+        ("algorithm", Json::str(plan.algorithm.name())),
+        ("strategy", Json::str(plan.strategy.name())),
+        (
+            "mode",
+            Json::str(analyze.engine.candidate_mode().to_string()),
+        ),
+        ("scheduler", Json::str(outcome.scheduler.to_string())),
+        ("workers", Json::U64(outcome.workers as u64)),
+        ("positions", Json::U64(plan.num_positions() as u64)),
+        ("order", order),
+        ("est_candidates", est_candidates),
+        ("est_states", est_states),
+        (
+            "observed_candidates",
+            observed(&analyze.observed_candidates),
+        ),
+        ("observed_states", observed(&analyze.observed_states)),
+        ("est_total_states", Json::F64(plan.cost.est_total_states)),
+        ("matches", Json::U64(outcome.matches)),
+        ("states", Json::U64(outcome.states)),
+        ("steals", Json::U64(outcome.steals)),
+        ("cache_hit", Json::Bool(analyze.cache_hit)),
+        (
+            "pattern_hash",
+            Json::str(format!("{:016x}", analyze.pattern_hash)),
+        ),
+        ("spans", spans),
+        ("preprocess_seconds", Json::F64(outcome.preprocess_seconds)),
+        ("match_seconds", Json::F64(outcome.match_seconds)),
+        ("latency_seconds", Json::F64(analyze.latency_seconds)),
+        ("timed_out", Json::Bool(outcome.timed_out)),
+        ("limit_hit", Json::Bool(outcome.limit_hit)),
+    ])
+}
+
+/// Response to `METRICS`: one JSON object with every registered metric,
+/// sorted by name — counters and gauges as integers, histograms as nested
+/// summary objects.
+pub fn metrics_response(service: &Service) -> Json {
+    let metrics = service
+        .metrics_snapshot()
+        .into_iter()
+        .map(|(name, value)| {
+            let rendered = match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => Json::U64(v),
+                MetricValue::Histogram(summary) => Json::obj(vec![
+                    ("count", Json::U64(summary.count)),
+                    ("mean_seconds", Json::F64(summary.mean_seconds)),
+                    ("min_seconds", Json::F64(summary.min_seconds)),
+                    ("max_seconds", Json::F64(summary.max_seconds)),
+                    ("p50_seconds", Json::F64(summary.p50_seconds)),
+                    ("p90_seconds", Json::F64(summary.p90_seconds)),
+                    ("p99_seconds", Json::F64(summary.p99_seconds)),
+                ]),
+            };
+            (name, rendered)
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("metrics", Json::Obj(metrics)),
+    ])
+}
+
 /// Response to a `BATCH` (individual query failures are reported in-place
 /// in `results`, the batch itself is `ok`).
 pub fn batch_response(batch: &BatchOutcome) -> Json {
@@ -550,6 +692,7 @@ pub fn stats_response(service: &Service) -> Json {
                 ("hits", Json::U64(cache.hits)),
                 ("misses", Json::U64(cache.misses)),
                 ("evictions", Json::U64(cache.evictions)),
+                ("inserts", Json::U64(cache.inserts)),
             ]),
         ),
         (
@@ -747,9 +890,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_explain_analyze() {
+        match parse_command("EXPLAIN ANALYZE target=k5 sched=ws:2 seed=9 pattern=1;0;0").unwrap() {
+            Command::ExplainAnalyze { target, spec } => {
+                assert_eq!(target, "k5");
+                assert_eq!(spec.run.scheduler, Scheduler::work_stealing(2));
+                assert_eq!(spec.run.seed, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The modifier is case-insensitive like the verb itself.
+        assert!(matches!(
+            parse_command("explain analyze target=k5 pattern=1;0;0").unwrap(),
+            Command::ExplainAnalyze { .. }
+        ));
+        // A plain EXPLAIN is untouched by the two-token form.
+        assert!(matches!(
+            parse_command("EXPLAIN target=k5 pattern=1;0;0").unwrap(),
+            Command::Explain { .. }
+        ));
+        assert!(parse_command("EXPLAIN ANALYZE target=k5").is_err());
+        assert!(parse_command("EXPLAIN ANALYZE pattern=1;0;0").is_err());
+    }
+
+    #[test]
     fn parses_bare_verbs_and_rejects_unknown() {
         assert!(matches!(parse_command("STATS").unwrap(), Command::Stats));
         assert!(matches!(parse_command("stats").unwrap(), Command::Stats));
+        assert!(matches!(
+            parse_command("METRICS").unwrap(),
+            Command::Metrics
+        ));
+        assert!(matches!(
+            parse_command("metrics").unwrap(),
+            Command::Metrics
+        ));
         assert!(matches!(
             parse_command("SHUTDOWN").unwrap(),
             Command::Shutdown

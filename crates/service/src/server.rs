@@ -15,10 +15,12 @@
 //! deadline measured on the server's injectable [`Clock`].
 
 use crate::connection::{Connection, StepOutcome};
+use crate::json::Json;
 use crate::SharedService;
+use sge_obs::EventLog;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -35,6 +37,7 @@ pub struct Server {
     service: SharedService,
     shutdown: Arc<AtomicBool>,
     drain_timeout: Duration,
+    event_log: Option<Arc<EventLog>>,
 }
 
 impl Server {
@@ -45,12 +48,22 @@ impl Server {
             service,
             shutdown: Arc::new(AtomicBool::new(false)),
             drain_timeout: DEFAULT_DRAIN_TIMEOUT,
+            event_log: None,
         })
     }
 
     /// Sets how long `run` waits for in-flight connections after `SHUTDOWN`.
     pub fn with_drain_timeout(mut self, timeout: Duration) -> Server {
         self.drain_timeout = timeout;
+        self
+    }
+
+    /// Attaches a structured event log: the server records one JSON line per
+    /// lifecycle event (`listening`, `conn_open`, `conn_close`, `shutdown`,
+    /// `drained`) with timestamps from the service clock.  Without a log the
+    /// server pays nothing.
+    pub fn with_event_log(mut self, log: Arc<EventLog>) -> Server {
+        self.event_log = Some(log);
         self
     }
 
@@ -67,6 +80,13 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
         let tracker = Arc::new(ConnectionTracker::new());
+        let conn_ids = AtomicU64::new(0);
+        log_event(
+            self.event_log.as_deref(),
+            &self.service,
+            "listening",
+            vec![("addr", Json::str(local_addr.to_string()))],
+        );
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -75,21 +95,70 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
+            let conn = conn_ids.fetch_add(1, Ordering::Relaxed) + 1;
+            let peer = stream
+                .peer_addr()
+                .map(|addr| addr.to_string())
+                .unwrap_or_else(|_| "unknown".to_string());
+            log_event(
+                self.event_log.as_deref(),
+                &self.service,
+                "conn_open",
+                vec![("conn", Json::U64(conn)), ("peer", Json::str(peer))],
+            );
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
+            let log = self.event_log.clone();
             let guard = tracker.register();
             std::thread::spawn(move || {
                 let _live = guard; // deregisters (and wakes the drain) on exit
                                    // Per-connection errors only terminate that connection.
-                let _ = handle_connection(stream, &service, &shutdown, local_addr);
+                let _ = handle_connection(
+                    stream,
+                    &service,
+                    &shutdown,
+                    local_addr,
+                    log.as_deref(),
+                    conn,
+                );
+                log_event(
+                    log.as_deref(),
+                    &service,
+                    "conn_close",
+                    vec![("conn", Json::U64(conn))],
+                );
             });
         }
         // Drain: give in-flight handlers until the deadline to finish.  The
         // deadline is measured on the service's clock, so drain semantics
         // are the same whether time is real or simulated.
-        tracker.drain(self.service.clock().as_ref(), self.drain_timeout);
+        let clean = tracker.drain(self.service.clock().as_ref(), self.drain_timeout);
+        log_event(
+            self.event_log.as_deref(),
+            &self.service,
+            "drained",
+            vec![("clean", Json::Bool(clean))],
+        );
         Ok(())
     }
+}
+
+/// Records one structured JSON event line when a log is attached; a `None`
+/// log costs one branch.  Timestamps come from the service clock, so logs
+/// from a simulated service carry virtual time.
+fn log_event(
+    log: Option<&EventLog>,
+    service: &crate::Service,
+    event: &str,
+    fields: Vec<(&str, Json)>,
+) {
+    let Some(log) = log else { return };
+    let mut pairs = vec![
+        ("ts_seconds", Json::F64(service.clock().now().as_secs_f64())),
+        ("event", Json::str(event)),
+    ];
+    pairs.extend(fields);
+    log.record(&Json::obj(pairs).render());
 }
 
 /// Counts live connection handlers so drain can wait for them to finish
@@ -167,6 +236,8 @@ fn handle_connection(
     service: &SharedService,
     shutdown: &AtomicBool,
     local_addr: SocketAddr,
+    log: Option<&EventLog>,
+    conn: u64,
 ) -> std::io::Result<()> {
     let writer = stream.try_clone()?;
     let mut connection = Connection::new(BufReader::new(stream), writer);
@@ -179,6 +250,7 @@ fn handle_connection(
             StepOutcome::Closed => return Ok(()),
             StepOutcome::ShutdownRequested => {
                 shutdown.store(true, Ordering::SeqCst);
+                log_event(log, service, "shutdown", vec![("conn", Json::U64(conn))]);
                 // Wake the blocking accept loop so Server::run observes the
                 // flag even with no further client traffic.
                 let _ = TcpStream::connect(wake_addr(local_addr));
@@ -232,6 +304,56 @@ mod tests {
         let _guard = tracker.register(); // never released
         let clock = SystemClock::new();
         assert!(!tracker.drain(&clock, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn event_log_records_the_connection_lifecycle() {
+        use std::io::{BufRead, BufReader, Write};
+        let service: SharedService = Arc::new(crate::Service::new(crate::ServiceConfig::default()));
+        let log = Arc::new(EventLog::new(64));
+        let server = Server::bind("127.0.0.1:0", service)
+            .unwrap()
+            .with_event_log(Arc::clone(&log));
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"STATS\nSHUTDOWN\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // STATS response
+        line.clear();
+        reader.read_line(&mut line).unwrap(); // SHUTDOWN response
+        drop(reader);
+        drop(stream);
+        handle.join().unwrap().unwrap();
+
+        let lines = log.recent();
+        let events: Vec<String> = lines
+            .iter()
+            .filter_map(|line| {
+                let tail = line.split("\"event\":\"").nth(1)?;
+                Some(tail.split('"').next().unwrap_or_default().to_string())
+            })
+            .collect();
+        assert_eq!(events.first().map(String::as_str), Some("listening"));
+        assert_eq!(events.last().map(String::as_str), Some("drained"));
+        for expected in ["conn_open", "shutdown", "conn_close"] {
+            assert!(
+                events.iter().any(|event| event == expected),
+                "missing {expected} in {events:?}"
+            );
+        }
+        assert!(
+            lines.iter().all(|line| line.contains("\"ts_seconds\":")),
+            "every event line carries a clock timestamp: {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|line| line.contains("\"conn\":1") && line.contains("\"peer\":")),
+            "conn_open records the id and peer: {lines:?}"
+        );
     }
 
     #[test]

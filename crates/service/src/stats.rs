@@ -1,21 +1,30 @@
 //! Aggregate service statistics: counters plus a latency distribution.
+//!
+//! Since the observability plane landed, `ServiceStats` is a *view* over
+//! handles registered in a [`MetricsRegistry`]: every counter the service
+//! records is simultaneously visible through the `METRICS` wire verb (under
+//! the `service.*` names) and through the legacy [`StatsSnapshot`] shape the
+//! `STATS` verb reports.  Recording goes straight to the shared atomic
+//! cells — there is no copy to keep in sync.
 
-use sge_util::{LatencyHistogram, RunningStats};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use sge_obs::{Counter, Histogram, MetricsRegistry};
 
 /// Thread-safe accumulator of service-level counters and latencies.
+///
+/// Construct with [`ServiceStats::with_registry`] to share the cells with a
+/// metrics registry; [`ServiceStats::new`] registers into a private throwaway
+/// registry (tests, standalone use).
 pub struct ServiceStats {
-    queries: AtomicU64,
-    batches: AtomicU64,
-    matches: AtomicU64,
-    errors: AtomicU64,
-    streams: AtomicU64,
-    rows_streamed: AtomicU64,
-    streams_cancelled: AtomicU64,
-    admissions: AtomicU64,
-    admission_wait_nanos: AtomicU64,
-    latency: Mutex<(RunningStats, LatencyHistogram)>,
+    queries: Counter,
+    batches: Counter,
+    matches: Counter,
+    errors: Counter,
+    streams: Counter,
+    rows_streamed: Counter,
+    streams_cancelled: Counter,
+    admissions: Counter,
+    admission_wait_nanos: Counter,
+    latency: Histogram,
 }
 
 impl Default for ServiceStats {
@@ -25,52 +34,54 @@ impl Default for ServiceStats {
 }
 
 impl ServiceStats {
-    /// Creates a zeroed accumulator.
+    /// Creates a zeroed accumulator backed by a private registry.
     pub fn new() -> Self {
+        Self::with_registry(&MetricsRegistry::new())
+    }
+
+    /// Creates an accumulator whose cells live in `registry` under the
+    /// `service.*` metric names, so `STATS` and `METRICS` report the same
+    /// underlying counts.
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
         ServiceStats {
-            queries: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            matches: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            streams: AtomicU64::new(0),
-            rows_streamed: AtomicU64::new(0),
-            streams_cancelled: AtomicU64::new(0),
-            admissions: AtomicU64::new(0),
-            admission_wait_nanos: AtomicU64::new(0),
-            latency: Mutex::new((RunningStats::new(), LatencyHistogram::new())),
+            queries: registry.counter("service.queries_served"),
+            batches: registry.counter("service.batches_served"),
+            matches: registry.counter("service.total_matches"),
+            errors: registry.counter("service.errors"),
+            streams: registry.counter("service.streams_served"),
+            rows_streamed: registry.counter("service.rows_streamed"),
+            streams_cancelled: registry.counter("service.streams_cancelled"),
+            admissions: registry.counter("service.admissions"),
+            admission_wait_nanos: registry.counter("service.admission_wait_nanos"),
+            latency: registry.histogram("service.latency_seconds"),
         }
     }
 
     /// Records one successfully served query.
     pub fn record_query(&self, matches: u64, latency_seconds: f64) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.matches.fetch_add(matches, Ordering::Relaxed);
-        let mut latency = self
-            .latency
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        latency.0.push(latency_seconds);
-        latency.1.record(latency_seconds);
+        self.queries.inc();
+        self.matches.add(matches);
+        self.latency.record(latency_seconds);
     }
 
     /// Records one completed batch.
     pub fn record_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
     }
 
     /// Records one streamed query: how many rows went over the wire and
     /// whether the client vanished mid-stream (cancelling enumeration).
     pub fn record_stream(&self, rows_sent: u64, cancelled: bool) {
-        self.streams.fetch_add(1, Ordering::Relaxed);
-        self.rows_streamed.fetch_add(rows_sent, Ordering::Relaxed);
+        self.streams.inc();
+        self.rows_streamed.add(rows_sent);
         if cancelled {
-            self.streams_cancelled.fetch_add(1, Ordering::Relaxed);
+            self.streams_cancelled.inc();
         }
     }
 
     /// Records one failed query.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Records one admission-permit acquisition and how long the caller
@@ -79,31 +90,24 @@ impl ServiceStats {
     /// admission-control pressure becomes an observable, assertable fact
     /// instead of invisible latency jitter.
     pub fn record_admission_wait(&self, wait_seconds: f64) {
-        self.admissions.fetch_add(1, Ordering::Relaxed);
+        self.admissions.inc();
         let nanos = (wait_seconds.max(0.0) * 1e9).round() as u64;
-        self.admission_wait_nanos
-            .fetch_add(nanos, Ordering::Relaxed);
+        self.admission_wait_nanos.add(nanos);
     }
 
     /// A point-in-time snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let (running, histogram) = {
-            let latency = self
-                .latency
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            (latency.0.clone(), latency.1.clone())
-        };
+        let (running, histogram) = self.latency.stats();
         StatsSnapshot {
-            queries_served: self.queries.load(Ordering::Relaxed),
-            batches_served: self.batches.load(Ordering::Relaxed),
-            total_matches: self.matches.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            streams_served: self.streams.load(Ordering::Relaxed),
-            rows_streamed: self.rows_streamed.load(Ordering::Relaxed),
-            streams_cancelled: self.streams_cancelled.load(Ordering::Relaxed),
-            admissions: self.admissions.load(Ordering::Relaxed),
-            admission_wait_seconds: self.admission_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            queries_served: self.queries.value(),
+            batches_served: self.batches.value(),
+            total_matches: self.matches.value(),
+            errors: self.errors.value(),
+            streams_served: self.streams.value(),
+            rows_streamed: self.rows_streamed.value(),
+            streams_cancelled: self.streams_cancelled.value(),
+            admissions: self.admissions.value(),
+            admission_wait_seconds: self.admission_wait_nanos.value() as f64 / 1e9,
             latency_mean_seconds: running.mean(),
             latency_stddev_seconds: running.stddev(),
             latency_min_seconds: running.min().unwrap_or(0.0),
@@ -157,6 +161,7 @@ pub struct StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sge_obs::MetricValue;
 
     #[test]
     fn counters_and_latency_aggregate() {
@@ -190,5 +195,39 @@ mod tests {
     fn empty_snapshot_is_zeroed() {
         let snap = ServiceStats::new().snapshot();
         assert_eq!(snap, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn registry_sees_recorded_service_counters() {
+        // The whole point of the migration: STATS and METRICS read the same
+        // cells, so a record through ServiceStats is visible in the
+        // registry's snapshot without any copying.
+        let registry = MetricsRegistry::new();
+        let stats = ServiceStats::with_registry(&registry);
+        stats.record_query(60, 0.002);
+        stats.record_admission_wait(0.0);
+        let snapshot = registry.snapshot();
+        let lookup = |name: &str| {
+            snapshot
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(
+            lookup("service.queries_served"),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(
+            lookup("service.total_matches"),
+            Some(MetricValue::Counter(60))
+        );
+        assert_eq!(lookup("service.admissions"), Some(MetricValue::Counter(1)));
+        match lookup("service.latency_seconds") {
+            Some(MetricValue::Histogram(summary)) => {
+                assert_eq!(summary.count, 1);
+                assert!((summary.mean_seconds - 0.002).abs() < 1e-12);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }

@@ -354,6 +354,108 @@ fn failing_sink_cancels_enumeration_and_is_counted() {
 }
 
 #[test]
+fn explain_analyze_reports_observed_counts_and_spans() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("k5", generators::clique(5, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+
+    let analyzed = service
+        .explain_analyze("k5", &QuerySpec::new(&pattern))
+        .unwrap();
+    assert_eq!(analyzed.outcome.matches, 60);
+    assert!(analyzed.outcome.mappings.is_empty(), "collection disabled");
+
+    // Observed arrays line up position-for-position with the estimates.
+    let plan = analyzed.engine.plan();
+    assert_eq!(analyzed.observed_candidates.len(), plan.num_positions());
+    assert_eq!(analyzed.observed_states.len(), plan.num_positions());
+    assert_eq!(plan.cost.positions.len(), plan.num_positions());
+    assert!(analyzed.observed_candidates[0] > 0);
+    assert_eq!(
+        analyzed.observed_states.iter().sum::<u64>(),
+        analyzed.outcome.states,
+        "per-position checks sum to the outcome's state count"
+    );
+
+    // The span breakdown covers the documented phases, in order, with
+    // offsets relative to the query start.
+    let names: Vec<&str> = analyzed.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["plan", "admission_wait", "enumeration"]);
+    for span in &analyzed.spans {
+        assert!(span.start_seconds >= 0.0, "{}", span.name);
+        assert!(span.duration_seconds >= 0.0, "{}", span.name);
+        assert!(span.start_seconds + span.duration_seconds <= analyzed.latency_seconds + 1e-9);
+    }
+
+    // An analyze counts as a served query and warms the cache.
+    assert_eq!(service.stats().queries_served, 1);
+    let query = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+    assert!(query.cache_hit, "analyze must warm the prepared cache");
+
+    // Observed counts are schedule-invariant: a parallel analyze of the
+    // same query reports identical per-position arrays.
+    let parallel = service
+        .explain_analyze(
+            "k5",
+            &QuerySpec::new(&pattern).with_run(RunConfig::new(Scheduler::work_stealing(4))),
+        )
+        .unwrap();
+    assert_eq!(parallel.observed_candidates, analyzed.observed_candidates);
+    assert_eq!(parallel.observed_states, analyzed.observed_states);
+}
+
+#[test]
+fn metrics_snapshot_covers_the_catalogue_and_agrees_with_stats() {
+    use sge_obs::MetricValue;
+
+    let service = Service::new(ServiceConfig {
+        cache_capacity: 8,
+        batch_workers: 2,
+        max_in_flight: 2,
+    });
+    service.registry().insert("k5", generators::clique(5, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+    service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+    service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+    service.run_query("missing", &QuerySpec::new(&pattern)).ok();
+
+    let snapshot = service.metrics_snapshot();
+    let get = |name: &str| {
+        snapshot
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("metric {name} missing from snapshot"))
+    };
+    assert_eq!(get("service.queries_served"), MetricValue::Counter(2));
+    assert_eq!(get("service.total_matches"), MetricValue::Counter(120));
+    assert_eq!(get("service.errors"), MetricValue::Counter(1));
+    assert_eq!(get("service.admissions"), MetricValue::Counter(2));
+    assert_eq!(get("cache.hits"), MetricValue::Counter(1));
+    assert_eq!(get("cache.misses"), MetricValue::Counter(1));
+    assert_eq!(get("cache.inserts"), MetricValue::Counter(1));
+    assert_eq!(get("cache.evictions"), MetricValue::Counter(0));
+    assert_eq!(get("cache.entries"), MetricValue::Gauge(1));
+    assert_eq!(get("cache.capacity"), MetricValue::Gauge(8));
+    // Engine totals accumulate across served queries (two identical runs).
+    match get("engine.states") {
+        MetricValue::Counter(states) => assert!(states > 0 && states % 2 == 0),
+        other => panic!("engine.states: {other:?}"),
+    }
+    match get("service.latency_seconds") {
+        MetricValue::Histogram(summary) => assert_eq!(summary.count, 2),
+        other => panic!("service.latency_seconds: {other:?}"),
+    }
+
+    // Snapshots are idempotent: the cache mirror uses deltas, so a second
+    // snapshot reports the same counts, not doubled ones.
+    let again = service.metrics_snapshot();
+    assert_eq!(snapshot, again);
+    // STATS and METRICS read the same cells.
+    assert_eq!(service.stats().queries_served, 2);
+}
+
+#[test]
 fn zero_max_in_flight_is_clamped_not_deadlocked() {
     // Regression: admission with zero permits used to block the first query
     // forever.  The semaphore now clamps to one permit.

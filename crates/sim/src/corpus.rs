@@ -47,6 +47,7 @@ pub fn corpus() -> Vec<Scenario> {
         batch_malformed_header(),
         cache_interleave(),
         cache_eviction_churn(),
+        metrics_and_analyze(),
     ]
 }
 
@@ -253,6 +254,23 @@ pub fn cache_eviction_churn() -> Scenario {
         })
         .with_target("k5", TargetKind::Clique(5))
         .with_client(ClientScript::new(requests))
+}
+
+/// The observability verbs under simulated time: a buffered QUERY warms the
+/// cache and counters, EXPLAIN ANALYZE re-runs the same pattern with a trace
+/// sink attached (sequential scheduler, so per-position observed counts and
+/// span timestamps are seed-stable), then METRICS snapshots the registry.
+/// Byte-identical replay proves every clock-derived timestamp in spans,
+/// latencies and histogram summaries is virtual-clock deterministic.
+pub fn metrics_and_analyze() -> Scenario {
+    Scenario::new("metrics_and_analyze", 0x5EED_000E)
+        .with_target("k5", TargetKind::Clique(5))
+        .with_client(ClientScript::new(vec![
+            query(&tri()),
+            format!("EXPLAIN ANALYZE target=k5 pattern={}", tri()),
+            "METRICS".to_string(),
+            "STATS".to_string(),
+        ]))
 }
 
 #[cfg(test)]

@@ -28,8 +28,11 @@ const ALWAYS_SCRUBBED: &[&str] = &["preprocess_seconds", "match_seconds"];
 /// cancel).
 const COUNT_KEYS: &[&str] = &["matches", "states", "total_matches", "rows_sent"];
 
-/// Longest rendered payload kept per trace line, in bytes.
-const MAX_LINE_BYTES: usize = 400;
+/// Longest rendered payload kept per trace line, in bytes.  Sized so the
+/// longest single-line responses the corpus asserts on — a METRICS registry
+/// snapshot, an EXPLAIN ANALYZE with spans — fit whole; row frames and
+/// oversized request lines still truncate (deterministically).
+const MAX_LINE_BYTES: usize = 800;
 
 /// An append-only, virtually-timestamped event log.
 #[derive(Debug, Default)]
@@ -192,8 +195,8 @@ mod tests {
     fn long_lines_truncate_deterministically() {
         let long = "x".repeat(1000);
         let truncated = truncate(&long);
-        assert!(truncated.len() < 450);
-        assert!(truncated.ends_with("…(+600 bytes)"));
+        assert!(truncated.len() < MAX_LINE_BYTES + 50);
+        assert!(truncated.ends_with("…(+200 bytes)"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn corpus_covers_the_required_fault_classes() {
         "oversized_line",
         "shutdown_during_drain",
         "cache_interleave",
+        "metrics_and_analyze",
     ] {
         assert!(
             names.iter().any(|name| name == required),
@@ -80,4 +81,41 @@ fn traces_embed_deterministic_clock_derived_latencies() {
     // Engine-internal timings measured on a raw Instant are always scrubbed.
     assert!(report.trace.contains("\"preprocess_seconds\":_"));
     assert!(!report.trace.contains("\"preprocess_seconds\":0"));
+}
+
+#[test]
+fn observability_verbs_replay_with_deterministic_payloads() {
+    // EXPLAIN ANALYZE's per-position counts, span timestamps and the METRICS
+    // histogram summaries are all either scheduler-invariant or derived from
+    // the virtual clock, so they survive in the trace unscrubbed — and the
+    // corpus determinism test above proves they replay byte-for-byte.
+    let scenario = corpus::find("metrics_and_analyze").unwrap();
+    let report = run_scenario(&scenario);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(
+        report.trace.contains("\"analyze\":true"),
+        "EXPLAIN ANALYZE response missing:\n{}",
+        report.trace
+    );
+    assert!(
+        report.trace.contains("\"observed_candidates\":[")
+            && report.trace.contains("\"observed_states\":["),
+        "observed per-position counts missing:\n{}",
+        report.trace
+    );
+    assert!(
+        report.trace.contains("\"spans\":[") && report.trace.contains("\"name\":\"enumeration\""),
+        "span records missing:\n{}",
+        report.trace
+    );
+    assert!(
+        report.trace.contains("\"metrics\":{")
+            && report.trace.contains("\"service.queries_served\":2"),
+        "METRICS snapshot missing (one QUERY + one EXPLAIN ANALYZE served):\n{}",
+        report.trace
+    );
+    // The analyzed run hit the cache warmed by the first QUERY; sequential
+    // scheduling keeps the steal counters pinned at zero.
+    assert!(report.trace.contains("\"cache.hits\":1"));
+    assert!(report.trace.contains("\"engine.steals\":0"));
 }

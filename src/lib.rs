@@ -24,6 +24,7 @@
 //! | [`parallel`] | parallel RI / RI-DS-SI-FC plus ablation schedulers |
 //! | [`engine`] | the unified [`Engine`]/[`Scheduler`] API and [`PreparedEngine`] |
 //! | [`service`] | query serving: graph registry, prepared cache, batch executor, TCP server |
+//! | [`obs`] | observability: metrics registry, query traces, enumeration trace sinks, event log |
 //! | [`datasets`] | synthetic PPIS32 / GRAEMLIN32 / PDBSv1 analogues |
 //! | [`util`] | bitsets, statistics, timing |
 //!
@@ -63,6 +64,7 @@ pub mod engine;
 
 pub use sge_datasets as datasets;
 pub use sge_graph as graph;
+pub use sge_obs as obs;
 pub use sge_parallel as parallel;
 pub use sge_plan as plan;
 pub use sge_ri as ri;

@@ -7,10 +7,12 @@
 //!
 //! Seeds are deterministic, so any failure reproduces exactly.
 
+use sge::obs::TraceSink;
 use sge::prelude::*;
 use sge::ri::CandidateMode;
 use sge::util::SplitMix64;
 use sge::Strategy;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn random_labeled_graph(seed: u64, n: usize, p: f64, labels: usize) -> Graph {
@@ -131,6 +133,45 @@ fn all_schedulers_agree_on_random_instances() {
                 "case={case} {scheduler}: search space diverged"
             );
             assert!(!outcome.timed_out, "case={case} {scheduler}");
+        }
+    }
+}
+
+#[test]
+fn trace_sinks_report_schedule_invariant_per_position_counts() {
+    // The observability counters are part of the schedule-invariance
+    // contract: every scheduler explores exactly the sequential search tree,
+    // so for randomized instances the per-position observed candidate and
+    // state totals a `TraceSink` records must be identical across
+    // `Sequential`, every `WorkStealing` variant and `Rayon` — and the
+    // per-position states must sum to the outcome's reported state count.
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0x0B5E ^ case);
+        let n = 12 + rng.next_below(8);
+        let k = 3 + rng.next_below(3);
+        let group_size = 1 + rng.next_below(8);
+        let target = random_labeled_graph(rng.next_u64(), n, 0.15, 3);
+        let pattern = extracted_pattern(rng.next_u64(), &target, k);
+        let mut reference: Option<(Vec<u64>, Vec<u64>)> = None;
+        for scheduler in all_schedulers(group_size) {
+            let mut engine = Engine::prepare(&pattern, &target, Algorithm::RiDsSiFc);
+            let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
+            engine.set_trace_sink(Arc::clone(&sink));
+            let outcome = engine.run(&RunConfig::new(scheduler));
+            assert!(!outcome.timed_out, "case={case} {scheduler}");
+            assert_eq!(
+                sink.states_total(),
+                outcome.states,
+                "case={case} {scheduler}: sink missed consistency checks"
+            );
+            let observed = (sink.candidates_per_position(), sink.states_per_position());
+            match &reference {
+                None => reference = Some(observed),
+                Some(expected) => assert_eq!(
+                    &observed, expected,
+                    "case={case} {scheduler}: observed per-position counts diverged"
+                ),
+            }
         }
     }
 }
