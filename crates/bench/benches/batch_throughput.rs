@@ -30,6 +30,7 @@ fn build_service() -> Service {
         cache_capacity: 32,
         batch_workers: 4,
         max_in_flight: 8,
+        ..ServiceConfig::default()
     });
     service.registry().insert("grid", generators::grid(6, 6));
     service

@@ -69,12 +69,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Figure names every report must contain; CI's `bench-smoke` job validates
-/// the emitted document against this list.
-pub const EXPECTED_FIGURES: [&str; 4] = [
+/// the emitted document against this list.  (`adaptive_dispatch` is required
+/// since PR 8; older committed records are grandfathered.)
+pub const EXPECTED_FIGURES: [&str; 5] = [
     "fig3_work_stealing",
     "batch_throughput",
     "dense_target",
     "strategy_comparison",
+    "adaptive_dispatch",
 ];
 
 /// Knobs of one report run.
@@ -322,6 +324,7 @@ fn service_queries_per_second(config: &ReportConfig) -> f64 {
         cache_capacity: 32,
         batch_workers: 4,
         max_in_flight: 8,
+        ..ServiceConfig::default()
     });
     service.registry().insert("grid", batch_target(config));
     let mut set = QuerySet::new("grid");
@@ -347,6 +350,129 @@ fn dense_cases(config: &ReportConfig) -> Vec<Case> {
     let pattern = generators::directed_cycle(4, 0);
     let target = generators::clique(clique_nodes, 0);
     sweep_instance(&pattern, &target, Algorithm::RiDs, config.repeats)
+}
+
+/// One measured case of the `adaptive_dispatch` figure: the same count-only
+/// query through the real service under a pinned sequential scheduler, a
+/// pinned `ws:4`, and planner routing.
+struct DispatchCase {
+    name: &'static str,
+    sequential_seconds: f64,
+    ws4_seconds: f64,
+    routed_seconds: f64,
+    routed_scheduler: String,
+    correction: f64,
+}
+
+/// Measurement-noise tolerance for the `routed_not_slower` verdict: routed
+/// dispatch resolves to the sequential fast path on small trees, so its
+/// median must land within 5% of the pinned-sequential median (the routing
+/// decision itself costs one cost-model lookup).
+const DISPATCH_NOISE_TOLERANCE: f64 = 1.05;
+
+/// Absolute slack for the same verdict.  Smoke-sized cases finish in well
+/// under a millisecond, where scheduler jitter dwarfs any relative margin;
+/// the ws4 regression this verdict guards against is a multi-millisecond,
+/// multi-x slowdown, so a 1 ms floor cannot mask it.
+const DISPATCH_NOISE_FLOOR_SECONDS: f64 = 0.001;
+
+impl DispatchCase {
+    fn routed_vs_sequential(&self) -> f64 {
+        self.sequential_seconds / self.routed_seconds.max(1e-12)
+    }
+
+    fn routed_vs_ws4(&self) -> f64 {
+        self.ws4_seconds / self.routed_seconds.max(1e-12)
+    }
+
+    fn routed_not_slower(&self) -> bool {
+        self.routed_seconds
+            <= self.sequential_seconds * DISPATCH_NOISE_TOLERANCE + DISPATCH_NOISE_FLOOR_SECONDS
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("sequential_seconds", Json::F64(self.sequential_seconds)),
+            ("ws4_seconds", Json::F64(self.ws4_seconds)),
+            ("routed_seconds", Json::F64(self.routed_seconds)),
+            ("routed_scheduler", Json::str(self.routed_scheduler.clone())),
+            (
+                "routed_vs_sequential",
+                Json::F64(self.routed_vs_sequential()),
+            ),
+            ("routed_vs_ws4", Json::F64(self.routed_vs_ws4())),
+            ("routed_not_slower", Json::Bool(self.routed_not_slower())),
+            ("correction", Json::F64(self.correction)),
+        ])
+    }
+}
+
+/// Figure `adaptive_dispatch`: planner-routed scheduling through the real
+/// service stack against the pinned baselines it must dominate.  The ws4
+/// regression BENCH_pr3/pr4 documented (work-stealing at a fraction of
+/// sequential on small instances) is exactly what routing removes: the
+/// corrected estimate stays below the sequential threshold, so the routed
+/// run takes the count-only sequential fast path instead of paying the
+/// task-distribution overhead.
+fn adaptive_dispatch_cases(config: &ReportConfig) -> (Vec<DispatchCase>, f64) {
+    let service = Service::new(ServiceConfig {
+        cache_capacity: 16,
+        batch_workers: 1,
+        max_in_flight: 4,
+        ..ServiceConfig::default()
+    });
+    service.registry().insert("grid", batch_target(config));
+    service.registry().insert(
+        "clique",
+        generators::clique(if config.smoke { 12 } else { 24 }, 0),
+    );
+    let workloads: [(&'static str, &'static str, Graph); 3] = [
+        ("triangle_grid", "grid", generators::directed_cycle(3, 0)),
+        ("path4_grid", "grid", generators::directed_path(4, 0)),
+        ("cycle4_clique", "clique", generators::directed_cycle(4, 0)),
+    ];
+    let mut cases = Vec::new();
+    for (name, target, pattern) in workloads {
+        let text = write_graph(&pattern);
+        let seq_spec = QuerySpec::new(&text).with_run(RunConfig::new(Scheduler::Sequential));
+        let ws4_spec = QuerySpec::new(&text).with_run(RunConfig::new(Scheduler::work_stealing(4)));
+        let routed_spec = QuerySpec::new(&text);
+        // Warm the prepared cache and the cost model so every timed pass
+        // runs cache-hit with a learned correction factor, like a steady
+        // -state server would.
+        for spec in [&seq_spec, &ws4_spec, &routed_spec] {
+            service
+                .run_query(target, spec)
+                .expect("dispatch warmup query must succeed");
+        }
+        let time_spec = |spec: &QuerySpec| {
+            median_seconds(config.repeats, || {
+                std::hint::black_box(
+                    service
+                        .run_query(target, spec)
+                        .expect("dispatch query must succeed")
+                        .outcome
+                        .matches,
+                );
+            })
+        };
+        let sequential_seconds = time_spec(&seq_spec);
+        let ws4_seconds = time_spec(&ws4_spec);
+        let routed_seconds = time_spec(&routed_spec);
+        let routed_outcome = service
+            .run_query(target, &routed_spec)
+            .expect("routed probe query must succeed");
+        cases.push(DispatchCase {
+            name,
+            sequential_seconds,
+            ws4_seconds,
+            routed_seconds,
+            routed_scheduler: routed_outcome.outcome.scheduler.name().to_string(),
+            correction: service.cost_model().correction_for(target),
+        });
+    }
+    (cases, service.correction_factor())
 }
 
 /// One measured ordering strategy of the `strategy_comparison` figure.
@@ -465,6 +591,7 @@ pub fn run_report(config: &ReportConfig) -> String {
     let qps = service_queries_per_second(config);
     let dense = dense_cases(config);
     let strategies = strategy_cases(config);
+    let (dispatch, correction_final) = adaptive_dispatch_cases(config);
 
     let mut table = Table::new(
         "bench-report (median wall seconds)",
@@ -517,12 +644,28 @@ pub fn run_report(config: &ReportConfig) -> String {
     }
     println!("{}", strategy_table.render());
 
+    let mut dispatch_table = Table::new(
+        "adaptive dispatch (median wall seconds through the service)",
+        &["case", "sequential", "ws4", "routed", "routed-as", "vs-seq"],
+    );
+    for case in &dispatch {
+        dispatch_table.row(vec![
+            case.name.to_string(),
+            format!("{:.6}", case.sequential_seconds),
+            format!("{:.6}", case.ws4_seconds),
+            format!("{:.6}", case.routed_seconds),
+            case.routed_scheduler.clone(),
+            format!("{:.2}", case.routed_vs_sequential()),
+        ]);
+    }
+    println!("{}", dispatch_table.render());
+
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     Json::obj(vec![
         ("schema", Json::str("sge-bench-report/v1")),
-        ("pr", Json::str("pr7")),
+        ("pr", Json::str("pr8")),
         ("repeats", Json::U64(config.repeats as u64)),
         ("host_parallelism", Json::U64(host_parallelism as u64)),
         (
@@ -540,6 +683,16 @@ pub fn run_report(config: &ReportConfig) -> String {
                         "cases",
                         Json::Arr(strategies.iter().map(StrategyCase::to_json).collect()),
                     )]),
+                ),
+                (
+                    "adaptive_dispatch",
+                    Json::obj(vec![
+                        (
+                            "cases",
+                            Json::Arr(dispatch.iter().map(DispatchCase::to_json).collect()),
+                        ),
+                        ("correction_factor_final", Json::F64(correction_final)),
+                    ]),
                 ),
             ]),
         ),
@@ -562,18 +715,33 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     if !text.contains("\"schema\":\"sge-bench-report/v1\"") {
         return Err("missing or unexpected schema marker".to_string());
     }
+    // Records since PR 7 carry the observed-counter columns; since PR 8 the
+    // adaptive_dispatch figure.  Committed older records stay valid as-is.
+    let pre_counter = ["\"pr\":\"pr3\"", "\"pr\":\"pr4\""]
+        .iter()
+        .any(|marker| text.contains(marker));
+    let pre_dispatch = pre_counter || text.contains("\"pr\":\"pr7\"") || !text.contains("\"pr\":");
     for figure in EXPECTED_FIGURES {
+        if figure == "adaptive_dispatch" && pre_dispatch {
+            continue;
+        }
         if !text.contains(&format!("\"{figure}\"")) {
             return Err(format!("missing figure key '{figure}'"));
         }
     }
-    // Records since PR 7 carry the observed-counter columns; the committed
-    // pr3/pr4 records predate them and stay valid as-is.
-    let legacy = ["\"pr\":\"pr3\"", "\"pr\":\"pr4\""]
-        .iter()
-        .any(|marker| text.contains(marker));
-    if !legacy && !text.contains("\"observed_states_total\"") {
+    if !pre_counter && !text.contains("\"observed_states_total\"") {
         return Err("missing 'observed_states_total' counter column".to_string());
+    }
+    if !pre_dispatch {
+        if !text.contains("\"routed_not_slower\"") {
+            return Err("missing 'routed_not_slower' verdicts in adaptive_dispatch".to_string());
+        }
+        if text.contains("\"routed_not_slower\":false") {
+            return Err(
+                "adaptive_dispatch regression: a routed case ran slower than sequential"
+                    .to_string(),
+            );
+        }
     }
     Ok(())
 }

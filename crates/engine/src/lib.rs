@@ -32,6 +32,14 @@
 //!
 //! Only scheduling artifacts (steal counts, per-worker breakdowns, wall-clock
 //! times) may differ.
+//!
+//! That contract is what makes *planner-routed* scheduling safe: the serving
+//! layer may pick any [`Scheduler`] per query from the plan's cost estimate
+//! (small trees stay on the sequential count-only fast path, large ones fan
+//! out with planner-sized workers) without changing any result a client can
+//! observe.  The routing decision itself lives upstream in `sge-plan`
+//! (`SchedulerChoice`); this crate only guarantees the equivalence that
+//! routing relies on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -90,6 +98,15 @@ impl Scheduler {
                 workers.max(1)
             }
         }
+    }
+
+    /// `true` for the sequential scheduler — the family the planner's
+    /// routing fast path targets.  Dispatch accounting (the
+    /// `engine.dispatch.*` counters) classifies every run as sequential or
+    /// parallel through this predicate, so it is the single place the
+    /// two-family split is defined.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, Scheduler::Sequential)
     }
 
     /// Short human-readable name.

@@ -82,6 +82,22 @@ impl Gauge {
         self.cell.store(value, Ordering::Relaxed);
     }
 
+    /// Adds one — for level gauges tracking open resources.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn value(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)

@@ -14,6 +14,13 @@ pub struct ParallelConfig {
     /// Which member of the RI family performs the search.
     pub algorithm: Algorithm,
     /// Number of worker threads (the paper sweeps 1, 2, 4, 8, 16).
+    ///
+    /// Under planner-routed scheduling this is *sized from the corrected
+    /// cost estimate* (`sge-plan`'s `RoutingConfig::states_per_worker`)
+    /// rather than fixed per deployment: small trees never reach this
+    /// runner at all, and large ones arrive with just enough workers that
+    /// each has a meaningful share of estimated states to chew through —
+    /// the regime where the paper's stealing actually amortizes.
     pub workers: usize,
     /// Task-group (coalescing) size; the paper settles on 4.
     pub task_group_size: usize,

@@ -33,6 +33,7 @@ pub mod cost;
 pub mod domains;
 pub mod ordering;
 pub mod planner;
+pub mod route;
 pub mod strategy;
 
 pub use algorithm::Algorithm;
@@ -43,4 +44,5 @@ pub use ordering::{
     PlanStep,
 };
 pub use planner::{Planner, QueryPlan};
+pub use route::{CostModel, RoutingConfig, RoutingDecision, SchedulerChoice};
 pub use strategy::{OrderingStrategy, Strategy};

@@ -1,0 +1,342 @@
+//! Planner-routed scheduler selection with a self-correcting cost model.
+//!
+//! The paper's parallelism only pays off when the search tree is deep enough
+//! to amortize task distribution: on small instances the work-stealing
+//! scheduler runs at a fraction of sequential speed (the BENCH_pr3/pr4 ws4
+//! regression).  This module closes the loop the planner already almost has:
+//! [`PlanCost::est_total_states`] predicts the tree size, [`Planner::route`]
+//! turns the (corrected) prediction into a [`SchedulerChoice`], and a
+//! [`CostModel`] shrinks prediction error over time by folding the *observed*
+//! state counts of finished runs into a per-target EWMA correction factor.
+//!
+//! The crate stays executor-agnostic: a [`SchedulerChoice`] names a shape
+//! (sequential, or work-stealing with a worker count), and the service layer
+//! maps it onto the engine's concrete scheduler type.
+
+use crate::cost::PlanCost;
+use crate::planner::Planner;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The scheduler shape the planner recommends for one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerChoice {
+    /// Run on the caller's thread; small trees never amortize task handoff.
+    Sequential,
+    /// Fan out over the work-stealing pool with `workers` workers.
+    WorkStealing {
+        /// Planner-sized worker count (≥ 2, ≤ [`RoutingConfig::max_workers`]).
+        workers: usize,
+    },
+}
+
+impl SchedulerChoice {
+    /// Stable wire name (`sequential` / `work-stealing`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerChoice::Sequential => "sequential",
+            SchedulerChoice::WorkStealing { .. } => "work-stealing",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerChoice::Sequential => write!(f, "sequential"),
+            SchedulerChoice::WorkStealing { workers } => {
+                write!(f, "work-stealing(workers={workers})")
+            }
+        }
+    }
+}
+
+/// Tunable knobs for [`Planner::route`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutingConfig {
+    /// Corrected-estimate threshold below which queries stay sequential.
+    pub sequential_threshold: f64,
+    /// Target number of estimated states per worker when fanning out; the
+    /// worker count is the corrected estimate divided by this, clamped to
+    /// `[2, max_workers]`.
+    pub states_per_worker: f64,
+    /// Upper bound on planner-sized workers (defaults to the host
+    /// parallelism).
+    pub max_workers: usize,
+}
+
+impl RoutingConfig {
+    /// Host-derived defaults: threshold 50k states, 25k states per worker,
+    /// `max_workers` = available parallelism.
+    pub fn detect() -> Self {
+        let max_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RoutingConfig {
+            sequential_threshold: 50_000.0,
+            states_per_worker: 25_000.0,
+            max_workers,
+        }
+    }
+
+    /// A fully pinned config for deterministic tests and the simulator.
+    pub fn pinned(sequential_threshold: f64, states_per_worker: f64, max_workers: usize) -> Self {
+        RoutingConfig {
+            sequential_threshold,
+            states_per_worker,
+            max_workers,
+        }
+    }
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig::detect()
+    }
+}
+
+/// The routing verdict for one query, with everything EXPLAIN reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutingDecision {
+    /// The recommended scheduler shape.
+    pub choice: SchedulerChoice,
+    /// The planner's raw `est_total_states`.
+    pub raw_est_states: f64,
+    /// The estimate after applying the cost-model correction factor.
+    pub corrected_est_states: f64,
+    /// The correction factor that was applied (1.0 when uncorrected).
+    pub correction: f64,
+    /// The sequential threshold the corrected estimate was compared against.
+    pub threshold: f64,
+}
+
+impl Planner {
+    /// Routes a planned query to a scheduler shape.
+    ///
+    /// `correction` is the cost model's multiplier for this target (1.0 when
+    /// unknown).  The corrected estimate `raw × correction` goes sequential
+    /// below `config.sequential_threshold` (small trees never amortize task
+    /// handoff — the count-only sequential fast path also short-circuits
+    /// mapping collection); above it, the worker count is sized so each
+    /// worker sees roughly `config.states_per_worker` states.  A host without
+    /// parallelism (`max_workers <= 1`) always routes sequential.
+    pub fn route(
+        &self,
+        cost: &PlanCost,
+        correction: f64,
+        config: &RoutingConfig,
+    ) -> RoutingDecision {
+        let raw = cost.est_total_states.max(0.0);
+        let correction = if correction.is_finite() && correction > 0.0 {
+            correction
+        } else {
+            1.0
+        };
+        let corrected = (raw * correction).min(f64::MAX);
+        let choice = if config.max_workers <= 1
+            || corrected < config.sequential_threshold
+            || !corrected.is_finite()
+        {
+            SchedulerChoice::Sequential
+        } else {
+            let per_worker = config.states_per_worker.max(1.0);
+            let sized = (corrected / per_worker).ceil() as usize;
+            SchedulerChoice::WorkStealing {
+                workers: sized.clamp(2, config.max_workers.max(2)),
+            }
+        };
+        RoutingDecision {
+            choice,
+            raw_est_states: raw,
+            corrected_est_states: corrected,
+            correction,
+            threshold: config.sequential_threshold,
+        }
+    }
+}
+
+/// Smoothing factor for the per-target EWMA: each observation moves the
+/// correction 30% of the way toward the newly observed ratio.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Ratio clamp keeping one pathological observation from poisoning the model.
+const RATIO_CLAMP: f64 = 1e6;
+
+/// Per-target correction factors learned from finished runs.
+///
+/// Keyed by an opaque target identity (the service uses its target name);
+/// each observation of a *complete* run folds `observed / estimated` into an
+/// EWMA.  Truncated runs (timeout, match limit, cancellation) must not be
+/// fed in — their observed counts undercount the true tree.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    factors: Mutex<HashMap<String, f64>>,
+}
+
+impl CostModel {
+    /// An empty model (every target starts at correction 1.0).
+    pub fn new() -> Self {
+        CostModel::default()
+    }
+
+    /// The current correction factor for `target` (1.0 when unseen).
+    pub fn correction_for(&self, target: &str) -> f64 {
+        self.lock().get(target).copied().unwrap_or(1.0)
+    }
+
+    /// Folds one complete run into the model and returns the updated factor.
+    ///
+    /// `estimated` is the planner's raw `est_total_states`, `observed` the
+    /// true state count from the run's `EnumerationOutcome`/`TraceSink`.
+    /// Non-positive or non-finite estimates are ignored (nothing to correct
+    /// against).
+    pub fn observe(&self, target: &str, estimated: f64, observed: u64) -> f64 {
+        if !estimated.is_finite() || estimated <= 0.0 {
+            return self.correction_for(target);
+        }
+        let ratio = ((observed as f64) / estimated).clamp(1.0 / RATIO_CLAMP, RATIO_CLAMP);
+        let mut factors = self.lock();
+        let entry = factors.entry(target.to_string()).or_insert(1.0);
+        *entry += EWMA_ALPHA * (ratio - *entry);
+        *entry
+    }
+
+    /// Number of targets with a learned factor.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no run has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, f64>> {
+        self.factors
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::Planner;
+
+    fn cost_with_total(total: f64) -> PlanCost {
+        PlanCost {
+            positions: Vec::new(),
+            est_total_states: total,
+        }
+    }
+
+    fn planner() -> Planner {
+        Planner::new(Strategy::RiGreedy)
+    }
+
+    #[test]
+    fn small_estimates_route_sequential() {
+        let config = RoutingConfig::pinned(1000.0, 500.0, 8);
+        let decision = planner().route(&cost_with_total(999.0), 1.0, &config);
+        assert_eq!(decision.choice, SchedulerChoice::Sequential);
+        assert_eq!(decision.correction, 1.0);
+        assert_eq!(decision.threshold, 1000.0);
+    }
+
+    #[test]
+    fn large_estimates_route_work_stealing_with_sized_workers() {
+        let config = RoutingConfig::pinned(1000.0, 500.0, 8);
+        let decision = planner().route(&cost_with_total(2000.0), 1.0, &config);
+        assert_eq!(
+            decision.choice,
+            SchedulerChoice::WorkStealing { workers: 4 }
+        );
+    }
+
+    #[test]
+    fn worker_count_clamps_to_max() {
+        let config = RoutingConfig::pinned(1000.0, 500.0, 3);
+        let decision = planner().route(&cost_with_total(1e9), 1.0, &config);
+        assert_eq!(
+            decision.choice,
+            SchedulerChoice::WorkStealing { workers: 3 }
+        );
+    }
+
+    #[test]
+    fn single_core_always_routes_sequential() {
+        let config = RoutingConfig::pinned(1000.0, 500.0, 1);
+        let decision = planner().route(&cost_with_total(1e12), 1.0, &config);
+        assert_eq!(decision.choice, SchedulerChoice::Sequential);
+    }
+
+    #[test]
+    fn correction_factor_swings_the_decision() {
+        let config = RoutingConfig::pinned(1000.0, 500.0, 8);
+        // Raw estimate says parallel, but the model learned a 100x
+        // overestimate for this target.
+        let corrected = planner().route(&cost_with_total(5000.0), 0.01, &config);
+        assert_eq!(corrected.choice, SchedulerChoice::Sequential);
+        assert!((corrected.corrected_est_states - 50.0).abs() < 1e-9);
+        // And the other way: an underestimating planner gets boosted over the
+        // threshold.
+        let boosted = planner().route(&cost_with_total(200.0), 10.0, &config);
+        assert_eq!(boosted.choice, SchedulerChoice::WorkStealing { workers: 4 });
+    }
+
+    #[test]
+    fn bogus_corrections_fall_back_to_identity() {
+        let config = RoutingConfig::pinned(1000.0, 500.0, 8);
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let decision = planner().route(&cost_with_total(100.0), bad, &config);
+            assert_eq!(decision.correction, 1.0, "correction {bad} not sanitized");
+        }
+    }
+
+    #[test]
+    fn cost_model_converges_toward_observed_ratio() {
+        let model = CostModel::new();
+        assert_eq!(model.correction_for("t"), 1.0);
+        // The planner consistently overestimates 10x: observed/estimated = 0.1.
+        let mut last = 1.0;
+        for _ in 0..50 {
+            last = model.observe("t", 1000.0, 100);
+        }
+        assert!(
+            (last - 0.1).abs() < 1e-6,
+            "correction {last} did not converge"
+        );
+        assert_eq!(model.len(), 1);
+    }
+
+    #[test]
+    fn cost_model_error_shrinks_monotonically_on_repeats() {
+        let model = CostModel::new();
+        let target_ratio = 4.0; // planner underestimates 4x
+        let mut prev_err = (model.correction_for("t") - target_ratio).abs();
+        for _ in 0..20 {
+            let factor = model.observe("t", 250.0, 1000);
+            let err = (factor - target_ratio).abs();
+            assert!(err <= prev_err + 1e-12, "error grew: {prev_err} -> {err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 0.01);
+    }
+
+    #[test]
+    fn cost_model_ignores_unusable_estimates() {
+        let model = CostModel::new();
+        assert_eq!(model.observe("t", 0.0, 500), 1.0);
+        assert_eq!(model.observe("t", f64::NAN, 500), 1.0);
+        assert!(model.is_empty());
+    }
+
+    #[test]
+    fn cost_model_is_per_target() {
+        let model = CostModel::new();
+        model.observe("a", 100.0, 1000);
+        assert!(model.correction_for("a") > 1.0);
+        assert_eq!(model.correction_for("b"), 1.0);
+    }
+}

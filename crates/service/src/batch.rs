@@ -150,6 +150,7 @@ mod tests {
             cache_capacity: 16,
             batch_workers: 4,
             max_in_flight: 2,
+            ..ServiceConfig::default()
         });
         service.registry().insert("k5", generators::clique(5, 0));
         service

@@ -3,7 +3,8 @@
 //! ```text
 //! sge-serve [--addr HOST:PORT] [--cache N] [--workers N]
 //!           [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]...
-//!           [--log PATH]
+//!           [--log PATH] [--threaded] [--route-threshold STATES]
+//!           [--route-states-per-worker STATES]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts wait for
@@ -12,6 +13,14 @@
 //! responses before the process exits.  `--log PATH` appends one JSON line
 //! per server lifecycle event (`listening`, `conn_open`, `conn_close`,
 //! `shutdown`, `drained`) to PATH.
+//!
+//! On Unix the default front end is the event-driven readiness loop
+//! ([`sge_service::EventServer`]); `--threaded` selects the classic
+//! thread-per-connection server instead (always used on non-Unix hosts).
+//! `--route-threshold` / `--route-states-per-worker` tune the planner's
+//! scheduler routing (estimated states below the threshold stay on the
+//! sequential fast path; above it, worker count is sized from the
+//! corrected estimate).
 
 use sge_obs::EventLog;
 use sge_service::{Server, Service, ServiceConfig};
@@ -21,12 +30,13 @@ use std::sync::Arc;
 /// Ring capacity for the in-memory tail of the event log.
 const EVENT_LOG_CAPACITY: usize = 1024;
 
+const USAGE: &str = "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
+     [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]... [--log PATH] \
+     [--threaded] [--route-threshold STATES] [--route-states-per-worker STATES]";
+
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!(
-        "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
-         [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]... [--log PATH]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -37,6 +47,7 @@ fn main() {
     let mut preloads: Vec<(String, String)> = Vec::new();
     let mut drain_ms: u64 = 5000;
     let mut log_path: Option<String> = None;
+    let mut threaded = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -74,6 +85,19 @@ fn main() {
                     Err(_) => fail("invalid --drain-ms"),
                 }
             }
+            "--route-threshold" => {
+                config.routing.sequential_threshold = match value().parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("invalid --route-threshold"),
+                }
+            }
+            "--route-states-per-worker" => {
+                config.routing.states_per_worker = match value().parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("invalid --route-states-per-worker"),
+                }
+            }
+            "--threaded" => threaded = true,
             "--load" => {
                 let spec = value();
                 match spec.split_once('=') {
@@ -83,10 +107,7 @@ fn main() {
             }
             "--log" => log_path = Some(value()),
             "--help" | "-h" => {
-                println!(
-                    "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
-                     [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]... [--log PATH]"
-                );
+                println!("{USAGE}");
                 return;
             }
             other => fail(&format!("unknown argument '{other}'")),
@@ -105,15 +126,42 @@ fn main() {
         }
     }
 
+    let event_log =
+        log_path
+            .as_deref()
+            .map(|path| match EventLog::with_file(EVENT_LOG_CAPACITY, path) {
+                Ok(log) => Arc::new(log),
+                Err(err) => fail(&format!("cannot open event log {path}: {err}")),
+            });
+    let drain = std::time::Duration::from_millis(drain_ms);
+
+    #[cfg(unix)]
+    if !threaded {
+        let mut server = match sge_service::EventServer::bind(addr.as_str(), service) {
+            Ok(server) => server.with_drain_timeout(drain),
+            Err(err) => fail(&format!("cannot bind {addr}: {err}")),
+        };
+        if let Some(log) = event_log {
+            server = server.with_event_log(log);
+        }
+        let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+        println!("listening on {bound}");
+        std::io::stdout().flush().ok();
+        if let Err(err) = server.run() {
+            eprintln!("server error: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    #[cfg(not(unix))]
+    let _ = threaded; // only the blocking front end exists off-Unix
+
     let mut server = match Server::bind(addr.as_str(), service) {
-        Ok(server) => server.with_drain_timeout(std::time::Duration::from_millis(drain_ms)),
+        Ok(server) => server.with_drain_timeout(drain),
         Err(err) => fail(&format!("cannot bind {addr}: {err}")),
     };
-    if let Some(path) = &log_path {
-        match EventLog::with_file(EVENT_LOG_CAPACITY, path) {
-            Ok(log) => server = server.with_event_log(Arc::new(log)),
-            Err(err) => fail(&format!("cannot open event log {path}: {err}")),
-        }
+    if let Some(log) = event_log {
+        server = server.with_event_log(log);
     }
     let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
     println!("listening on {bound}");

@@ -37,6 +37,8 @@ pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod connection;
+#[cfg(unix)]
+pub mod event_server;
 pub mod json;
 pub mod protocol;
 pub mod registry;
@@ -48,14 +50,19 @@ mod semaphore;
 pub use batch::{BatchExecutor, BatchOutcome, QuerySet};
 pub use cache::{CacheStats, PreparedCache};
 pub use connection::{Connection, StepOutcome};
+#[cfg(unix)]
+pub use event_server::EventServer;
 pub use registry::{GraphInfo, GraphRegistry};
 pub use server::Server;
 pub use stats::{ServiceStats, StatsSnapshot};
 
-use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig};
+use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
 use sge_graph::io::ParseError;
 use sge_graph::NodeId;
-use sge_obs::{Counter, MetricsRegistry, MetricsSnapshot, QueryTrace, SpanRecord, TraceSink};
+use sge_obs::{
+    Counter, Gauge, MetricsRegistry, MetricsSnapshot, QueryTrace, SpanRecord, TraceSink,
+};
+use sge_plan::{CostModel, Planner, RoutingConfig, RoutingDecision, SchedulerChoice};
 use sge_ri::{Algorithm, CandidateMode};
 use sge_util::{Clock, SystemClock};
 use std::fmt;
@@ -117,6 +124,10 @@ pub struct ServiceConfig {
     /// Global cap on concurrently *executing* enumeration runs (admission
     /// control across all connections and batches).
     pub max_in_flight: usize,
+    /// Planner-routing knobs: when a query does not pin a scheduler
+    /// (`sched=` on the wire), [`Planner::route`] picks one from the
+    /// cost-model-corrected state estimate under these thresholds.
+    pub routing: RoutingConfig,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +139,7 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             batch_workers: cores,
             max_in_flight: cores.max(1) * 2,
+            routing: RoutingConfig::default(),
         }
     }
 }
@@ -190,11 +202,17 @@ pub struct QuerySpec {
     /// Rows per streamed frame (clamped to `1..=`[`MAX_STREAM_CHUNK`]);
     /// ignored in buffered mode.
     pub chunk: usize,
+    /// Whether the caller pinned the scheduler.  When `false` (the default)
+    /// the service routes the run through [`Planner::route`], replacing
+    /// `run.scheduler` with the planner's choice; when `true` the embedded
+    /// scheduler is honored verbatim (`sched=` on the wire, or
+    /// [`QuerySpec::with_run`] in-process).
+    pub pinned: bool,
 }
 
 impl QuerySpec {
     /// A query with the given pattern text, the paper's strongest variant
-    /// (RI-DS-SI-FC) and a sequential, unlimited, buffered run.
+    /// (RI-DS-SI-FC) and an unlimited, buffered, planner-routed run.
     pub fn new(pattern_text: impl Into<String>) -> Self {
         QuerySpec {
             pattern_text: pattern_text.into(),
@@ -203,6 +221,7 @@ impl QuerySpec {
             run: RunConfig::default(),
             emit: EmitMode::default(),
             chunk: DEFAULT_STREAM_CHUNK,
+            pinned: false,
         }
     }
 
@@ -218,9 +237,20 @@ impl QuerySpec {
         self
     }
 
-    /// Sets the run configuration.
+    /// Sets the run configuration and pins its scheduler (a caller that
+    /// passes an explicit [`RunConfig`] expects its scheduler to be the one
+    /// that runs).  Chain [`QuerySpec::routed`] to keep the limits but let
+    /// the planner pick the scheduler.
     pub fn with_run(mut self, run: RunConfig) -> Self {
         self.run = run;
+        self.pinned = true;
+        self
+    }
+
+    /// Un-pins the scheduler: the embedded `run`'s limits stay, but the
+    /// planner routes the scheduler choice.
+    pub fn routed(mut self) -> Self {
+        self.pinned = false;
         self
     }
 
@@ -245,6 +275,9 @@ pub struct QueryOutcome {
     /// End-to-end service latency of this query in seconds (parse + cache
     /// lookup / preparation + run).
     pub latency_seconds: f64,
+    /// Whether the scheduler was chosen by [`Planner::route`] (`true`) or
+    /// pinned by the caller (`false`).
+    pub routed: bool,
     /// The enumeration result.
     pub outcome: EnumerationOutcome,
 }
@@ -273,9 +306,37 @@ pub struct Service {
     stats: ServiceStats,
     metrics: MetricsRegistry,
     engine_counters: EngineCounters,
+    dispatch: DispatchCells,
+    cost_model: CostModel,
     admission: semaphore::Semaphore,
     config: ServiceConfig,
     clock: Arc<dyn Clock>,
+}
+
+/// Pre-registered handles for the routing/dispatch metrics.
+struct DispatchCells {
+    /// Runs dispatched on the sequential scheduler (routed or pinned).
+    sequential: Counter,
+    /// Runs dispatched on a parallel scheduler (work-stealing or rayon-style).
+    work_stealing: Counter,
+    /// The cost model's most recently updated correction factor, in
+    /// milli-units (1000 = identity) — gauges are integral.
+    correction: Gauge,
+    /// Currently open server connections (maintained by the TCP front ends).
+    connections_open: Gauge,
+}
+
+impl DispatchCells {
+    fn with_registry(registry: &MetricsRegistry) -> Self {
+        let cells = DispatchCells {
+            sequential: registry.counter("engine.dispatch.sequential"),
+            work_stealing: registry.counter("engine.dispatch.work_stealing"),
+            correction: registry.gauge("engine.cost_model.correction"),
+            connections_open: registry.gauge("service.connections_open"),
+        };
+        cells.correction.set(1000); // identity until the first observation
+        cells
+    }
 }
 
 /// Pre-registered handles for the post-run enumeration counters, so the
@@ -330,6 +391,8 @@ impl Service {
             cache: PreparedCache::new(config.cache_capacity),
             stats: ServiceStats::with_registry(&metrics),
             engine_counters: EngineCounters::with_registry(&metrics),
+            dispatch: DispatchCells::with_registry(&metrics),
+            cost_model: CostModel::new(),
             metrics,
             admission: semaphore::Semaphore::new(config.max_in_flight.max(1)),
             config,
@@ -447,6 +510,83 @@ impl Service {
         permit
     }
 
+    /// The per-target cost model routing decisions consult.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The `service.connections_open` gauge handle — incremented /
+    /// decremented by the TCP front ends as connections open and close.
+    pub fn connections_gauge(&self) -> Gauge {
+        self.dispatch.connections_open.clone()
+    }
+
+    /// Runs dispatched per scheduler family so far:
+    /// `(sequential, work_stealing)`.
+    pub fn dispatch_counts(&self) -> (u64, u64) {
+        (
+            self.dispatch.sequential.value(),
+            self.dispatch.work_stealing.value(),
+        )
+    }
+
+    /// The most recently updated cost-model correction factor (1.0 until a
+    /// first complete run is observed).
+    pub fn correction_factor(&self) -> f64 {
+        self.dispatch.correction.value() as f64 / 1000.0
+    }
+
+    /// The routing decision [`Planner::route`] makes for `engine` against
+    /// `target` right now (current correction factor, configured thresholds).
+    pub fn routing_decision(&self, target: &str, engine: &PreparedEngine) -> RoutingDecision {
+        let correction = self.cost_model.correction_for(target);
+        Planner::new(engine.strategy()).route(&engine.plan().cost, correction, &self.config.routing)
+    }
+
+    /// The run configuration a query will actually execute under: the spec's
+    /// own when the scheduler is pinned, otherwise the spec with its
+    /// scheduler replaced by the planner's routed choice.
+    fn effective_run(
+        &self,
+        target: &str,
+        spec: &QuerySpec,
+        engine: &PreparedEngine,
+    ) -> (RunConfig, Option<RoutingDecision>) {
+        if spec.pinned {
+            return (spec.run, None);
+        }
+        let decision = self.routing_decision(target, engine);
+        let mut run = spec.run;
+        run.scheduler = scheduler_for_choice(decision.choice);
+        (run, Some(decision))
+    }
+
+    /// Counts one dispatch under the scheduler family that will execute it.
+    fn record_dispatch(&self, scheduler: &Scheduler) {
+        if scheduler.is_sequential() {
+            self.dispatch.sequential.inc();
+        } else {
+            self.dispatch.work_stealing.inc();
+        }
+    }
+
+    /// Folds one finished run into the cost model — only *complete* runs:
+    /// a cancelled, timed-out or limit-capped run undercounts the true tree
+    /// and would corrupt the observed/estimated ratio.
+    fn observe_run(&self, target: &str, engine: &PreparedEngine, outcome: &EnumerationOutcome) {
+        if outcome.cancelled || outcome.timed_out || outcome.limit_hit {
+            return;
+        }
+        let estimated = engine.plan().cost.est_total_states;
+        if !estimated.is_finite() || estimated <= 0.0 {
+            return;
+        }
+        let factor = self.cost_model.observe(target, estimated, outcome.states);
+        self.dispatch
+            .correction
+            .set((factor * 1000.0).round().max(0.0) as u64);
+    }
+
     fn run_query_inner(
         &self,
         target: &str,
@@ -454,10 +594,13 @@ impl Service {
         started: Duration,
     ) -> Result<QueryOutcome, ServiceError> {
         let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
+        let (run, decision) = self.effective_run(target, spec, &engine);
+        self.record_dispatch(&run.scheduler);
         let outcome = {
             let _permit = self.admit();
-            engine.run(&spec.run)
+            engine.run(&run)
         };
+        self.observe_run(target, &engine, &outcome);
         let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
         self.engine_counters.record(&outcome);
@@ -466,6 +609,7 @@ impl Service {
             pattern_hash,
             cache_hit,
             latency_seconds,
+            routed: decision.is_some(),
             outcome,
         })
     }
@@ -507,6 +651,7 @@ impl Service {
         started: Duration,
     ) -> Result<StreamedQueryOutcome, ServiceError> {
         let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
+        let (mut run, decision) = self.effective_run(target, spec, &engine);
         let chunk = spec.chunk.clamp(1, MAX_STREAM_CHUNK);
         let header = StreamHeader {
             target: target.to_string(),
@@ -515,12 +660,13 @@ impl Service {
             pattern_hash,
             algorithm: engine.algorithm(),
             strategy: engine.strategy(),
-            scheduler: spec.run.scheduler,
+            scheduler: run.scheduler,
+            routed: decision.is_some(),
         };
         // A failing header write means the client is already gone; nothing
         // ran, so surface it as a plain error instead of a result.
         sink.begin(&header)?;
-        let mut run = spec.run;
+        self.record_dispatch(&run.scheduler);
         run.collect_mappings = 0;
         let mut buffer: Vec<Vec<NodeId>> = Vec::with_capacity(chunk);
         let mut rows_sent: u64 = 0;
@@ -550,6 +696,7 @@ impl Service {
             }
         }
         let cancelled = outcome.cancelled || !sink_alive;
+        self.observe_run(target, &engine, &outcome);
         let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
         self.stats.record_stream(rows_sent, cancelled);
@@ -560,6 +707,7 @@ impl Service {
                 pattern_hash,
                 cache_hit,
                 latency_seconds,
+                routed: decision.is_some(),
                 outcome,
             },
             rows_sent,
@@ -587,11 +735,20 @@ impl Service {
     ) -> Result<ExplainOutcome, ServiceError> {
         let started = self.clock.now();
         let (engine, cache_hit, pattern_hash) = self.prepare_for_spec(target, spec)?;
+        let routing = self.routing_decision(target, &engine);
+        let effective_scheduler = if spec.pinned {
+            spec.run.scheduler
+        } else {
+            scheduler_for_choice(routing.choice)
+        };
         Ok(ExplainOutcome {
             target: target.to_string(),
             pattern_hash,
             cache_hit,
             latency_seconds: self.clock.now().saturating_sub(started).as_secs_f64(),
+            routing,
+            routed: !spec.pinned,
+            effective_scheduler,
             engine,
         })
     }
@@ -630,6 +787,9 @@ impl Service {
         let planned = self.clock.now();
         trace.record_span("plan", started, planned);
 
+        let routing = self.routing_decision(target, &engine);
+        let (mut run, decision) = self.effective_run(target, spec, &engine);
+        self.record_dispatch(&run.scheduler);
         let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
         let outcome = {
             let wait_started = self.clock.now();
@@ -639,7 +799,6 @@ impl Service {
                 .record_admission_wait(admitted.saturating_sub(wait_started).as_secs_f64());
             trace.record_span("admission_wait", wait_started, admitted);
             let _permit = permit;
-            let mut run = spec.run;
             run.collect_mappings = 0;
             let mut instrumented = engine.engine();
             instrumented.set_trace_sink(Arc::clone(&sink));
@@ -647,6 +806,7 @@ impl Service {
             trace.record_span("enumeration", admitted, self.clock.now());
             outcome
         };
+        self.observe_run(target, &engine, &outcome);
         let latency_seconds = self.clock.now().saturating_sub(started).as_secs_f64();
         self.stats.record_query(outcome.matches, latency_seconds);
         self.engine_counters.record(&outcome);
@@ -658,6 +818,8 @@ impl Service {
             observed_candidates: sink.candidates_per_position(),
             observed_states: sink.states_per_position(),
             spans: trace.spans().to_vec(),
+            routing,
+            routed: decision.is_some(),
             engine,
             outcome,
         })
@@ -683,6 +845,15 @@ pub struct ExplainOutcome {
     pub cache_hit: bool,
     /// End-to-end service latency of the explain in seconds.
     pub latency_seconds: f64,
+    /// The routing decision current when the explain ran (what an
+    /// unpinned QUERY of the same spec would dispatch as right now).
+    pub routing: RoutingDecision,
+    /// Whether the explained query would be planner-routed (`true`) or ran
+    /// with a caller-pinned scheduler (`false`).
+    pub routed: bool,
+    /// The scheduler the explained query would execute under: the routed
+    /// choice, or the pinned one.
+    pub effective_scheduler: Scheduler,
     /// The prepared engine; its [`PreparedEngine::plan`] carries the match
     /// order, strategy and cost estimates.
     pub engine: Arc<PreparedEngine>,
@@ -710,6 +881,10 @@ pub struct ExplainAnalyzeOutcome {
     /// Where the wall time went: `plan`, `admission_wait`, `enumeration`,
     /// with offsets relative to the query start.
     pub spans: Vec<SpanRecord>,
+    /// The routing decision current when the query dispatched.
+    pub routing: RoutingDecision,
+    /// Whether the run was planner-routed (`true`) or scheduler-pinned.
+    pub routed: bool,
     /// The prepared engine whose plan carries the estimates.
     pub engine: Arc<PreparedEngine>,
     /// The executed enumeration (mappings empty — collection is disabled).
@@ -745,8 +920,10 @@ pub struct StreamHeader {
     pub algorithm: Algorithm,
     /// Ordering strategy of the prepared plan.
     pub strategy: sge_ri::Strategy,
-    /// Scheduler the run executes under.
+    /// Scheduler the run executes under (the routed choice when `routed`).
     pub scheduler: sge_engine::Scheduler,
+    /// Whether the scheduler was planner-routed rather than caller-pinned.
+    pub routed: bool,
 }
 
 /// The result of one streamed query: the usual outcome plus delivery facts.
@@ -759,6 +936,16 @@ pub struct StreamedQueryOutcome {
     /// Whether the stream was cut short (sink write failed / consumer gone);
     /// enumeration then stopped early and counts are lower bounds.
     pub cancelled: bool,
+}
+
+/// Maps an executor-agnostic [`SchedulerChoice`] onto the engine's concrete
+/// scheduler type (work-stealing runs get the default task-group size with
+/// stealing enabled).
+pub fn scheduler_for_choice(choice: SchedulerChoice) -> Scheduler {
+    match choice {
+        SchedulerChoice::Sequential => Scheduler::Sequential,
+        SchedulerChoice::WorkStealing { workers } => Scheduler::work_stealing(workers),
+    }
 }
 
 /// Convenience alias: a service shared across server connection threads.

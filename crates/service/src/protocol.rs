@@ -22,8 +22,11 @@
 //! ```
 //!
 //! * `algo` — `ri`, `ri-ds`, `ri-ds-si` or `ri-ds-si-fc` (default).
-//! * `sched` — `seq` (default), `ws:<workers>[:<group>[:nosteal]]` or
-//!   `rayon:<workers>`.
+//! * `sched` — `auto` (default: the planner routes the run to the cheapest
+//!   scheduler from its cost-model-corrected state estimate), or a pinned
+//!   `seq`, `ws:<workers>[:<group>[:nosteal]]` or `rayon:<workers>`.
+//!   Responses carry `routed` (whether the planner chose) and `EXPLAIN`
+//!   reports the full decision under `routing`.
 //! * `strategy` — ordering strategy: `ri-greedy` (default),
 //!   `least-frequent-label` or `degree-descending`.
 //! * `mode` — candidate generation: `intersection` (default) or
@@ -174,6 +177,7 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
     let mut run = RunConfig::default();
     let mut emit = EmitMode::default();
     let mut chunk = crate::DEFAULT_STREAM_CHUNK;
+    let mut pinned = false;
     for token in tokens {
         let (key, value) = token
             .split_once('=')
@@ -184,7 +188,14 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
                 algorithm = value.parse().map_err(protocol_error)?;
             }
             "sched" => {
-                run.scheduler = value.parse().map_err(protocol_error)?;
+                // `sched=auto` is the explicit spelling of the default:
+                // let the planner route.  Any concrete scheduler pins it.
+                if value.eq_ignore_ascii_case("auto") {
+                    pinned = false;
+                } else {
+                    run.scheduler = value.parse().map_err(protocol_error)?;
+                    pinned = true;
+                }
             }
             "strategy" => {
                 run.strategy = value.parse().map_err(protocol_error)?;
@@ -244,6 +255,7 @@ fn parse_query_args(tokens: &[&str]) -> Result<QueryArgs, ServiceError> {
         run,
         emit,
         chunk,
+        pinned,
     });
     Ok(QueryArgs { target, spec })
 }
@@ -380,6 +392,7 @@ fn query_body(query: &QueryOutcome) -> Vec<(&'static str, Json)> {
         ("algorithm", Json::str(outcome.algorithm.name())),
         ("strategy", Json::str(outcome.strategy.name())),
         ("scheduler", Json::str(outcome.scheduler.to_string())),
+        ("routed", Json::Bool(query.routed)),
         ("workers", Json::U64(outcome.workers as u64)),
         ("matches", Json::U64(outcome.matches)),
         ("states", Json::U64(outcome.states)),
@@ -429,6 +442,7 @@ pub fn stream_header_response(header: &StreamHeader) -> Json {
         ("algorithm", Json::str(header.algorithm.name())),
         ("strategy", Json::str(header.strategy.name())),
         ("scheduler", Json::str(header.scheduler.to_string())),
+        ("routed", Json::Bool(header.routed)),
         ("cache_hit", Json::Bool(header.cache_hit)),
         (
             "pattern_hash",
@@ -463,6 +477,26 @@ pub fn stream_footer_response(streamed: &StreamedQueryOutcome) -> Json {
     ];
     pairs.extend(query_body(&streamed.query));
     Json::obj(pairs)
+}
+
+/// The `routing` sub-object of `EXPLAIN` / `EXPLAIN ANALYZE` responses: the
+/// scheduler the query dispatches under and the numbers that picked it.
+fn routing_object(
+    decision: &sge_plan::RoutingDecision,
+    effective_scheduler: &str,
+    routed: bool,
+) -> Json {
+    Json::obj(vec![
+        ("chosen_scheduler", Json::str(effective_scheduler)),
+        ("routed", Json::Bool(routed)),
+        ("est_states_raw", Json::F64(decision.raw_est_states)),
+        (
+            "est_states_corrected",
+            Json::F64(decision.corrected_est_states),
+        ),
+        ("correction", Json::F64(decision.correction)),
+        ("threshold", Json::F64(decision.threshold)),
+    ])
 }
 
 /// Response to a successful `EXPLAIN`: the chosen strategy, the match order
@@ -504,6 +538,14 @@ pub fn explain_response(explain: &crate::ExplainOutcome) -> Json {
         ("est_candidates", est_candidates),
         ("est_states", est_states),
         ("est_total_states", Json::F64(plan.cost.est_total_states)),
+        (
+            "routing",
+            routing_object(
+                &explain.routing,
+                &explain.effective_scheduler.to_string(),
+                explain.routed,
+            ),
+        ),
         ("impossible", Json::Bool(explain.engine.impossible())),
         ("cache_hit", Json::Bool(explain.cache_hit)),
         (
@@ -578,6 +620,14 @@ pub fn explain_analyze_response(analyze: &ExplainAnalyzeOutcome) -> Json {
         ),
         ("observed_states", observed(&analyze.observed_states)),
         ("est_total_states", Json::F64(plan.cost.est_total_states)),
+        (
+            "routing",
+            routing_object(
+                &analyze.routing,
+                &outcome.scheduler.to_string(),
+                analyze.routed,
+            ),
+        ),
         ("matches", Json::U64(outcome.matches)),
         ("states", Json::U64(outcome.states)),
         ("steals", Json::U64(outcome.steals)),
@@ -657,6 +707,8 @@ pub fn batch_response(batch: &BatchOutcome) -> Json {
 pub fn stats_response(service: &Service) -> Json {
     let snapshot = service.stats();
     let cache = service.cache().stats();
+    let (dispatch_sequential, dispatch_work_stealing) = service.dispatch_counts();
+    let connections_open = service.connections_gauge().value();
     let targets = service
         .registry()
         .list()
@@ -682,6 +734,18 @@ pub fn stats_response(service: &Service) -> Json {
         (
             "admission_wait_seconds",
             Json::F64(snapshot.admission_wait_seconds),
+        ),
+        ("connections_open", Json::U64(connections_open)),
+        (
+            "dispatch",
+            Json::obj(vec![
+                ("sequential", Json::U64(dispatch_sequential)),
+                ("work_stealing", Json::U64(dispatch_work_stealing)),
+            ]),
+        ),
+        (
+            "cost_model_correction",
+            Json::F64(service.correction_factor()),
         ),
         ("targets", Json::Arr(targets)),
         (
@@ -875,6 +939,7 @@ mod tests {
             algorithm: Algorithm::RiDsSiFc,
             strategy: sge_ri::Strategy::RiGreedy,
             scheduler: Scheduler::Sequential,
+            routed: false,
         };
         let rendered = stream_header_response(&header).render();
         assert!(

@@ -110,6 +110,8 @@ impl Server {
             let shutdown = Arc::clone(&self.shutdown);
             let log = self.event_log.clone();
             let guard = tracker.register();
+            let gauge = self.service.connections_gauge();
+            gauge.inc();
             std::thread::spawn(move || {
                 let _live = guard; // deregisters (and wakes the drain) on exit
                                    // Per-connection errors only terminate that connection.
@@ -121,6 +123,7 @@ impl Server {
                     log.as_deref(),
                     conn,
                 );
+                gauge.dec();
                 log_event(
                     log.as_deref(),
                     &service,
@@ -146,7 +149,7 @@ impl Server {
 /// Records one structured JSON event line when a log is attached; a `None`
 /// log costs one branch.  Timestamps come from the service clock, so logs
 /// from a simulated service carry virtual time.
-fn log_event(
+pub(crate) fn log_event(
     log: Option<&EventLog>,
     service: &crate::Service,
     event: &str,

@@ -104,6 +104,7 @@ fn batch_through_the_service_matches_single_queries() {
         cache_capacity: 8,
         batch_workers: 4,
         max_in_flight: 3,
+        ..ServiceConfig::default()
     });
     service.registry().insert("k6", generators::clique(6, 0));
 
@@ -412,6 +413,7 @@ fn metrics_snapshot_covers_the_catalogue_and_agrees_with_stats() {
         cache_capacity: 8,
         batch_workers: 2,
         max_in_flight: 2,
+        ..ServiceConfig::default()
     });
     service.registry().insert("k5", generators::clique(5, 0));
     let pattern = write_graph(&generators::directed_cycle(3, 0));
@@ -463,9 +465,135 @@ fn zero_max_in_flight_is_clamped_not_deadlocked() {
         cache_capacity: 4,
         batch_workers: 2,
         max_in_flight: 0,
+        ..ServiceConfig::default()
     });
     service.registry().insert("k5", generators::clique(5, 0));
     let pattern = write_graph(&generators::directed_cycle(3, 0));
     let outcome = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
     assert_eq!(outcome.outcome.matches, 60);
+}
+
+// ---------------------------------------------------------------------------
+// Planner-routed scheduling and the self-correcting cost model
+// ---------------------------------------------------------------------------
+
+/// Property: repeating the *same* query converges the per-target correction
+/// factor onto the observed/estimated state ratio, with monotonically
+/// shrinking error (the EWMA contracts geometrically on a fixed signal).
+#[test]
+fn repeated_identical_queries_converge_the_correction_factor() {
+    let service = Service::new(ServiceConfig::default());
+    service.registry().insert("grid", generators::grid(6, 6));
+    let pattern = write_graph(&generators::directed_path(3, 0));
+    let spec = QuerySpec::new(&pattern); // routed: feeds the cost model
+
+    // The true ratio the model should learn: observed states over the
+    // planner's raw estimate (both deterministic for a fixed query).
+    let first = service.run_query("grid", &spec).unwrap();
+    let explain = service.explain("grid", &QuerySpec::new(&pattern)).unwrap();
+    let estimated = explain.routing.raw_est_states;
+    assert!(estimated > 0.0);
+    let ratio = first.outcome.states as f64 / estimated;
+
+    let mut last_error = (service.cost_model().correction_for("grid") - ratio).abs();
+    for round in 0..12 {
+        service.run_query("grid", &spec).unwrap();
+        let error = (service.cost_model().correction_for("grid") - ratio).abs();
+        assert!(
+            error <= last_error + 1e-12,
+            "round {round}: error grew from {last_error} to {error}"
+        );
+        last_error = error;
+    }
+    let converged = service.cost_model().correction_for("grid");
+    assert!(
+        (converged - ratio).abs() <= ratio.max(1.0) * 0.05,
+        "correction {converged} did not converge to ratio {ratio}"
+    );
+    // The gauge mirrors the model (milli-units).
+    assert!(
+        (service.correction_factor() - converged).abs() < 0.002,
+        "gauge {} vs model {converged}",
+        service.correction_factor()
+    );
+}
+
+/// Routed and pinned-scheduler runs of the same query return byte-identical
+/// sorted mappings — routing changes *where* the tree is enumerated, never
+/// *what* comes back.
+#[test]
+fn routed_and_pinned_schedulers_agree_on_sorted_mappings() {
+    use sge_plan::RoutingConfig;
+    // Threshold 1 state: every routed query fans out to work-stealing, so
+    // the parity below crosses scheduler families even on a 1-core host.
+    let service = Service::new(ServiceConfig {
+        routing: RoutingConfig::pinned(1.0, 100.0, 4),
+        ..ServiceConfig::default()
+    });
+    service.registry().insert("k6", generators::clique(6, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+    let collect = RunConfig::default().with_collected_mappings(10_000);
+
+    let routed = service
+        .run_query("k6", &QuerySpec::new(&pattern).with_run(collect).routed())
+        .unwrap();
+    assert!(routed.routed);
+    assert!(
+        matches!(routed.outcome.scheduler, Scheduler::WorkStealing { .. }),
+        "threshold 1 must route to work-stealing, got {}",
+        routed.outcome.scheduler
+    );
+
+    for scheduler in [Scheduler::Sequential, Scheduler::work_stealing(4)] {
+        let pinned = service
+            .run_query(
+                "k6",
+                &QuerySpec::new(&pattern)
+                    .with_run(RunConfig::new(scheduler).with_collected_mappings(10_000)),
+            )
+            .unwrap();
+        assert!(!pinned.routed, "{scheduler}");
+        assert_eq!(pinned.outcome.scheduler, scheduler);
+        assert_eq!(
+            pinned.outcome.mappings, routed.outcome.mappings,
+            "routed vs pinned {scheduler}: sorted mappings must be identical"
+        );
+        assert_eq!(pinned.outcome.matches, routed.outcome.matches);
+    }
+}
+
+/// The dispatch counters split routed traffic by scheduler family, and
+/// EXPLAIN surfaces the routing decision without executing anything.
+#[test]
+fn dispatch_counters_and_explain_report_routing() {
+    use sge_plan::{RoutingConfig, SchedulerChoice};
+    let service = Service::new(ServiceConfig {
+        routing: RoutingConfig::pinned(50_000.0, 25_000.0, 4),
+        ..ServiceConfig::default()
+    });
+    service.registry().insert("k5", generators::clique(5, 0));
+    let pattern = write_graph(&generators::directed_cycle(3, 0));
+
+    let outcome = service.run_query("k5", &QuerySpec::new(&pattern)).unwrap();
+    assert!(outcome.routed);
+    // 60 matches in a 5-clique sits far under the 50k threshold.
+    assert_eq!(outcome.outcome.scheduler, Scheduler::Sequential);
+    let (sequential, work_stealing) = service.dispatch_counts();
+    assert_eq!((sequential, work_stealing), (1, 0));
+
+    // A pinned run is not *routed*, but its dispatch is still counted.
+    service
+        .run_query(
+            "k5",
+            &QuerySpec::new(&pattern).with_run(RunConfig::new(Scheduler::work_stealing(2))),
+        )
+        .unwrap();
+    assert_eq!(service.dispatch_counts(), (1, 1));
+
+    let explain = service.explain("k5", &QuerySpec::new(&pattern)).unwrap();
+    assert!(explain.routed);
+    assert_eq!(explain.routing.choice, SchedulerChoice::Sequential);
+    assert!(explain.routing.threshold == 50_000.0);
+    // EXPLAIN plans only: the dispatch counters did not move.
+    assert_eq!(service.dispatch_counts(), (1, 1));
 }

@@ -48,6 +48,9 @@ pub fn corpus() -> Vec<Scenario> {
         cache_interleave(),
         cache_eviction_churn(),
         metrics_and_analyze(),
+        idle_swarm_interleaved_queries(),
+        disconnect_while_writable(),
+        routing_keys(),
     ]
 }
 
@@ -269,6 +272,65 @@ pub fn metrics_and_analyze() -> Scenario {
             query(&tri()),
             format!("EXPLAIN ANALYZE target=k5 pattern={}", tri()),
             "METRICS".to_string(),
+            "STATS".to_string(),
+        ]))
+}
+
+/// The event-loop capacity story in miniature: 100+ connections where most
+/// clients connect, send nothing and disconnect, while a handful interleave
+/// routed (`sched=auto`) and default queries.  The seed pins which idle
+/// EOFs land between which query steps — the trace is the regression
+/// assertion that idle churn never perturbs served results.
+pub fn idle_swarm_interleaved_queries() -> Scenario {
+    let mut scenario = Scenario::new("idle_swarm_interleaved_queries", 0x5EED_000F)
+        .with_target("k5", TargetKind::Clique(5));
+    for i in 0..104 {
+        scenario = if i % 26 == 0 {
+            scenario.with_client(ClientScript::new(vec![
+                format!("QUERY target=k5 sched=auto pattern={}", tri()),
+                query(&edge_inline()),
+            ]))
+        } else {
+            // An idle client: connects, sends nothing, EOF.
+            scenario.with_client(ClientScript::new(Vec::<String>::new()))
+        };
+    }
+    scenario.with_client(ClientScript::new(vec!["STATS".to_string()]))
+}
+
+/// The peer vanishes while the server holds a finished response: the
+/// buffered QUERY runs to completion, then the very first response write
+/// fails.  The connection dies with an I/O error, the completed run's
+/// counters stay (the enumeration was never cancelled), and a healthy
+/// client is unaffected.
+pub fn disconnect_while_writable() -> Scenario {
+    Scenario::new("disconnect_while_writable", 0x5EED_0010)
+        .with_target("k5", TargetKind::Clique(5))
+        .with_client(
+            ClientScript::new(vec![query(&tri()), "STATS".to_string()])
+                .with_write_fault(WriteFault::disconnect_after_lines(0)),
+        )
+        .with_client(ClientScript::new(vec![
+            query(&edge_inline()),
+            "STATS".to_string(),
+        ]))
+}
+
+/// Every scheduler-routing surface in one connection: routed (`sched=auto`
+/// and absent), pinned sequential, pinned work-stealing, EXPLAIN's routing
+/// object and EXPLAIN ANALYZE's — then STATS with the dispatch counters and
+/// the cost-model correction gauge.  The pinned `RoutingConfig` in
+/// [`pinned_config`] keeps the decisions host-independent.
+pub fn routing_keys() -> Scenario {
+    Scenario::new("routing_keys", 0x5EED_0011)
+        .with_target("k5", TargetKind::Clique(5))
+        .with_client(ClientScript::new(vec![
+            format!("QUERY target=k5 sched=auto pattern={}", tri()),
+            query(&tri()),
+            format!("QUERY target=k5 sched=seq pattern={}", tri()),
+            format!("QUERY target=k5 sched=ws:2 pattern={}", tri()),
+            format!("EXPLAIN target=k5 pattern={}", tri()),
+            format!("EXPLAIN ANALYZE target=k5 pattern={}", tri()),
             "STATS".to_string(),
         ]))
 }

@@ -9,6 +9,7 @@
 
 use crate::transport::{ReadFault, WriteFault};
 use sge_graph::{generators, Graph};
+use sge_plan::RoutingConfig;
 use sge_service::ServiceConfig;
 
 /// A named target graph, generated in-process so scenarios never touch the
@@ -187,6 +188,10 @@ pub fn pinned_config() -> ServiceConfig {
         cache_capacity: 8,
         batch_workers: 1,
         max_in_flight: 2,
+        // Pinned thresholds and worker cap: `RoutingConfig::detect` sizes
+        // `max_workers` from `available_parallelism`, which would route the
+        // same seed to different schedulers across hosts.
+        routing: RoutingConfig::pinned(50_000.0, 25_000.0, 4),
     }
 }
 

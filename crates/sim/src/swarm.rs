@@ -129,7 +129,10 @@ pub fn random_scenario(seed: u64) -> Scenario {
             match rng.next_below(10) {
                 0..=2 => {
                     let pattern = &patterns[rng.next_below(patterns.len())];
-                    lines.push(format!("QUERY target=k5 pattern={pattern}"));
+                    // Cover the routing surface: absent (routed), explicit
+                    // auto, and the pinned scheduler families.
+                    let sched = ["", " sched=auto", " sched=seq", " sched=ws:2"][rng.next_below(4)];
+                    lines.push(format!("QUERY target=k5{sched} pattern={pattern}"));
                 }
                 3..=5 => {
                     let chunk = [2, 8, 64][rng.next_below(3)];
@@ -147,7 +150,11 @@ pub fn random_scenario(seed: u64) -> Scenario {
                     }
                 }
                 7 => lines.push("STATS".to_string()),
-                8 => lines.push(format!("EXPLAIN target=k5 pattern={}", patterns[0])),
+                8 => {
+                    // Both planning verbs carry the routing decision object.
+                    let verb = ["EXPLAIN", "EXPLAIN ANALYZE"][rng.next_below(2)];
+                    lines.push(format!("{verb} target=k5 pattern={}", patterns[0]));
+                }
                 _ => lines.push("QUERY target=nope pattern=3;0;0;0;0".to_string()),
             }
         }

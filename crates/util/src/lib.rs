@@ -17,14 +17,19 @@
 //!   selection in the work-stealing scheduler),
 //! * [`clock`] — the injectable time source: [`SystemClock`] (real time, the
 //!   default everywhere) and [`VirtualClock`] (simulated time for the
-//!   deterministic serving-layer simulator).
+//!   deterministic serving-layer simulator),
+//! * [`poll`] (unix only) — a raw `poll(2)` readiness primitive backing the
+//!   event-driven server; the single place in the workspace where FFI is
+//!   permitted.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
 pub mod budget;
 pub mod clock;
+#[cfg(unix)]
+pub mod poll;
 pub mod rng;
 pub mod stats;
 pub mod timing;
