@@ -71,12 +71,13 @@ use std::time::Instant;
 /// Figure names every report must contain; CI's `bench-smoke` job validates
 /// the emitted document against this list.  (`adaptive_dispatch` is required
 /// since PR 8; older committed records are grandfathered.)
-pub const EXPECTED_FIGURES: [&str; 5] = [
+pub const EXPECTED_FIGURES: [&str; 6] = [
     "fig3_work_stealing",
     "batch_throughput",
     "dense_target",
     "strategy_comparison",
     "adaptive_dispatch",
+    "kernel_comparison",
 ];
 
 /// Knobs of one report run.
@@ -352,6 +353,195 @@ fn dense_cases(config: &ReportConfig) -> Vec<Case> {
     sweep_instance(&pattern, &target, Algorithm::RiDs, config.repeats)
 }
 
+/// One measured case of the `kernel_comparison` figure: the same pairwise
+/// adjacency-intersection workload through each of the three kernel paths,
+/// plus the candidate-prefilter verdict from one instrumented enumeration of
+/// the tier's target.
+struct KernelCase {
+    name: &'static str,
+    scalar_seconds: f64,
+    vectorized_seconds: f64,
+    bitmap_seconds: f64,
+    prefilter_rejected: u64,
+    prefilter_reject_rate: f64,
+}
+
+impl KernelCase {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("scalar_seconds", Json::F64(self.scalar_seconds)),
+            ("vectorized_seconds", Json::F64(self.vectorized_seconds)),
+            ("bitmap_seconds", Json::F64(self.bitmap_seconds)),
+            (
+                "speedup_vectorized_vs_scalar",
+                Json::F64(self.scalar_seconds / self.vectorized_seconds.max(1e-12)),
+            ),
+            (
+                "speedup_bitmap_vs_scalar",
+                Json::F64(self.scalar_seconds / self.bitmap_seconds.max(1e-12)),
+            ),
+            ("prefilter_rejected", Json::U64(self.prefilter_rejected)),
+            (
+                "prefilter_reject_rate",
+                Json::F64(self.prefilter_reject_rate),
+            ),
+        ])
+    }
+}
+
+/// A dense clique core with degree-1 fringe nodes hanging off it — the
+/// workload where the min-degree prefilter visibly rejects candidates (a
+/// fringe node can never host a position of a cycle pattern).
+fn dense_core_with_fringe(core: usize, fringe: usize) -> Graph {
+    let mut builder = sge_graph::GraphBuilder::with_capacity(core + fringe, core * (core - 1));
+    for _ in 0..core {
+        builder.add_node(0);
+    }
+    for u in 0..core as u32 {
+        for v in 0..core as u32 {
+            if u != v {
+                builder.add_edge(u, v, 0);
+            }
+        }
+    }
+    for _ in 0..fringe {
+        let leaf = builder.add_node(0);
+        builder.add_edge(leaf, 0, 0);
+    }
+    builder.build()
+}
+
+/// The prefilter verdict of one instrumented sequential enumeration (4-cycle
+/// pattern) against `target`: rejected candidates and the reject rate
+/// relative to everything the prefilter inspected.  Plain RI is the right
+/// probe: RI-DS domains are already arc-consistent and would exclude the
+/// infeasible candidates before the prefilter ever sees them, reading 0
+/// everywhere.  On targets where the planner never routes to the bitmap
+/// kernels the sidecar stays detached and both numbers are zero — that
+/// non-decision is part of the figure.
+fn prefilter_verdict(target: &Graph) -> (u64, f64) {
+    let pattern = generators::directed_cycle(4, 0);
+    let mut engine = Engine::prepare(&pattern, target, Algorithm::Ri);
+    let sink = Arc::new(TraceSink::new(engine.plan().num_positions()));
+    engine.set_trace_sink(Arc::clone(&sink));
+    let outcome = engine.run(&RunConfig::new(Scheduler::Sequential));
+    std::hint::black_box(outcome.matches);
+    let rejected = outcome.kernels.prefilter_rejected;
+    // The sink counts candidates that *passed* the prefilter and were
+    // emitted, so rejected + passed is everything the prefilter saw.
+    let inspected = rejected + sink.candidates_total();
+    (rejected, rejected as f64 / (inspected.max(1)) as f64)
+}
+
+/// Figure `kernel_comparison`: the scalar reference, the width-bucketed
+/// vectorized gallop and the bitmap AND kernel over one identical workload
+/// per density tier — every ordered node pair (capped) of the tier's target,
+/// seeding the candidate buffer with `u`'s out-neighborhood and intersecting
+/// it against `w`'s adjacency.  The bitmap sidecar is built with a
+/// threshold of 1 so every tier has rows to compare, even where the planner
+/// would never pick the bitmap kernel.
+fn kernel_cases(config: &ReportConfig) -> Vec<KernelCase> {
+    use sge_ri::kernels::{and_rows, collect_row};
+
+    let tiers: Vec<(&'static str, Graph)> = if config.smoke {
+        vec![
+            ("sparse_grid", generators::grid(6, 6)),
+            ("medium_clique", generators::clique(8, 0)),
+            ("dense_clique", generators::clique(16, 0)),
+            ("dense_fringe", dense_core_with_fringe(24, 8)),
+        ]
+    } else {
+        vec![
+            ("sparse_grid", generators::grid(16, 16)),
+            ("medium_clique", generators::clique(16, 0)),
+            ("dense_clique", generators::clique(48, 0)),
+            ("dense_fringe", dense_core_with_fringe(32, 16)),
+        ]
+    };
+    // Enough intersections per timed sample to clear timer resolution.
+    let rounds = if config.smoke { 4 } else { 16 };
+    const MAX_SAMPLED_NODES: usize = 64;
+
+    tiers
+        .into_iter()
+        .map(|(name, target)| {
+            let sidecar = sge_graph::AdjacencyBitmaps::build(
+                &target,
+                &sge_graph::BitmapConfig {
+                    degree_threshold: 1,
+                    max_bytes: usize::MAX,
+                },
+            );
+            let nodes = target.num_nodes().min(MAX_SAMPLED_NODES) as u32;
+            let seed_out = |u: u32, out: &mut Vec<u32>| {
+                out.clear();
+                out.extend(
+                    target
+                        .out_edges(u)
+                        .iter()
+                        .filter(|e| e.label == 0)
+                        .map(|e| e.node),
+                );
+            };
+            let mut buffer: Vec<u32> = Vec::new();
+            let scalar_seconds = median_seconds(config.repeats, || {
+                for _ in 0..rounds {
+                    for u in 0..nodes {
+                        for w in 0..nodes {
+                            seed_out(u, &mut buffer);
+                            sge_ri::intersect_reference(&mut buffer, target.out_edges(w), 0);
+                            std::hint::black_box(buffer.len());
+                        }
+                    }
+                }
+            });
+            let vectorized_seconds = median_seconds(config.repeats, || {
+                for _ in 0..rounds {
+                    for u in 0..nodes {
+                        for w in 0..nodes {
+                            seed_out(u, &mut buffer);
+                            std::hint::black_box(sge_ri::intersect_gallop(
+                                &mut buffer,
+                                target.out_edges(w),
+                                0,
+                            ));
+                        }
+                    }
+                }
+            });
+            let mut scratch: Vec<u64> = vec![0; sidecar.words_per_row()];
+            let bitmap_seconds = median_seconds(config.repeats, || {
+                for _ in 0..rounds {
+                    for u in 0..nodes {
+                        for w in 0..nodes {
+                            let (Some(row_u), Some(row_w)) =
+                                (sidecar.out_row(u, 0), sidecar.out_row(w, 0))
+                            else {
+                                continue;
+                            };
+                            scratch.copy_from_slice(row_u);
+                            and_rows(&mut scratch, row_w);
+                            buffer.clear();
+                            collect_row(&scratch, &mut buffer);
+                            std::hint::black_box(buffer.len());
+                        }
+                    }
+                }
+            });
+            let (prefilter_rejected, prefilter_reject_rate) = prefilter_verdict(&target);
+            KernelCase {
+                name,
+                scalar_seconds,
+                vectorized_seconds,
+                bitmap_seconds,
+                prefilter_rejected,
+                prefilter_reject_rate,
+            }
+        })
+        .collect()
+}
+
 /// One measured case of the `adaptive_dispatch` figure: the same count-only
 /// query through the real service under a pinned sequential scheduler, a
 /// pinned `ws:4`, and planner routing.
@@ -592,6 +782,7 @@ pub fn run_report(config: &ReportConfig) -> String {
     let dense = dense_cases(config);
     let strategies = strategy_cases(config);
     let (dispatch, correction_final) = adaptive_dispatch_cases(config);
+    let kernels = kernel_cases(config);
 
     let mut table = Table::new(
         "bench-report (median wall seconds)",
@@ -660,12 +851,42 @@ pub fn run_report(config: &ReportConfig) -> String {
     }
     println!("{}", dispatch_table.render());
 
+    let mut kernel_table = Table::new(
+        "kernel comparison (median wall seconds per intersection sweep)",
+        &[
+            "tier",
+            "scalar",
+            "vectorized",
+            "bitmap",
+            "bitmap-vs-scalar",
+            "prefilter-rejects",
+        ],
+    );
+    for case in &kernels {
+        kernel_table.row(vec![
+            case.name.to_string(),
+            format!("{:.6}", case.scalar_seconds),
+            format!("{:.6}", case.vectorized_seconds),
+            format!("{:.6}", case.bitmap_seconds),
+            format!(
+                "{:.2}",
+                case.scalar_seconds / case.bitmap_seconds.max(1e-12)
+            ),
+            format!(
+                "{} ({:.1}%)",
+                case.prefilter_rejected,
+                case.prefilter_reject_rate * 100.0
+            ),
+        ]);
+    }
+    println!("{}", kernel_table.render());
+
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     Json::obj(vec![
         ("schema", Json::str("sge-bench-report/v1")),
-        ("pr", Json::str("pr8")),
+        ("pr", Json::str("pr9")),
         ("repeats", Json::U64(config.repeats as u64)),
         ("host_parallelism", Json::U64(host_parallelism as u64)),
         (
@@ -694,6 +915,13 @@ pub fn run_report(config: &ReportConfig) -> String {
                         ("correction_factor_final", Json::F64(correction_final)),
                     ]),
                 ),
+                (
+                    "kernel_comparison",
+                    Json::obj(vec![(
+                        "cases",
+                        Json::Arr(kernels.iter().map(KernelCase::to_json).collect()),
+                    )]),
+                ),
             ]),
         ),
     ])
@@ -716,13 +944,18 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         return Err("missing or unexpected schema marker".to_string());
     }
     // Records since PR 7 carry the observed-counter columns; since PR 8 the
-    // adaptive_dispatch figure.  Committed older records stay valid as-is.
+    // adaptive_dispatch figure; since PR 9 the kernel_comparison figure.
+    // Committed older records stay valid as-is.
     let pre_counter = ["\"pr\":\"pr3\"", "\"pr\":\"pr4\""]
         .iter()
         .any(|marker| text.contains(marker));
     let pre_dispatch = pre_counter || text.contains("\"pr\":\"pr7\"") || !text.contains("\"pr\":");
+    let pre_kernel = pre_dispatch || text.contains("\"pr\":\"pr8\"");
     for figure in EXPECTED_FIGURES {
         if figure == "adaptive_dispatch" && pre_dispatch {
+            continue;
+        }
+        if figure == "kernel_comparison" && pre_kernel {
             continue;
         }
         if !text.contains(&format!("\"{figure}\"")) {
@@ -742,6 +975,9 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                     .to_string(),
             );
         }
+    }
+    if !pre_kernel && !text.contains("\"prefilter_reject_rate\"") {
+        return Err("missing 'prefilter_reject_rate' column in kernel_comparison".to_string());
     }
     Ok(())
 }
@@ -891,6 +1127,8 @@ mod tests {
         assert!(report.contains("\"speedup_vs_ri_greedy\""));
         assert!(report.contains("\"observed_states_total\""));
         assert!(report.contains("\"steals_total\""));
+        assert!(report.contains("\"speedup_bitmap_vs_scalar\""));
+        assert!(report.contains("\"prefilter_reject_rate\""));
         for strategy in Strategy::ALL {
             assert!(
                 report.contains(&format!("\"{}\"", strategy.name())),
@@ -947,6 +1185,35 @@ mod tests {
                 .contains("observed_states_total"),
             "current records must carry the counter columns"
         );
+    }
+
+    #[test]
+    fn validator_grandfathers_pre_kernel_records() {
+        // The committed BENCH_pr8.json predates the kernel_comparison figure
+        // and must keep validating without it; a pr9 record must carry both
+        // the figure and its prefilter column.
+        let figures: Vec<String> = EXPECTED_FIGURES
+            .iter()
+            .filter(|f| **f != "kernel_comparison")
+            .map(|f| format!("\"{f}\":{{\"cases\":[{{\"observed_states_total\":0,\"routed_not_slower\":true}}]}}"))
+            .collect();
+        let pr8 = format!(
+            "{{\"schema\":\"sge-bench-report/v1\",\"pr\":\"pr8\",\"figures\":{{{}}}}}",
+            figures.join(",")
+        );
+        validate_report(&pr8).expect("pr8-era record stays valid");
+        let pr9 = pr8.replace("\"pr\":\"pr8\"", "\"pr\":\"pr9\"");
+        assert!(
+            validate_report(&pr9)
+                .unwrap_err()
+                .contains("kernel_comparison"),
+            "pr9 records must carry the kernel_comparison figure"
+        );
+        let with_figure = pr9.replace(
+            ",\"figures\":{",
+            ",\"figures\":{\"kernel_comparison\":{\"cases\":[{\"prefilter_reject_rate\":0.0}]},",
+        );
+        validate_report(&with_figure).expect("complete pr9 record validates");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! The run mode executes every figure of [`sge_bench::bench_report`] and
-//! writes the JSON document (default `BENCH_pr8.json`).  The validate mode
+//! writes the JSON document (default `BENCH_pr9.json`).  The validate mode
 //! parses the file and checks that every expected figure key is present; it
 //! exits non-zero on failure, which is what the CI `bench-smoke` job gates on.
 
@@ -22,7 +22,7 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = String::from("BENCH_pr8.json");
+    let mut out = String::from("BENCH_pr9.json");
     let mut config = ReportConfig::default();
     let mut validate: Option<String> = None;
 

@@ -44,12 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sge_graph::{Graph, GraphStats, NodeId};
+use sge_graph::{AdjacencyBitmaps, Graph, GraphStats, NodeId};
 use sge_obs::TraceSink;
 use sge_parallel::{enumerate_prepared, enumerate_rayon_prepared, ParallelConfig};
 use sge_ri::{
-    search_prepared, Algorithm, CandidateMode, ChannelVisitor, CollectingVisitor, MatchVisitor,
-    PreparedParts, QueryPlan, SearchContext, SearchLimits, Strategy,
+    search_prepared, Algorithm, CandidateMode, ChannelVisitor, CollectingVisitor, KernelChoice,
+    KernelUsage, MatchVisitor, PreparedParts, QueryPlan, SearchContext, SearchLimits, Strategy,
 };
 use sge_stealing::WorkerStats;
 use sge_util::{CancelToken, PhaseTimer};
@@ -326,6 +326,10 @@ pub struct EnumerationOutcome {
     /// than the match count, or a limited run) are sorted but which matches
     /// they contain is schedule-dependent.
     pub mappings: Vec<Vec<NodeId>>,
+    /// Intersection-kernel invocations and prefilter rejections of this run
+    /// (summed over workers; schedule-invariant on complete runs, like
+    /// `states`).
+    pub kernels: KernelUsage,
 }
 
 impl EnumerationOutcome {
@@ -571,6 +575,9 @@ impl<'g> Engine<'g> {
         visitor: Option<&dyn MatchVisitor>,
         cancel: Option<&Arc<CancelToken>>,
     ) -> EnumerationOutcome {
+        // Kernel counters accumulate in cells shared across this context's
+        // runs; bracketing with snapshots attributes exactly this run's work.
+        let kernels_before = self.ctx.kernel_totals();
         let mut outcome = match config.scheduler {
             Scheduler::Sequential => self.run_sequential(config, visitor, cancel),
             Scheduler::WorkStealing {
@@ -609,6 +616,7 @@ impl<'g> Engine<'g> {
             }
         };
         outcome.preprocess_seconds = self.preprocess_seconds;
+        outcome.kernels = self.ctx.kernel_totals().since(&kernels_before);
         outcome
     }
 
@@ -622,8 +630,12 @@ impl<'g> Engine<'g> {
             max_matches: config.max_matches,
             time_limit: config.time_limit,
             cancel: cancel.map(Arc::clone),
+            // The promise behind the last-depth counting fast path: with no
+            // visitor and no mapping collection, nothing observes individual
+            // matches.
+            count_only: visitor.is_none() && config.collect_mappings == 0,
         };
-        let (run, mut mappings) = if visitor.is_none() && config.collect_mappings == 0 {
+        let (run, mut mappings) = if limits.count_only {
             // Count-only fast path: nothing observes individual matches, so
             // skip the per-match observer machinery entirely — no mapping
             // materialization, no collector consultation, just the counter.
@@ -674,6 +686,7 @@ impl<'g> Engine<'g> {
                 ..WorkerStats::default()
             }],
             mappings,
+            kernels: KernelUsage::default(),
         }
     }
 
@@ -699,6 +712,7 @@ impl<'g> Engine<'g> {
             worker_states_stddev: result.worker_states_stddev,
             worker_stats: result.worker_stats,
             mappings: result.mappings,
+            kernels: KernelUsage::default(),
         }
     }
 }
@@ -799,6 +813,40 @@ impl PreparedEngine {
         }
     }
 
+    /// [`PreparedEngine::prepare_planned_with_stats`] with an explicitly
+    /// supplied target bitmap sidecar (shared, like the stats, by the
+    /// registry that owns the target).  `None` means the caller decided
+    /// against a sidecar — e.g. it hit its memory cap — and the plan's
+    /// bitmap-kernel hints will fall back to galloping at run time.
+    pub fn prepare_planned_full(
+        pattern: Arc<Graph>,
+        target: Arc<Graph>,
+        target_stats: &GraphStats,
+        bitmaps: Option<Arc<AdjacencyBitmaps>>,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
+        let mut timer = PhaseTimer::new();
+        let parts = timer.time("preprocess", || {
+            PreparedParts::extract(&SearchContext::prepare_planned_full(
+                &pattern,
+                &target,
+                target_stats,
+                bitmaps,
+                algorithm,
+                mode,
+                strategy,
+            ))
+        });
+        PreparedEngine {
+            pattern,
+            target,
+            parts,
+            preprocess_seconds: timer.seconds("preprocess"),
+        }
+    }
+
     /// Materializes a borrowing [`Engine`] view (cheap: the domains are
     /// shared, only the ordering vectors are copied).  The view reports this
     /// instance's preprocessing cost in its outcomes.
@@ -872,6 +920,38 @@ impl PreparedEngine {
         self.parts.plan()
     }
 
+    /// The bitmap sidecar captured at preparation time, if any.
+    pub fn bitmaps(&self) -> Option<&Arc<AdjacencyBitmaps>> {
+        self.parts.bitmaps()
+    }
+
+    /// The kernel that will generate candidates at each position, resolved
+    /// for EXPLAIN: `"scan"` for positions without back-edge constraints
+    /// (domain / full-target scans), otherwise the planner's
+    /// [`KernelChoice`] — downgraded to `"gallop"` when no sidecar is
+    /// attached or the sidecar is row-less (memory-capped), since the bitmap
+    /// path cannot run then.  (`"bitmap"` positions still fall back to
+    /// `"gallop"` at run time when one specific row is missing.)
+    pub fn resolved_kernels(&self) -> Vec<&'static str> {
+        let rows_present = self.parts.bitmaps().is_some_and(|b| b.row_count() > 0);
+        self.parts
+            .plan()
+            .order
+            .plan
+            .steps
+            .iter()
+            .map(|step| {
+                if step.constraints.is_empty() {
+                    "scan"
+                } else if step.kernel == KernelChoice::Bitmap && rows_present {
+                    step.kernel.as_str()
+                } else {
+                    KernelChoice::Gallop.as_str()
+                }
+            })
+            .collect()
+    }
+
     /// Seconds spent in [`PreparedEngine::prepare`].
     pub fn preprocess_seconds(&self) -> f64 {
         self.preprocess_seconds
@@ -930,6 +1010,43 @@ mod tests {
                 assert_eq!(outcome.workers, scheduler.workers());
             }
         }
+    }
+
+    #[test]
+    fn dense_targets_report_bitmap_kernel_usage_under_every_scheduler() {
+        // clique(16) has degree_mean 30 >= 16 and >= nodes/4, so the planner
+        // routes every constrained position to the bitmap kernel; the outcome
+        // must report bitmap row ANDs and the counts must be
+        // schedule-invariant (candidate fills happen once per expansion, like
+        // states).
+        let pattern = generators::directed_cycle(4, 0);
+        let target = generators::clique(16, 0);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDs);
+        let reference = engine.run(&RunConfig::default());
+        assert!(
+            reference.kernels.bitmap > 0,
+            "dense target should exercise the bitmap kernel, got {:?}",
+            reference.kernels
+        );
+        assert_eq!(reference.kernels.merge, 0);
+        for scheduler in schedulers() {
+            let outcome = engine.run(&RunConfig::new(scheduler));
+            assert_eq!(outcome.matches, reference.matches, "{scheduler}");
+            assert_eq!(outcome.kernels, reference.kernels, "{scheduler}");
+        }
+    }
+
+    #[test]
+    fn sparse_targets_report_gallop_or_merge_kernels_only() {
+        let pattern = generators::undirected_cycle(4, 0);
+        let target = generators::grid(4, 4);
+        let engine = Engine::prepare(&pattern, &target, Algorithm::RiDs);
+        let outcome = engine.run(&RunConfig::default());
+        assert_eq!(outcome.kernels.bitmap, 0);
+        assert!(
+            outcome.kernels.intersections() > 0,
+            "intersection mode on a cycle pattern must run sorted-list kernels"
+        );
     }
 
     #[test]

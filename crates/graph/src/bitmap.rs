@@ -1,0 +1,375 @@
+//! Optional u64-bitmap adjacency sidecar for dense neighborhoods.
+//!
+//! The CSR lists in [`crate::Graph`] are ideal for sparse targets, but on
+//! dense neighborhoods the galloping intersection in the matcher degenerates
+//! into long probe chains.  This module builds, *alongside* the CSR arrays, a
+//! per-`(node, direction, label)` bitmap row over the target's node ids for
+//! every neighborhood whose same-label degree meets a threshold: two dense
+//! neighborhoods then intersect with word-wise `AND` instead of galloping.
+//!
+//! The sidecar also carries a compact Bloom-style **label signature** per
+//! node and direction (one bit per `label & 63` of each incident neighbor
+//! label and edge label).  Signatures are always built — they cost 16 bytes
+//! per node — and power the candidate prefilter: a candidate whose signature
+//! is missing a required bit cannot possibly satisfy all pattern edges and is
+//! rejected before any intersection kernel runs.
+//!
+//! Total row storage is capped by [`BitmapConfig::max_bytes`]; if a target
+//! would exceed the cap the rows are skipped entirely (`capped() == true`)
+//! and the matcher falls back to CSR-only galloping.  Signatures survive the
+//! cap because they are O(nodes), not O(nodes²).
+
+use crate::graph::{EdgeRef, Graph, Label, NodeId};
+
+const WORD_BITS: usize = 64;
+const BYTES_PER_WORD: usize = 8;
+
+/// Default same-label degree at or above which a bitmap row is built.
+pub const DEFAULT_DEGREE_THRESHOLD: usize = 8;
+
+/// Default cap on total bitmap row bytes per target (16 MiB).
+pub const DEFAULT_MAX_BITMAP_BYTES: usize = 16 * 1024 * 1024;
+
+/// The Bloom-style signature bit for a label: bit `label & 63`.
+///
+/// Both sides of the prefilter (pattern-required bits and target-observed
+/// bits) hash with this same function, so a superset test
+/// `required & !observed == 0` can produce false *passes* (harmless — the
+/// kernel still runs) but never false *rejects*.
+#[inline]
+pub fn label_sig_bit(label: Label) -> u64 {
+    1u64 << (label & 63)
+}
+
+/// Tuning knobs for [`AdjacencyBitmaps::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitmapConfig {
+    /// Minimum same-label directed degree for a `(node, direction, label)`
+    /// neighborhood to earn a bitmap row.
+    pub degree_threshold: usize,
+    /// Cap on total row bytes; exceeding it skips rows (CSR-only fallback).
+    pub max_bytes: usize,
+}
+
+impl Default for BitmapConfig {
+    fn default() -> Self {
+        BitmapConfig {
+            degree_threshold: DEFAULT_DEGREE_THRESHOLD,
+            max_bytes: DEFAULT_MAX_BITMAP_BYTES,
+        }
+    }
+}
+
+/// Bitmap adjacency view built alongside a [`Graph`]'s CSR arrays.
+///
+/// Immutable once built; share via `Arc` next to the graph it describes.
+#[derive(Clone, Debug)]
+pub struct AdjacencyBitmaps {
+    nodes: usize,
+    words_per_row: usize,
+    /// Flat row storage: row `r` occupies `rows[r*wpr .. (r+1)*wpr]`.
+    rows: Vec<u64>,
+    /// Sorted `(node, label, row_number)` index for out-neighborhood rows.
+    out_index: Vec<(NodeId, Label, u32)>,
+    /// Sorted `(node, label, row_number)` index for in-neighborhood rows.
+    in_index: Vec<(NodeId, Label, u32)>,
+    /// Per-node out-direction label signature (neighbor labels ∪ edge labels).
+    out_sigs: Vec<u64>,
+    /// Per-node in-direction label signature.
+    in_sigs: Vec<u64>,
+    /// Bytes the rows *would* need; equals `rows` bytes unless capped.
+    required_row_bytes: usize,
+    /// True when `required_row_bytes` exceeded the cap and rows were skipped.
+    capped: bool,
+}
+
+impl AdjacencyBitmaps {
+    /// Builds the sidecar for `graph`.
+    ///
+    /// Never fails: when the rows would exceed `config.max_bytes` the result
+    /// has `capped() == true`, no rows, and intact signatures.
+    pub fn build(graph: &Graph, config: &BitmapConfig) -> AdjacencyBitmaps {
+        let n = graph.num_nodes();
+        let words_per_row = n.div_ceil(WORD_BITS);
+
+        let mut out_sigs = vec![0u64; n];
+        let mut in_sigs = vec![0u64; n];
+        for v in graph.nodes() {
+            out_sigs[v as usize] = signature(graph, graph.out_edges(v));
+            in_sigs[v as usize] = signature(graph, graph.in_edges(v));
+        }
+
+        // First pass: decide which (node, direction, label) groups earn rows.
+        let threshold = config.degree_threshold.max(1);
+        let mut out_specs: Vec<(NodeId, Label)> = Vec::new();
+        let mut in_specs: Vec<(NodeId, Label)> = Vec::new();
+        let mut scratch: Vec<Label> = Vec::new();
+        for v in graph.nodes() {
+            dense_labels(graph.out_edges(v), threshold, &mut scratch);
+            out_specs.extend(scratch.iter().map(|&l| (v, l)));
+            dense_labels(graph.in_edges(v), threshold, &mut scratch);
+            in_specs.extend(scratch.iter().map(|&l| (v, l)));
+        }
+
+        let total_rows = out_specs.len() + in_specs.len();
+        let required_row_bytes = total_rows * words_per_row * BYTES_PER_WORD;
+        if required_row_bytes > config.max_bytes {
+            return AdjacencyBitmaps {
+                nodes: n,
+                words_per_row,
+                rows: Vec::new(),
+                out_index: Vec::new(),
+                in_index: Vec::new(),
+                out_sigs,
+                in_sigs,
+                required_row_bytes,
+                capped: true,
+            };
+        }
+
+        // Second pass: materialize the rows.
+        let mut rows = vec![0u64; total_rows * words_per_row];
+        let mut out_index = Vec::with_capacity(out_specs.len());
+        let mut in_index = Vec::with_capacity(in_specs.len());
+        let mut next_row = 0u32;
+        for &(v, label) in &out_specs {
+            fill_row(
+                &mut rows[next_row as usize * words_per_row..],
+                graph.out_edges(v),
+                label,
+            );
+            out_index.push((v, label, next_row));
+            next_row += 1;
+        }
+        for &(v, label) in &in_specs {
+            fill_row(
+                &mut rows[next_row as usize * words_per_row..],
+                graph.in_edges(v),
+                label,
+            );
+            in_index.push((v, label, next_row));
+            next_row += 1;
+        }
+
+        AdjacencyBitmaps {
+            nodes: n,
+            words_per_row,
+            rows,
+            out_index,
+            in_index,
+            out_sigs,
+            in_sigs,
+            required_row_bytes,
+            capped: false,
+        }
+    }
+
+    /// Number of nodes in the graph this sidecar describes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Words in each bitmap row (`ceil(nodes / 64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Number of bitmap rows actually stored.
+    pub fn row_count(&self) -> usize {
+        self.out_index.len() + self.in_index.len()
+    }
+
+    /// Bytes of row storage actually allocated (0 when capped).
+    pub fn row_bytes(&self) -> usize {
+        self.rows.len() * BYTES_PER_WORD
+    }
+
+    /// Bytes the rows would require without the cap.
+    pub fn required_row_bytes(&self) -> usize {
+        self.required_row_bytes
+    }
+
+    /// True when rows were skipped because they would exceed the cap.
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    /// Bitmap over node ids of `v`'s out-neighbors along `label`-edges, if a
+    /// row was built for that neighborhood.
+    #[inline]
+    pub fn out_row(&self, v: NodeId, label: Label) -> Option<&[u64]> {
+        self.lookup(&self.out_index, v, label)
+    }
+
+    /// Bitmap over node ids of `v`'s in-neighbors along `label`-edges, if a
+    /// row was built for that neighborhood.
+    #[inline]
+    pub fn in_row(&self, v: NodeId, label: Label) -> Option<&[u64]> {
+        self.lookup(&self.in_index, v, label)
+    }
+
+    /// Out-direction label signature of `v` (see [`label_sig_bit`]).
+    #[inline]
+    pub fn out_sig(&self, v: NodeId) -> u64 {
+        self.out_sigs[v as usize]
+    }
+
+    /// In-direction label signature of `v`.
+    #[inline]
+    pub fn in_sig(&self, v: NodeId) -> u64 {
+        self.in_sigs[v as usize]
+    }
+
+    #[inline]
+    fn lookup(&self, index: &[(NodeId, Label, u32)], v: NodeId, label: Label) -> Option<&[u64]> {
+        let at = index
+            .binary_search_by_key(&(v, label), |&(node, l, _)| (node, l))
+            .ok()?;
+        let row = index[at].2 as usize * self.words_per_row;
+        Some(&self.rows[row..row + self.words_per_row])
+    }
+}
+
+/// OR of the signature bits of every neighbor label and edge label in `edges`.
+fn signature(graph: &Graph, edges: &[EdgeRef]) -> u64 {
+    let mut sig = 0u64;
+    for e in edges {
+        sig |= label_sig_bit(graph.label(e.node)) | label_sig_bit(e.label);
+    }
+    sig
+}
+
+/// Fills `labels` with the distinct edge labels in `edges` that occur at
+/// least `threshold` times.
+fn dense_labels(edges: &[EdgeRef], threshold: usize, labels: &mut Vec<Label>) {
+    labels.clear();
+    if edges.len() < threshold {
+        return;
+    }
+    let mut sorted: Vec<Label> = edges.iter().map(|e| e.label).collect();
+    sorted.sort_unstable();
+    let mut run_start = 0;
+    for i in 1..=sorted.len() {
+        if i == sorted.len() || sorted[i] != sorted[run_start] {
+            if i - run_start >= threshold {
+                labels.push(sorted[run_start]);
+            }
+            run_start = i;
+        }
+    }
+}
+
+/// Sets bit `e.node` for every edge in `edges` whose label is `label`.
+fn fill_row(row: &mut [u64], edges: &[EdgeRef], label: Label) {
+    for e in edges {
+        if e.label == label {
+            let idx = e.node as usize;
+            row[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn row_bits(row: &[u64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push(w * WORD_BITS + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clique_rows_match_csr_adjacency() {
+        let g = generators::clique(12, 0);
+        let maps = AdjacencyBitmaps::build(&g, &BitmapConfig::default());
+        assert!(!maps.capped());
+        assert_eq!(maps.row_count(), 24); // one out + one in row per node
+        for v in g.nodes() {
+            let row = maps.out_row(v, 0).expect("dense out row");
+            let expect: Vec<usize> = g.out_edges(v).iter().map(|e| e.node as usize).collect();
+            assert_eq!(row_bits(row), expect);
+            let row = maps.in_row(v, 0).expect("dense in row");
+            let expect: Vec<usize> = g.in_edges(v).iter().map(|e| e.node as usize).collect();
+            assert_eq!(row_bits(row), expect);
+        }
+    }
+
+    #[test]
+    fn sparse_neighborhoods_get_no_rows_but_keep_signatures() {
+        let g = generators::directed_cycle(6, 0);
+        let maps = AdjacencyBitmaps::build(&g, &BitmapConfig::default());
+        assert!(!maps.capped());
+        assert_eq!(maps.row_count(), 0);
+        assert_eq!(maps.out_row(0, 0), None);
+        // Every node has one out-edge with node label 0 and edge label 0.
+        for v in g.nodes() {
+            assert_eq!(maps.out_sig(v), label_sig_bit(0));
+            assert_eq!(maps.in_sig(v), label_sig_bit(0));
+        }
+    }
+
+    #[test]
+    fn cap_boundary_is_exact() {
+        let g = generators::clique(12, 0);
+        let probe = AdjacencyBitmaps::build(&g, &BitmapConfig::default());
+        let required = probe.required_row_bytes();
+        assert!(required > 0);
+
+        // Exactly at the cap: rows are built.
+        let at_cap = AdjacencyBitmaps::build(
+            &g,
+            &BitmapConfig {
+                degree_threshold: DEFAULT_DEGREE_THRESHOLD,
+                max_bytes: required,
+            },
+        );
+        assert!(!at_cap.capped());
+        assert_eq!(at_cap.row_bytes(), required);
+
+        // One byte under: rows skipped, signatures intact.
+        let over = AdjacencyBitmaps::build(
+            &g,
+            &BitmapConfig {
+                degree_threshold: DEFAULT_DEGREE_THRESHOLD,
+                max_bytes: required - 1,
+            },
+        );
+        assert!(over.capped());
+        assert_eq!(over.row_count(), 0);
+        assert_eq!(over.row_bytes(), 0);
+        assert_eq!(over.required_row_bytes(), required);
+        assert_eq!(over.out_row(0, 0), None);
+        assert_eq!(over.out_sig(0), probe.out_sig(0));
+    }
+
+    #[test]
+    fn signatures_mix_node_and_edge_labels() {
+        let mut b = crate::GraphBuilder::new();
+        let a = b.add_node(2);
+        let c = b.add_node(65); // 65 & 63 == 1: collides with label 1's bit
+        b.add_edge(a, c, 7);
+        let g = b.build();
+        let maps = AdjacencyBitmaps::build(&g, &BitmapConfig::default());
+        assert_eq!(maps.out_sig(a), label_sig_bit(65) | label_sig_bit(7));
+        assert_eq!(maps.out_sig(a) & label_sig_bit(1), label_sig_bit(1));
+        assert_eq!(maps.in_sig(c), label_sig_bit(2) | label_sig_bit(7));
+        assert_eq!(maps.in_sig(a), 0);
+    }
+
+    #[test]
+    fn empty_graph_builds_degenerate_sidecar() {
+        let g = crate::GraphBuilder::new().build();
+        let maps = AdjacencyBitmaps::build(&g, &BitmapConfig::default());
+        assert!(!maps.capped());
+        assert_eq!(maps.row_count(), 0);
+        assert_eq!(maps.words_per_row(), 0);
+    }
+}

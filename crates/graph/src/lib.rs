@@ -16,6 +16,8 @@
 //! dominated by loading the adjacency array into memory").
 //!
 //! The crate also provides:
+//! * [`bitmap`] — an optional u64-bitmap adjacency sidecar for dense
+//!   neighborhoods plus per-node label signatures for candidate prefiltering,
 //! * [`builder::GraphBuilder`] — mutable construction with deduplication,
 //! * [`io`] — a plain-text exchange format in the spirit of RI's `.gfu`/`.gfd`
 //!   files,
@@ -25,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod builder;
 pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod stats;
 
+pub use bitmap::{label_sig_bit, AdjacencyBitmaps, BitmapConfig};
 pub use builder::GraphBuilder;
 pub use graph::{EdgeRef, Graph, Label, NodeId, DEFAULT_EDGE_LABEL};
 pub use stats::GraphStats;

@@ -40,8 +40,8 @@ pub use algorithm::Algorithm;
 pub use cost::{PlanCost, PositionCost};
 pub use domains::Domains;
 pub use ordering::{
-    finish_order, greatest_constraint_first, CandidatePlan, EdgeConstraint, MatchOrder, ParentLink,
-    PlanStep,
+    finish_order, greatest_constraint_first, CandidatePlan, EdgeConstraint, KernelChoice,
+    MatchOrder, ParentLink, PlanStep, PrefilterSpec,
 };
 pub use planner::{Planner, QueryPlan};
 pub use route::{CostModel, RoutingConfig, RoutingDecision, SchedulerChoice};

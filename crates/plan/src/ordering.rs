@@ -23,7 +23,7 @@
 //! in-neighborhood depending on the pattern edge direction).
 
 use crate::domains::Domains;
-use sge_graph::{Graph, Label, NodeId};
+use sge_graph::{label_sig_bit, Graph, Label, NodeId};
 
 /// How candidates for a position are generated from its parent's image.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +50,80 @@ pub struct EdgeConstraint {
     pub label: Label,
 }
 
+/// Which intersection kernel the planner selected for one position.
+///
+/// The choice is a *hint*: the matcher honors `Bitmap` only when the target's
+/// [`sge_graph::AdjacencyBitmaps`] sidecar actually has a row for every
+/// constraint of the step, and falls back to galloping otherwise (a row may
+/// be missing because the neighborhood is below the density threshold or the
+/// sidecar hit its memory cap).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Width-bucketed merge/gallop over sorted CSR adjacency (the default).
+    #[default]
+    Gallop,
+    /// Word-wise AND over dense bitmap adjacency rows.
+    Bitmap,
+}
+
+impl KernelChoice {
+    /// Stable lowercase name used by EXPLAIN and the bench report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelChoice::Gallop => "gallop",
+            KernelChoice::Bitmap => "bitmap",
+        }
+    }
+}
+
+/// Cheap per-candidate feasibility test computed from the pattern node.
+///
+/// A target node `t` can only be the image of pattern node `v` if `t`'s
+/// neighborhood covers, label-for-label, every pattern edge incident to `v`.
+/// This records the *necessary* conditions checkable in O(1) per candidate:
+/// minimum directed degrees and Bloom-style label signatures
+/// (see [`sge_graph::label_sig_bit`]) that the target node's signatures must
+/// be a superset of.  False passes are possible (the kernel still verifies);
+/// false rejects are not, so filtering cannot change the match set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefilterSpec {
+    /// Signature bits required of the candidate's out-neighborhood.
+    pub out_sig: u64,
+    /// Signature bits required of the candidate's in-neighborhood.
+    pub in_sig: u64,
+    /// Minimum out-degree of the candidate.
+    pub min_out_degree: u32,
+    /// Minimum in-degree of the candidate.
+    pub min_in_degree: u32,
+}
+
+impl PrefilterSpec {
+    /// Derives the spec for pattern node `v`: required degrees are `v`'s own
+    /// directed degrees, and each incident pattern edge contributes its edge
+    /// label's bit plus the far endpoint's node-label bit.
+    pub fn for_node(pattern: &Graph, v: NodeId) -> PrefilterSpec {
+        let mut out_sig = 0u64;
+        for e in pattern.out_edges(v) {
+            out_sig |= label_sig_bit(pattern.label(e.node)) | label_sig_bit(e.label);
+        }
+        let mut in_sig = 0u64;
+        for e in pattern.in_edges(v) {
+            in_sig |= label_sig_bit(pattern.label(e.node)) | label_sig_bit(e.label);
+        }
+        PrefilterSpec {
+            out_sig,
+            in_sig,
+            min_out_degree: pattern.out_degree(v) as u32,
+            min_in_degree: pattern.in_degree(v) as u32,
+        }
+    }
+
+    /// `true` when the spec cannot reject anything (isolated pattern node).
+    pub fn is_trivial(&self) -> bool {
+        *self == PrefilterSpec::default()
+    }
+}
+
 /// Everything the intersection-based candidate generator needs for one
 /// position: all edges back into the ordered prefix, plus the node's
 /// self-loop label when it has one.
@@ -60,6 +134,10 @@ pub struct PlanStep {
     pub constraints: Vec<EdgeConstraint>,
     /// Label of the pattern self-loop on this node, when present.
     pub self_loop: Option<Label>,
+    /// Intersection kernel selected by the planner for this position.
+    pub kernel: KernelChoice,
+    /// Candidate prefilter derived from the pattern node at this position.
+    pub prefilter: PrefilterSpec,
 }
 
 /// Per-position constraint sets driving multi-parent candidate intersection.
@@ -220,6 +298,8 @@ pub fn finish_order(pattern: &Graph, positions: Vec<NodeId>) -> MatchOrder {
         let mut step = PlanStep {
             constraints: Vec::new(),
             self_loop: pattern.edge_label(v, v),
+            kernel: KernelChoice::default(),
+            prefilter: PrefilterSpec::for_node(pattern, v),
         };
         for (j, &u) in positions.iter().enumerate().take(i) {
             if let Some(label) = pattern.edge_label(u, v) {
@@ -462,6 +542,34 @@ mod tests {
                 other => panic!("parent/plan mismatch at {i}: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn plan_steps_carry_prefilter_and_default_kernel() {
+        use sge_graph::label_sig_bit;
+        let mut pb = GraphBuilder::new();
+        let a = pb.add_node(3);
+        let b = pb.add_node(4);
+        let c = pb.add_node(5);
+        pb.add_edge(a, b, 7);
+        pb.add_edge(c, a, 8);
+        let pattern = pb.build();
+        let order = greatest_constraint_first(&pattern, None, false);
+        let pos_a = order.position_of[a as usize];
+        let step = &order.plan.steps[pos_a];
+        assert_eq!(step.kernel, KernelChoice::Gallop);
+        assert_eq!(
+            step.prefilter,
+            PrefilterSpec {
+                out_sig: label_sig_bit(4) | label_sig_bit(7),
+                in_sig: label_sig_bit(5) | label_sig_bit(8),
+                min_out_degree: 1,
+                min_in_degree: 1,
+            }
+        );
+        assert!(!step.prefilter.is_trivial());
+        // An isolated node would carry the trivial pass-all spec.
+        assert!(PrefilterSpec::default().is_trivial());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::algorithm::Algorithm;
 use crate::cost::{self, PlanCost};
 use crate::domains::Domains;
-use crate::ordering::{finish_order, MatchOrder};
+use crate::ordering::{finish_order, KernelChoice, MatchOrder};
 use crate::strategy::{PlanningInput, Strategy};
 use sge_graph::{Graph, GraphStats};
 use std::sync::Arc;
@@ -108,7 +108,8 @@ impl Planner {
             domain_size_tie_break: algorithm.uses_domain_size_tie_break(),
         };
         let positions = self.strategy.implementation().positions(pattern, &input);
-        let order = finish_order(pattern, positions);
+        let mut order = finish_order(pattern, positions);
+        select_kernels(&mut order, target_stats);
         let cost = cost::estimate(pattern, &order, domains.as_deref(), target_stats);
         QueryPlan {
             algorithm,
@@ -118,6 +119,33 @@ impl Planner {
             impossible,
             check_degrees: !algorithm.uses_domains(),
             cost,
+        }
+    }
+}
+
+/// Mean total degree at or above which a target counts as kernel-dense.
+const BITMAP_DEGREE_MEAN_MIN: f64 = 16.0;
+
+/// Routes each constrained position to the bitmap kernel when the target's
+/// degree distribution says dense neighborhoods dominate.
+///
+/// The rule is deliberately coarse: mean total degree at least
+/// [`BITMAP_DEGREE_MEAN_MIN`] *and* at least a quarter of the node count —
+/// i.e. adjacency bitmap rows are reasonably full, so a word-wise AND beats
+/// galloping over the CSR lists.  Sparse targets (grids, cycles, the PPI
+/// collections) keep the default gallop kernel.  Positions without back-edge
+/// constraints scan domains or the whole node set and never intersect, so
+/// their kernel hint stays `Gallop`.
+fn select_kernels(order: &mut MatchOrder, stats: &GraphStats) {
+    let dense = stats.nodes > 0
+        && stats.degree_mean >= BITMAP_DEGREE_MEAN_MIN
+        && stats.degree_mean >= stats.nodes as f64 / 4.0;
+    if !dense {
+        return;
+    }
+    for step in &mut order.plan.steps {
+        if !step.constraints.is_empty() {
+            step.kernel = KernelChoice::Bitmap;
         }
     }
 }
@@ -156,6 +184,41 @@ mod tests {
         // Plain RI has no domains, so planning alone cannot prove it.
         let plan = Planner::default().plan(&pattern, &target, Algorithm::Ri);
         assert!(!plan.impossible);
+    }
+
+    #[test]
+    fn dense_targets_route_constrained_positions_to_bitmap() {
+        let pattern = generators::directed_cycle(4, 0);
+        let dense = generators::clique(32, 0); // mean degree 62 ≥ 16 and ≥ 32/4
+        let plan = Planner::default().plan(&pattern, &dense, Algorithm::RiDs);
+        for (i, step) in plan.order.plan.steps.iter().enumerate() {
+            let expect = if step.constraints.is_empty() {
+                KernelChoice::Gallop
+            } else {
+                KernelChoice::Bitmap
+            };
+            assert_eq!(step.kernel, expect, "position {i}");
+        }
+        assert!(plan
+            .order
+            .plan
+            .steps
+            .iter()
+            .any(|s| s.kernel == KernelChoice::Bitmap));
+    }
+
+    #[test]
+    fn sparse_targets_keep_the_gallop_kernel() {
+        let pattern = generators::directed_cycle(4, 0);
+        for target in [generators::grid(8, 8), generators::clique(5, 0)] {
+            let plan = Planner::default().plan(&pattern, &target, Algorithm::RiDs);
+            assert!(plan
+                .order
+                .plan
+                .steps
+                .iter()
+                .all(|s| s.kernel == KernelChoice::Gallop));
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod matcher;
 pub mod search;
 pub mod visitor;
@@ -53,13 +54,17 @@ pub mod visitor;
 // their historical `sge_ri` paths.
 pub use sge_plan::{domains, ordering};
 
+pub use kernels::{
+    assert_kernel_parity, check_kernel_parity, intersect_gallop, intersect_reference, KernelCells,
+    KernelDivergence, KernelUsage,
+};
 pub use matcher::{
     enumerate, enumerate_with, search_prepared, Algorithm, MatchConfig, MatchResult, SearchLimits,
     SearchRun,
 };
 pub use search::{CandidateMode, PreparedParts, SearchContext, WorkerState};
 pub use sge_plan::{
-    greatest_constraint_first, CandidatePlan, Domains, EdgeConstraint, MatchOrder, ParentLink,
-    PlanStep, Planner, QueryPlan, Strategy,
+    greatest_constraint_first, CandidatePlan, Domains, EdgeConstraint, KernelChoice, MatchOrder,
+    ParentLink, PlanStep, Planner, QueryPlan, Strategy,
 };
 pub use visitor::{ChannelVisitor, CollectingVisitor, MatchVisitor, NoopVisitor};

@@ -67,6 +67,7 @@ impl MatchConfig {
             max_matches: self.max_matches,
             time_limit: self.time_limit,
             cancel: None,
+            count_only: false,
         }
     }
 }
@@ -123,6 +124,12 @@ pub struct SearchLimits {
     /// timed-out run).  The streaming bridge uses this to stop enumeration
     /// once its consumer is gone.
     pub cancel: Option<Arc<CancelToken>>,
+    /// Caller's promise that the visitor is a no-op (nothing observes
+    /// individual matches or mappings).  Lets unbounded, untimed runs take
+    /// the last-depth bitmap counting fast path, which adds the final
+    /// position's states and matches by popcount instead of enumerating
+    /// them.  Counters stay byte-identical either way.
+    pub count_only: bool,
 }
 
 /// Raw outcome of one prepared sequential search (no preprocessing figures —
@@ -154,6 +161,7 @@ struct SearchDriver<'a, F> {
     max_matches: Option<u64>,
     cancel: Option<&'a CancelToken>,
     cancelled: bool,
+    count_only: bool,
     visitor: F,
 }
 
@@ -190,8 +198,36 @@ impl<'a, F: FnMut(&SearchContext<'a>, &WorkerState)> SearchDriver<'a, F> {
 
     fn search(&mut self, depth: usize) {
         let np = self.ctx.num_positions();
+        // Last-depth counting fast path: when nothing observes individual
+        // matches and no budget can interrupt mid-position, the final
+        // position's states and matches come straight off the bitmap
+        // popcount (byte-identical counts, see
+        // `SearchContext::count_final_candidates`).
+        let count_final = depth + 1 == np
+            && self.count_only
+            && self.max_matches.is_none()
+            && self.deadline.is_none()
+            && self.cancel.is_none();
+        if count_final {
+            if let Some(count) = self.ctx.count_final_candidates(depth, &self.state) {
+                self.states += count.states;
+                self.matches += count.matches;
+                return;
+            }
+        }
         let mut candidates = std::mem::take(&mut self.candidate_buffers[depth]);
         self.ctx.candidates(depth, &self.state, &mut candidates);
+        if count_final {
+            if let Some(count) =
+                self.ctx
+                    .final_count_from_candidates(depth, &self.state, &candidates)
+            {
+                self.states += count.states;
+                self.matches += count.matches;
+                self.candidate_buffers[depth] = candidates;
+                return;
+            }
+        }
         for &vt in &candidates {
             if self.stop() {
                 break;
@@ -275,6 +311,7 @@ where
         max_matches: limits.max_matches,
         cancel: limits.cancel.as_deref(),
         cancelled: false,
+        count_only: limits.count_only,
         visitor: |ctx: &SearchContext<'_>, state: &WorkerState| visitor(ctx, state),
     };
     driver.search(0);

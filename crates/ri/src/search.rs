@@ -19,12 +19,22 @@
 //! tasks*; only when a task is stolen does the prefix of `M` travel to the
 //! thief (Section 3 of the paper).
 
+use crate::kernels::{self, GallopRoute, KernelCells, KernelUsage};
 use crate::matcher::Algorithm;
-use sge_graph::{EdgeRef, Graph, GraphStats, NodeId};
+use sge_graph::{AdjacencyBitmaps, BitmapConfig, EdgeRef, Graph, GraphStats, NodeId};
 use sge_obs::TraceSink;
-use sge_plan::ordering::{MatchOrder, PlanStep};
+use sge_plan::ordering::{KernelChoice, MatchOrder, PlanStep, PrefilterSpec};
 use sge_plan::{Domains, PlanCost, Planner, QueryPlan, Strategy};
+use std::cell::RefCell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread word buffer for the bitmap kernel's row AND accumulation.
+    /// Thread-local so parallel workers sharing one [`SearchContext`] never
+    /// contend, and reused across candidate fills so the hot path does not
+    /// allocate.
+    static BITMAP_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// How raw candidates are generated for positions with ordered neighbors.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -73,6 +83,16 @@ impl std::str::FromStr for CandidateMode {
 /// the [`QueryPlan`] being executed (ordering, domains, cost estimates).
 ///
 /// Domains are held behind an [`Arc`] inside the plan so that prepared
+/// What the last-depth counting fast path would contribute: every set bit
+/// of the final AND is a visited state, and the non-used ones are matches.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FinalCount {
+    /// States the enumerating path would have visited at this depth.
+    pub states: u64,
+    /// Matches among them (states minus injectivity rejections).
+    pub matches: u64,
+}
+
 /// instances can be rebuilt against long-lived owned graphs (see
 /// [`PreparedParts`]) without re-running or copying the domain computation.
 pub struct SearchContext<'a> {
@@ -85,6 +105,13 @@ pub struct SearchContext<'a> {
     /// generation and consistency checks record per-position counters; when
     /// absent the cost is one predictable branch per call.
     sink: Option<Arc<TraceSink>>,
+    /// Optional dense-adjacency bitmap sidecar of the target.  Required for
+    /// the bitmap kernel and the candidate prefilter; when absent every
+    /// position gallops over CSR and no candidates are prefiltered.
+    bitmaps: Option<Arc<AdjacencyBitmaps>>,
+    /// Shared kernel-invocation counters (always on; workers accumulate
+    /// locally per candidate fill and flush a handful of relaxed adds).
+    kernels: Arc<KernelCells>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -117,7 +144,9 @@ impl<'a> SearchContext<'a> {
         strategy: Strategy,
     ) -> Self {
         let plan = Planner::new(strategy).plan(pattern, target, algorithm);
-        Self::from_plan(pattern, target, plan, mode)
+        let mut ctx = Self::from_plan(pattern, target, plan, mode);
+        ctx.ensure_bitmaps();
+        ctx
     }
 
     /// [`Self::prepare_planned`] with precomputed target statistics —
@@ -133,7 +162,33 @@ impl<'a> SearchContext<'a> {
         strategy: Strategy,
     ) -> Self {
         let plan = Planner::new(strategy).plan_with_stats(pattern, target, target_stats, algorithm);
-        Self::from_plan(pattern, target, plan, mode)
+        let mut ctx = Self::from_plan(pattern, target, plan, mode);
+        ctx.ensure_bitmaps();
+        ctx
+    }
+
+    /// [`Self::prepare_planned_with_stats`] with an explicitly supplied
+    /// bitmap sidecar — the serving path, where the registry owns one
+    /// sidecar per long-lived target.
+    ///
+    /// The caller's decision is final: `None` means "no sidecar" (e.g. the
+    /// registry hit its memory cap and fell back to CSR-only) and the
+    /// context will *not* build one itself, unlike
+    /// [`Self::prepare_planned`]/[`Self::prepare_planned_with_stats`] which
+    /// auto-build when the plan routes a position to the bitmap kernel.
+    pub fn prepare_planned_full(
+        pattern: &'a Graph,
+        target: &'a Graph,
+        target_stats: &GraphStats,
+        bitmaps: Option<Arc<AdjacencyBitmaps>>,
+        algorithm: Algorithm,
+        mode: CandidateMode,
+        strategy: Strategy,
+    ) -> Self {
+        let plan = Planner::new(strategy).plan_with_stats(pattern, target, target_stats, algorithm);
+        let mut ctx = Self::from_plan(pattern, target, plan, mode);
+        ctx.bitmaps = bitmaps;
+        ctx
     }
 
     /// Wraps an externally produced [`QueryPlan`].
@@ -153,7 +208,52 @@ impl<'a> SearchContext<'a> {
             plan,
             mode,
             sink: None,
+            bitmaps: None,
+            kernels: Arc::new(KernelCells::default()),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a target bitmap sidecar.
+    ///
+    /// The sidecar must describe this context's target graph.  Steps routed
+    /// to the bitmap kernel fall back to galloping whenever the sidecar (or
+    /// a specific row) is missing, so detaching is always safe.
+    pub fn set_bitmaps(&mut self, bitmaps: Option<Arc<AdjacencyBitmaps>>) {
+        self.bitmaps = bitmaps;
+    }
+
+    /// The attached bitmap sidecar, if any.
+    pub fn bitmaps(&self) -> Option<&Arc<AdjacencyBitmaps>> {
+        self.bitmaps.as_ref()
+    }
+
+    /// Builds and attaches a default-configuration sidecar when the plan
+    /// routes at least one position to the bitmap kernel and no sidecar is
+    /// attached yet.  One-shot enumeration pays the build during its
+    /// preprocessing phase; serving callers attach the registry's shared
+    /// sidecar instead (see [`Self::prepare_planned_full`]).
+    pub fn ensure_bitmaps(&mut self) {
+        if self.bitmaps.is_none() && self.plan_wants_bitmaps() {
+            self.bitmaps = Some(Arc::new(AdjacencyBitmaps::build(
+                self.target,
+                &BitmapConfig::default(),
+            )));
+        }
+    }
+
+    fn plan_wants_bitmaps(&self) -> bool {
+        self.plan
+            .order
+            .plan
+            .steps
+            .iter()
+            .any(|s| s.kernel == KernelChoice::Bitmap)
+    }
+
+    /// Snapshot of the kernel-invocation counters accumulated through this
+    /// context so far (across all workers).
+    pub fn kernel_totals(&self) -> KernelUsage {
+        self.kernels.snapshot()
     }
 
     /// Attaches a [`TraceSink`]: from now on every candidate list generated
@@ -280,13 +380,20 @@ impl<'a> SearchContext<'a> {
     fn fill_candidates(&self, depth: usize, state: &WorkerState, out: &mut Vec<NodeId>) {
         out.clear();
         let step = &self.plan.order.plan.steps[depth];
+        let mut local = KernelUsage::default();
         if step.constraints.is_empty() {
+            let vp = self.plan.order.positions[depth];
             match &self.plan.domains {
                 Some(domains) => {
-                    let vp = self.plan.order.positions[depth];
                     out.extend(domains.set(vp).iter().map(|v| v as NodeId));
                 }
                 None => out.extend(0..self.target.num_nodes() as NodeId),
+            }
+            if let Some((maps, spec)) = self.active_prefilter(step) {
+                let before = out.len();
+                out.retain(|&v| prefilter_pass(maps, spec, self.target, v));
+                local.prefilter_rejected += (before - out.len()) as u64;
+                self.kernels.flush(local);
             }
             return;
         }
@@ -305,9 +412,24 @@ impl<'a> SearchContext<'a> {
             }
             CandidateMode::Intersection => {
                 let vp = self.plan.order.positions[depth];
-                self.intersect_candidates(vp, step, state, out);
+                self.intersect_candidates(vp, step, state, out, &mut local);
+                self.kernels.flush(local);
             }
         }
+    }
+
+    /// The prefilter to apply at a position: present only when a sidecar is
+    /// attached (signatures live there) and the spec can reject anything.
+    #[inline]
+    fn active_prefilter<'s>(
+        &'s self,
+        step: &'s PlanStep,
+    ) -> Option<(&'s AdjacencyBitmaps, &'s PrefilterSpec)> {
+        let maps = self.bitmaps.as_deref()?;
+        if step.prefilter.is_trivial() {
+            return None;
+        }
+        Some((maps, &step.prefilter))
     }
 
     /// The adjacency list a constraint selects for the current state.
@@ -326,19 +448,31 @@ impl<'a> SearchContext<'a> {
         }
     }
 
-    /// Multi-parent candidate generation: seed `out` from the smallest
-    /// adjacency list among the constraints (already filtered by edge label
-    /// and domain / node-label membership), then intersect with each
-    /// remaining list.  After the first intersection the buffer is no larger
-    /// than the smallest list, so the order of the remaining passes barely
-    /// matters; they run in declaration order.
+    /// Multi-parent candidate generation, dispatched on the planner's
+    /// [`KernelChoice`] for the step.
+    ///
+    /// The bitmap path ANDs the constraint rows of the target's sidecar
+    /// word-by-word (plus the domain bitset) and runs only when every
+    /// constraint has a row; otherwise — and always under
+    /// [`KernelChoice::Gallop`] — the CSR path seeds `out` from the smallest
+    /// adjacency list among the constraints (filtered by edge label, domain /
+    /// node-label membership and the prefilter), then intersects with each
+    /// remaining list through the width-bucketed
+    /// [`kernels::intersect_gallop`].  Both paths produce byte-identical
+    /// candidate sets (see the kernel parity suites).
     fn intersect_candidates(
         &self,
         vp: NodeId,
         step: &PlanStep,
         state: &WorkerState,
         out: &mut Vec<NodeId>,
+        local: &mut KernelUsage,
     ) {
+        if step.kernel == KernelChoice::Bitmap
+            && self.bitmap_candidates(vp, step, state, out, local)
+        {
+            return;
+        }
         // Seed from the smallest adjacency list (smallest-degree-first); every
         // adjacency list is sorted by node id, so the buffer stays sorted
         // through all intersections.
@@ -351,24 +485,39 @@ impl<'a> SearchContext<'a> {
                 seed = i;
             }
         }
-        // The seed fill also applies the domain (or node-label) filter, so
-        // later intersections gallop over the smallest possible buffer and
-        // `is_consistent` need not re-test membership.
+        // The seed fill also applies the domain (or node-label) filter and
+        // the prefilter, so later intersections gallop over the smallest
+        // possible buffer and `is_consistent` need not re-test membership.
         let c0 = &step.constraints[seed];
         let adj0 = self.constraint_adjacency(c0, state);
+        let prefilter = self.active_prefilter(step);
+        let passes = |v: NodeId, local: &mut KernelUsage| match prefilter {
+            Some((maps, spec)) => {
+                let pass = prefilter_pass(maps, spec, self.target, v);
+                local.prefilter_rejected += !pass as u64;
+                pass
+            }
+            None => true,
+        };
         match &self.plan.domains {
-            Some(domains) => out.extend(
-                adj0.iter()
-                    .filter(|e| e.label == c0.label && domains.contains(vp, e.node))
-                    .map(|e| e.node),
-            ),
+            Some(domains) => {
+                for e in adj0 {
+                    if e.label == c0.label && domains.contains(vp, e.node) && passes(e.node, local)
+                    {
+                        out.push(e.node);
+                    }
+                }
+            }
             None => {
                 let label = self.pattern.label(vp);
-                out.extend(
-                    adj0.iter()
-                        .filter(|e| e.label == c0.label && self.target.label(e.node) == label)
-                        .map(|e| e.node),
-                );
+                for e in adj0 {
+                    if e.label == c0.label
+                        && self.target.label(e.node) == label
+                        && passes(e.node, local)
+                    {
+                        out.push(e.node);
+                    }
+                }
             }
         }
         for (i, c) in step.constraints.iter().enumerate() {
@@ -378,8 +527,224 @@ impl<'a> SearchContext<'a> {
             if out.is_empty() {
                 return;
             }
-            intersect_sorted(out, self.constraint_adjacency(c, state), c.label);
+            match kernels::intersect_gallop(out, self.constraint_adjacency(c, state), c.label) {
+                GallopRoute::Merge => local.merge += 1,
+                GallopRoute::Gallop | GallopRoute::GallopSwapped => local.gallop += 1,
+            }
         }
+    }
+
+    /// The bitmap row a constraint selects for the current state, if built.
+    #[inline]
+    fn constraint_row<'m>(
+        &self,
+        maps: &'m AdjacencyBitmaps,
+        c: &sge_plan::EdgeConstraint,
+        state: &WorkerState,
+    ) -> Option<&'m [u64]> {
+        let image = state.mapping[c.parent_pos];
+        debug_assert_ne!(image, NodeId::MAX, "constraint parent must be assigned");
+        if c.out_from_parent {
+            maps.out_row(image, c.label)
+        } else {
+            maps.in_row(image, c.label)
+        }
+    }
+
+    /// Bitmap-kernel candidate generation: word-wise AND of every
+    /// constraint's sidecar row and the domain bitset, then a single pass
+    /// over the set bits (label check when domains are absent, plus the
+    /// prefilter).  Returns `false` — leaving `out` empty — when the sidecar
+    /// or any row is missing, in which case the caller gallops over CSR.
+    fn bitmap_candidates(
+        &self,
+        vp: NodeId,
+        step: &PlanStep,
+        state: &WorkerState,
+        out: &mut Vec<NodeId>,
+        local: &mut KernelUsage,
+    ) -> bool {
+        let Some(maps) = self.bitmaps.as_deref() else {
+            return false;
+        };
+        let words = maps.words_per_row();
+        if words == 0 {
+            return false;
+        }
+        // Every constraint needs a row; lookups are cheap binary searches,
+        // so verify all of them before touching the scratch buffer.
+        for c in &step.constraints {
+            if self.constraint_row(maps, c, state).is_none() {
+                return false;
+            }
+        }
+        BITMAP_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.resize(words, 0u64);
+            let mut first = true;
+            for c in &step.constraints {
+                let row = self
+                    .constraint_row(maps, c, state)
+                    .expect("row presence checked above");
+                if first {
+                    scratch.copy_from_slice(row);
+                    first = false;
+                } else {
+                    kernels::and_rows(&mut scratch, row);
+                }
+                local.bitmap += 1;
+            }
+            if let Some(domains) = &self.plan.domains {
+                kernels::and_rows(&mut scratch, domains.set(vp).words());
+            }
+            let check_label = self.plan.domains.is_none();
+            let label = self.pattern.label(vp);
+            let prefilter = self.active_prefilter(step);
+            for (w, &word) in scratch.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let v = (w * 64 + bits.trailing_zeros() as usize) as NodeId;
+                    bits &= bits - 1;
+                    if check_label && self.target.label(v) != label {
+                        continue;
+                    }
+                    if let Some((maps, spec)) = prefilter {
+                        if !prefilter_pass(maps, spec, self.target, v) {
+                            local.prefilter_rejected += 1;
+                            continue;
+                        }
+                    }
+                    out.push(v);
+                }
+            }
+        });
+        true
+    }
+
+    /// Last-depth counting fast path: the number of states and matches the
+    /// final position would contribute, computed straight off the bitmap
+    /// words without materializing candidates.
+    ///
+    /// At the last depth every pattern edge of the position's node points
+    /// back into the mapped prefix, so a candidate surviving the
+    /// constraint-row AND (plus the domain bitset) provably passes every
+    /// remaining per-candidate check except injectivity:
+    ///
+    /// * domain membership already covers the node label, and the
+    ///   prefilter's degree / signature minimums are implied by the
+    ///   satisfied back-edges (one distinct neighbor per pattern edge), so
+    ///   `prefilter_rejected` stays untouched — exactly like enumerating;
+    /// * `check_degrees` holds for the same reason;
+    /// * self-loops are excluded by construction (they return `None`).
+    ///
+    /// The counts are therefore byte-identical to the enumerating path:
+    /// `states` is the popcount of the AND (every set bit would have been a
+    /// generated candidate), and `matches` subtracts the already-used
+    /// targets whose bits survived (each would have been visited and
+    /// rejected by the injectivity check).  The kernel counters advance by
+    /// one bitmap AND per constraint row, as in [`Self::candidates`].
+    ///
+    /// Returns `None` whenever any guarantee is missing — legacy candidate
+    /// mode, no domains, no sidecar row for some constraint, a self-loop, a
+    /// non-bitmap kernel, or an attached trace sink (which must observe
+    /// every candidate fill and consistency check individually).
+    pub(crate) fn count_final_candidates(
+        &self,
+        depth: usize,
+        state: &WorkerState,
+    ) -> Option<FinalCount> {
+        debug_assert_eq!(depth + 1, self.num_positions());
+        if self.mode != CandidateMode::Intersection || self.sink.is_some() {
+            return None;
+        }
+        let step = &self.plan.order.plan.steps[depth];
+        if step.kernel != KernelChoice::Bitmap
+            || step.constraints.is_empty()
+            || step.self_loop.is_some()
+        {
+            return None;
+        }
+        let domains = self.plan.domains.as_ref()?;
+        let maps = self.bitmaps.as_deref()?;
+        let words = maps.words_per_row();
+        if words == 0 {
+            return None;
+        }
+        for c in &step.constraints {
+            self.constraint_row(maps, c, state)?;
+        }
+        let vp = self.plan.order.positions[depth];
+        let count = BITMAP_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.resize(words, 0u64);
+            let mut first = true;
+            for c in &step.constraints {
+                let row = self
+                    .constraint_row(maps, c, state)
+                    .expect("row presence checked above");
+                if first {
+                    scratch.copy_from_slice(row);
+                    first = false;
+                } else {
+                    kernels::and_rows(&mut scratch, row);
+                }
+            }
+            kernels::and_rows(&mut scratch, domains.set(vp).words());
+            let states: u64 = scratch.iter().map(|w| u64::from(w.count_ones())).sum();
+            let used = state.mapping[..depth]
+                .iter()
+                .filter(|&&vt| scratch[vt as usize / 64] >> (vt % 64) & 1 == 1)
+                .count() as u64;
+            FinalCount {
+                states,
+                matches: states - used,
+            }
+        });
+        self.kernels.flush(KernelUsage {
+            bitmap: step.constraints.len() as u64,
+            ..KernelUsage::default()
+        });
+        Some(count)
+    }
+
+    /// The gallop-side companion of [`Self::count_final_candidates`]: counts
+    /// the final position's contribution from an already-generated candidate
+    /// list.  The same soundness argument applies regardless of which kernel
+    /// produced the list — a constrained intersection-mode candidate at the
+    /// last depth satisfies every pattern edge of its node (labels and
+    /// directions included), so only the injectivity check can still reject
+    /// it.  Candidates are sorted ascending (both kernels emit them that
+    /// way), so the used-prefix overlap is a handful of binary searches.
+    ///
+    /// `None` when a guarantee is missing: legacy candidate mode, a
+    /// self-loop, an attached trace sink (which must observe each
+    /// consistency check), or an unconstrained position whose candidates
+    /// still need the label / domain test in [`Self::is_consistent`].
+    pub(crate) fn final_count_from_candidates(
+        &self,
+        depth: usize,
+        state: &WorkerState,
+        candidates: &[NodeId],
+    ) -> Option<FinalCount> {
+        debug_assert_eq!(depth + 1, self.num_positions());
+        if self.mode != CandidateMode::Intersection || self.sink.is_some() {
+            return None;
+        }
+        let step = &self.plan.order.plan.steps[depth];
+        if step.constraints.is_empty() || step.self_loop.is_some() {
+            return None;
+        }
+        let states = candidates.len() as u64;
+        let used = state.mapping[..depth]
+            .iter()
+            .filter(|&&vt| candidates.binary_search(&vt).is_ok())
+            .count() as u64;
+        Some(FinalCount {
+            states,
+            matches: states - used,
+        })
     }
 
     /// Full consistency check for mapping the pattern node at `depth` onto
@@ -462,45 +827,22 @@ impl<'a> SearchContext<'a> {
     }
 }
 
-/// In-place intersection of the sorted candidate buffer with a sorted CSR
-/// adjacency list, keeping only nodes whose supporting edge carries `label`.
-/// Runs in O(|out| · log gap) via galloping (exponential + binary search)
-/// through `adj`, which is the right shape when the adjacency list is much
-/// longer than the surviving candidate set.
-fn intersect_sorted(out: &mut Vec<NodeId>, adj: &[EdgeRef], label: sge_graph::Label) {
-    let mut write = 0;
-    let mut from = 0;
-    for read in 0..out.len() {
-        let v = out[read];
-        from = advance_to(adj, from, v);
-        if from >= adj.len() {
-            break;
-        }
-        if adj[from].node == v && adj[from].label == label {
-            out[write] = v;
-            write += 1;
-        }
-    }
-    out.truncate(write);
-}
-
-/// Index of the first entry of `adj` (at or after `from`) whose node id is
-/// `>= v`, found by galloping: exponential probes to bracket the answer, then
-/// a binary search inside the bracket.
+/// O(1) candidate feasibility test: directed-degree minimums plus the
+/// Bloom-style label-signature superset tests of [`PrefilterSpec`].  A
+/// failing candidate provably cannot complete to a match (its neighborhood
+/// lacks a label some pattern edge requires), so rejections change state
+/// counts but never the match set.
 #[inline]
-fn advance_to(adj: &[EdgeRef], from: usize, v: NodeId) -> usize {
-    let mut lo = from;
-    if lo >= adj.len() || adj[lo].node >= v {
-        return lo;
-    }
-    // Invariant: adj[lo].node < v.
-    let mut step = 1;
-    while lo + step < adj.len() && adj[lo + step].node < v {
-        lo += step;
-        step <<= 1;
-    }
-    let hi = (lo + step).min(adj.len());
-    lo + 1 + adj[lo + 1..hi].partition_point(|e| e.node < v)
+fn prefilter_pass(
+    maps: &AdjacencyBitmaps,
+    spec: &PrefilterSpec,
+    target: &Graph,
+    v: NodeId,
+) -> bool {
+    target.out_degree(v) >= spec.min_out_degree as usize
+        && target.in_degree(v) >= spec.min_in_degree as usize
+        && spec.out_sig & !maps.out_sig(v) == 0
+        && spec.in_sig & !maps.in_sig(v) == 0
 }
 
 /// The owned outcome of preprocessing, detached from the graph borrows.
@@ -529,16 +871,19 @@ fn advance_to(adj: &[EdgeRef], from: usize, v: NodeId) -> usize {
 pub struct PreparedParts {
     plan: QueryPlan,
     mode: CandidateMode,
+    bitmaps: Option<Arc<AdjacencyBitmaps>>,
 }
 
 impl PreparedParts {
-    /// Captures the prepared artifacts of `ctx` (domains are shared via
-    /// [`Arc`], the ordering — including its [`sge_plan::CandidatePlan`] —
-    /// is cloned, and the candidate mode travels along).
+    /// Captures the prepared artifacts of `ctx` (domains and the bitmap
+    /// sidecar are shared via [`Arc`], the ordering — including its
+    /// [`sge_plan::CandidatePlan`] — is cloned, and the candidate mode
+    /// travels along).
     pub fn extract(ctx: &SearchContext<'_>) -> Self {
         PreparedParts {
             plan: ctx.plan.clone(),
             mode: ctx.mode,
+            bitmaps: ctx.bitmaps.clone(),
         }
     }
 
@@ -548,7 +893,14 @@ impl PreparedParts {
     /// structurally identical copies); the ordering and domains reference
     /// their node ids directly.
     pub fn context<'a>(&self, pattern: &'a Graph, target: &'a Graph) -> SearchContext<'a> {
-        SearchContext::from_plan(pattern, target, self.plan.clone(), self.mode)
+        let mut ctx = SearchContext::from_plan(pattern, target, self.plan.clone(), self.mode);
+        ctx.bitmaps = self.bitmaps.clone();
+        ctx
+    }
+
+    /// The captured bitmap sidecar, if one was attached at preparation time.
+    pub fn bitmaps(&self) -> Option<&Arc<AdjacencyBitmaps>> {
+        self.bitmaps.as_ref()
     }
 
     /// The algorithm these parts were prepared for.

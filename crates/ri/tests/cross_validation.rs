@@ -5,8 +5,11 @@
 //! extracted from them (so most instances have at least one match), and pure
 //! random patterns (which often have none).
 
-use sge_graph::{Graph, GraphBuilder};
-use sge_ri::{enumerate, Algorithm, MatchConfig};
+use std::sync::Arc;
+
+use sge_graph::{AdjacencyBitmaps, BitmapConfig, Graph, GraphBuilder, GraphStats};
+use sge_ri::search::{CandidateMode, SearchContext, WorkerState};
+use sge_ri::{check_kernel_parity, enumerate, search_prepared, Algorithm, MatchConfig, Strategy};
 use sge_util::SplitMix64;
 
 /// Random labeled directed graph with `n` nodes, edge probability `p`, and
@@ -124,6 +127,153 @@ fn randomized_ri_family_matches_vf2() {
         for algo in Algorithm::ALL {
             let result = enumerate(&pattern, &target, &MatchConfig::new(algo));
             assert_eq!(result.matches, oracle, "case={case} {algo}");
+        }
+    }
+}
+
+/// Walks the full search tree of `driver`, comparing the raw candidate set of
+/// every expansion against `other` (same ordering, different kernel routing)
+/// and against a scalar per-node oracle that re-derives candidacy from
+/// `edge_label` probes.  Any divergence is reported through
+/// [`check_kernel_parity`], which pinpoints the first differing element.
+fn walk_and_compare(
+    case: u64,
+    depth: usize,
+    driver: &SearchContext<'_>,
+    other: &SearchContext<'_>,
+    state: &mut WorkerState,
+) {
+    let mut expected = Vec::new();
+    let mut actual = Vec::new();
+    driver.candidates(depth, state, &mut expected);
+    other.candidates(depth, state, &mut actual);
+    if let Err(divergence) = check_kernel_parity("bitmap-vs-gallop", &expected, &actual) {
+        panic!("case={case} depth={depth}: {divergence}");
+    }
+    let oracle = scalar_candidates(driver, depth, state);
+    if let Err(divergence) = check_kernel_parity("gallop-vs-scalar", &oracle, &expected) {
+        panic!("case={case} depth={depth}: {divergence}");
+    }
+    if depth + 1 == driver.num_positions() {
+        return;
+    }
+    for &vt in &expected {
+        if !driver.is_consistent(depth, vt, state) {
+            continue;
+        }
+        state.assign(depth, vt);
+        walk_and_compare(case, depth + 1, driver, other, state);
+        state.unassign(depth);
+    }
+}
+
+/// Scalar reference for the candidate set at `depth`: per-node re-derivation
+/// with binary-searched `edge_label` probes — no sorted-list intersection, no
+/// bitmap rows.
+fn scalar_candidates(ctx: &SearchContext<'_>, depth: usize, state: &WorkerState) -> Vec<u32> {
+    let order = ctx.order();
+    let step = &order.plan.steps[depth];
+    let vp = order.positions[depth];
+    let target = ctx.target();
+    let maps = ctx.bitmaps().expect("both contexts carry the sidecar");
+    let spec = &step.prefilter;
+    let mut out = Vec::new();
+    for v in 0..target.num_nodes() as u32 {
+        // Root scans without domains emit every node (labels are checked by
+        // `is_consistent`); constrained positions label-filter inline.
+        let compatible = match ctx.domains() {
+            Some(domains) => domains.contains(vp, v),
+            None => step.constraints.is_empty() || target.label(v) == ctx.pattern().label(vp),
+        };
+        if !compatible {
+            continue;
+        }
+        if !spec.is_trivial()
+            && (target.out_degree(v) < spec.min_out_degree as usize
+                || target.in_degree(v) < spec.min_in_degree as usize
+                || spec.out_sig & !maps.out_sig(v) != 0
+                || spec.in_sig & !maps.in_sig(v) != 0)
+        {
+            continue;
+        }
+        let satisfied = step.constraints.iter().all(|c| {
+            let parent = state.assigned(c.parent_pos);
+            let found = if c.out_from_parent {
+                target.edge_label(parent, v)
+            } else {
+                target.edge_label(v, parent)
+            };
+            found == Some(c.label)
+        });
+        if satisfied {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Satellite property: the scalar reference, the width-bucketed gallop family
+/// and the bitmap-AND kernel must produce byte-identical sorted candidate
+/// sets at every node of the search tree, across random graphs — and the
+/// resulting match counts must still agree with VF2.
+#[test]
+fn kernel_paths_produce_byte_identical_candidate_sets() {
+    for case in 0..10u64 {
+        let mut rng = SplitMix64::new(0xBEEF ^ case);
+        let n = 12 + rng.next_below(14);
+        let labels = 1 + rng.next_below(3) as u32;
+        let target = random_graph(rng.next_u64(), n, 0.2, labels);
+        let pattern = extract_pattern(rng.next_u64(), &target, 4);
+        let stats = GraphStats::of(&target);
+        // Threshold 1: every non-empty (node, direction, label) neighborhood
+        // gets a row, so the bitmap-forced context never falls back.
+        let sidecar = Arc::new(AdjacencyBitmaps::build(
+            &target,
+            &BitmapConfig {
+                degree_threshold: 1,
+                max_bytes: usize::MAX,
+            },
+        ));
+        for algo in [Algorithm::Ri, Algorithm::RiDs] {
+            let planner = sge_ri::Planner::new(Strategy::default());
+            let mut gallop_plan = planner.plan_with_stats(&pattern, &target, &stats, algo);
+            for step in &mut gallop_plan.order.plan.steps {
+                step.kernel = sge_ri::KernelChoice::Gallop;
+            }
+            let mut bitmap_plan = planner.plan_with_stats(&pattern, &target, &stats, algo);
+            for step in &mut bitmap_plan.order.plan.steps {
+                if !step.constraints.is_empty() {
+                    step.kernel = sge_ri::KernelChoice::Bitmap;
+                }
+            }
+            // Both contexts carry the same sidecar so the candidate prefilter
+            // applies identically; only the intersection kernel differs.
+            let mut gallop = SearchContext::from_plan(
+                &pattern,
+                &target,
+                gallop_plan,
+                CandidateMode::Intersection,
+            );
+            gallop.set_bitmaps(Some(Arc::clone(&sidecar)));
+            let mut bitmap = SearchContext::from_plan(
+                &pattern,
+                &target,
+                bitmap_plan,
+                CandidateMode::Intersection,
+            );
+            bitmap.set_bitmaps(Some(Arc::clone(&sidecar)));
+            if gallop.num_positions() == 0 {
+                continue;
+            }
+            let mut state = gallop.new_state();
+            walk_and_compare(case, 0, &gallop, &bitmap, &mut state);
+
+            let oracle = sge_vf2::count_matches(&pattern, &target);
+            let limits = sge_ri::SearchLimits::default();
+            let g = search_prepared(&gallop, &limits, |_, _| {});
+            let b = search_prepared(&bitmap, &limits, |_, _| {});
+            assert_eq!(g.matches, oracle, "case={case} {algo}: gallop vs VF2");
+            assert_eq!(b.matches, oracle, "case={case} {algo}: bitmap vs VF2");
         }
     }
 }

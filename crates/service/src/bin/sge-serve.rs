@@ -117,10 +117,10 @@ fn main() {
 
     let service = Arc::new(Service::new(config));
     for (name, path) in &preloads {
-        match service.registry().load_file(name, path) {
+        match service.load_target(name, path, None) {
             Ok(info) => eprintln!(
-                "loaded {} ({} nodes, {} edges)",
-                info.name, info.nodes, info.edges
+                "loaded {} ({} nodes, {} edges, {} bitmap rows)",
+                info.name, info.nodes, info.edges, info.bitmap_rows
             ),
             Err(err) => fail(&format!("cannot load {name} from {path}: {err}")),
         }

@@ -1,7 +1,7 @@
 //! The prepared-context cache: a bounded LRU over [`PreparedEngine`]s.
 
 use sge_engine::PreparedEngine;
-use sge_graph::{Graph, GraphStats};
+use sge_graph::{AdjacencyBitmaps, Graph, GraphStats};
 use sge_ri::{Algorithm, CandidateMode, Strategy};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -119,6 +119,7 @@ impl PreparedCache {
             target_name,
             target,
             None,
+            None,
             algorithm,
             CandidateMode::default(),
             Strategy::default(),
@@ -130,7 +131,9 @@ impl PreparedCache {
     /// key, so the same pattern prepared under two strategies yields two
     /// independent entries.  When the caller holds precomputed target
     /// statistics (the registry computes them at registration), a miss
-    /// prepares with them instead of re-deriving the frequency tables.
+    /// prepares with them instead of re-deriving the frequency tables; when
+    /// it additionally holds the registry's bitmap sidecar (requires stats),
+    /// the prepared engine attaches it instead of building a private one.
     #[allow(clippy::too_many_arguments)]
     pub fn get_or_prepare_planned(
         &self,
@@ -138,6 +141,7 @@ impl PreparedCache {
         target_name: &str,
         target: &Arc<Graph>,
         target_stats: Option<&GraphStats>,
+        bitmaps: Option<&Arc<AdjacencyBitmaps>>,
         algorithm: Algorithm,
         mode: CandidateMode,
         strategy: Strategy,
@@ -156,8 +160,17 @@ impl PreparedCache {
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let engine = Arc::new(match target_stats {
-            Some(stats) => PreparedEngine::prepare_planned_with_stats(
+        let engine = Arc::new(match (target_stats, bitmaps) {
+            (Some(stats), Some(bitmaps)) => PreparedEngine::prepare_planned_full(
+                Arc::new(pattern.clone()),
+                Arc::clone(target),
+                stats,
+                Some(Arc::clone(bitmaps)),
+                algorithm,
+                mode,
+                strategy,
+            ),
+            (Some(stats), None) => PreparedEngine::prepare_planned_with_stats(
                 Arc::new(pattern.clone()),
                 Arc::clone(target),
                 stats,
@@ -165,7 +178,7 @@ impl PreparedCache {
                 mode,
                 strategy,
             ),
-            None => PreparedEngine::prepare_planned(
+            (None, _) => PreparedEngine::prepare_planned(
                 Arc::new(pattern.clone()),
                 Arc::clone(target),
                 algorithm,
@@ -331,6 +344,7 @@ mod tests {
                 "k5",
                 &target,
                 Some(&stats),
+                None,
                 Algorithm::RiDs,
                 mode,
                 strategy,

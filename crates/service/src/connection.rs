@@ -76,7 +76,11 @@ impl<R: BufRead, W: Write> Connection<R, W> {
             return Ok(StepOutcome::Continue);
         }
         let response = match parse_command(&self.line) {
-            Ok(Command::Load { name, path }) => match service.registry().load_file(&name, &path) {
+            Ok(Command::Load {
+                name,
+                path,
+                bitmap_cap,
+            }) => match service.load_target(&name, &path, bitmap_cap) {
                 Ok(info) => load_response(&info),
                 Err(err) => error_response(&err),
             },

@@ -87,6 +87,9 @@ impl EventServer {
     /// blocking server: `listening`, `conn_open`, `conn_close`, `shutdown`,
     /// `drained`).
     pub fn with_event_log(mut self, log: Arc<EventLog>) -> EventServer {
+        // Share the log with the service so non-lifecycle events (bitmap
+        // cap fallbacks on LOAD) land in the same stream.
+        self.service.set_event_log(Arc::clone(&log));
         self.event_log = Some(log);
         self
     }

@@ -58,9 +58,9 @@ pub use stats::{ServiceStats, StatsSnapshot};
 
 use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
 use sge_graph::io::ParseError;
-use sge_graph::NodeId;
+use sge_graph::{BitmapConfig, NodeId};
 use sge_obs::{
-    Counter, Gauge, MetricsRegistry, MetricsSnapshot, QueryTrace, SpanRecord, TraceSink,
+    Counter, EventLog, Gauge, MetricsRegistry, MetricsSnapshot, QueryTrace, SpanRecord, TraceSink,
 };
 use sge_plan::{CostModel, Planner, RoutingConfig, RoutingDecision, SchedulerChoice};
 use sge_ri::{Algorithm, CandidateMode};
@@ -128,6 +128,10 @@ pub struct ServiceConfig {
     /// (`sched=` on the wire), [`Planner::route`] picks one from the
     /// cost-model-corrected state estimate under these thresholds.
     pub routing: RoutingConfig,
+    /// Bitmap-sidecar knobs applied when targets are registered through
+    /// [`Service::load_target`] (the `LOAD` verb); `bitmap_cap=<bytes>` on
+    /// the wire overrides `bitmaps.max_bytes` per load.
+    pub bitmaps: BitmapConfig,
 }
 
 impl Default for ServiceConfig {
@@ -140,6 +144,7 @@ impl Default for ServiceConfig {
             batch_workers: cores,
             max_in_flight: cores.max(1) * 2,
             routing: RoutingConfig::default(),
+            bitmaps: BitmapConfig::default(),
         }
     }
 }
@@ -311,6 +316,10 @@ pub struct Service {
     admission: semaphore::Semaphore,
     config: ServiceConfig,
     clock: Arc<dyn Clock>,
+    /// Shared event log, attached by the front end (see
+    /// [`Service::set_event_log`]); [`Service::load_target`] records
+    /// bitmap-cap fallback warnings here.
+    event_log: std::sync::RwLock<Option<Arc<EventLog>>>,
 }
 
 /// Pre-registered handles for the routing/dispatch metrics.
@@ -346,6 +355,10 @@ struct EngineCounters {
     steals: Counter,
     steal_requests: Counter,
     tasks: Counter,
+    kernel_bitmap: Counter,
+    kernel_gallop: Counter,
+    kernel_merge: Counter,
+    kernel_prefilter_rejected: Counter,
 }
 
 impl EngineCounters {
@@ -355,6 +368,10 @@ impl EngineCounters {
             steals: registry.counter("engine.steals"),
             steal_requests: registry.counter("engine.steal_requests"),
             tasks: registry.counter("engine.tasks"),
+            kernel_bitmap: registry.counter("engine.kernel.bitmap"),
+            kernel_gallop: registry.counter("engine.kernel.gallop"),
+            kernel_merge: registry.counter("engine.kernel.merge"),
+            kernel_prefilter_rejected: registry.counter("engine.kernel.prefilter_rejected"),
         }
     }
 
@@ -367,6 +384,11 @@ impl EngineCounters {
         self.steal_requests.add(outcome.steal_requests);
         self.tasks
             .add(outcome.worker_stats.iter().map(|w| w.tasks_executed).sum());
+        self.kernel_bitmap.add(outcome.kernels.bitmap);
+        self.kernel_gallop.add(outcome.kernels.gallop);
+        self.kernel_merge.add(outcome.kernels.merge);
+        self.kernel_prefilter_rejected
+            .add(outcome.kernels.prefilter_rejected);
     }
 }
 
@@ -397,7 +419,65 @@ impl Service {
             admission: semaphore::Semaphore::new(config.max_in_flight.max(1)),
             config,
             clock,
+            event_log: std::sync::RwLock::new(None),
         }
+    }
+
+    /// Attaches the shared event log (the front end's `--log` ring); LOAD
+    /// warnings — e.g. a bitmap sidecar hitting its memory cap — are
+    /// recorded there.
+    pub fn set_event_log(&self, log: Arc<EventLog>) {
+        *self
+            .event_log
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(log);
+    }
+
+    /// Records one event line on the attached log, if any.
+    fn log_event(&self, line: &str) {
+        if let Some(log) = self
+            .event_log
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .as_ref()
+        {
+            log.record(line);
+        }
+    }
+
+    /// Loads a target file into the registry (the `LOAD` verb): the
+    /// service-level path that applies the configured [`BitmapConfig`] —
+    /// with `bitmap_cap` overriding the byte cap per call — and records a
+    /// warning event when the sidecar hits the cap and falls back to
+    /// CSR-only kernels.
+    pub fn load_target(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+        bitmap_cap: Option<usize>,
+    ) -> Result<GraphInfo, ServiceError> {
+        let mut config = self.config.bitmaps;
+        if let Some(cap) = bitmap_cap {
+            config.max_bytes = cap;
+        }
+        let info = self.registry.load_file_with_config(name, path, &config)?;
+        if info.bitmap_capped {
+            let required = self
+                .registry
+                .get_full(name)
+                .map(|(_, _, bitmaps)| bitmaps.required_row_bytes())
+                .unwrap_or(0);
+            self.log_event(
+                &json::Json::obj(vec![
+                    ("event", json::Json::str("bitmap_cap_fallback")),
+                    ("target", json::Json::str(name)),
+                    ("required_bytes", json::Json::U64(required as u64)),
+                    ("cap_bytes", json::Json::U64(config.max_bytes as u64)),
+                ])
+                .render(),
+            );
+        }
+        Ok(info)
     }
 
     /// The clock all service latencies are measured on.
@@ -482,9 +562,9 @@ impl Service {
         target: &str,
         spec: &QuerySpec,
     ) -> Result<(Arc<PreparedEngine>, bool, u64), ServiceError> {
-        let (target_graph, target_stats) = self
+        let (target_graph, target_stats, target_bitmaps) = self
             .registry
-            .get_with_stats(target)
+            .get_full(target)
             .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))?;
         let pattern = self.registry.parse_pattern(&spec.pattern_text)?;
         let (engine, cache_hit) = self.cache.get_or_prepare_planned(
@@ -492,6 +572,7 @@ impl Service {
             target,
             &target_graph,
             Some(&target_stats),
+            Some(&target_bitmaps),
             spec.algorithm,
             spec.mode,
             spec.run.strategy,

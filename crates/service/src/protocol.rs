@@ -110,6 +110,9 @@ pub enum Command {
         name: String,
         /// Server-side path of the `.gfu`/`.gfd` file.
         path: String,
+        /// Per-load override of the bitmap sidecar's byte cap
+        /// (`bitmap_cap=<bytes>`).
+        bitmap_cap: Option<usize>,
     },
     /// Run one query.
     Query {
@@ -271,12 +274,28 @@ pub fn parse_command(line: &str) -> Result<Command, ServiceError> {
     let rest: Vec<&str> = tokens.collect();
     match verb.as_str() {
         "LOAD" => {
-            if rest.len() != 2 {
-                return Err(protocol_error("usage: LOAD <name> <path>"));
+            if rest.len() < 2 || rest.len() > 3 {
+                return Err(protocol_error(
+                    "usage: LOAD <name> <path> [bitmap_cap=<bytes>]",
+                ));
             }
+            let bitmap_cap = match rest.get(2) {
+                None => None,
+                Some(token) => match token.split_once('=') {
+                    Some(("bitmap_cap", value)) => Some(value.parse::<usize>().map_err(|_| {
+                        protocol_error(format!("invalid bitmap_cap '{value}' (expected bytes)"))
+                    })?),
+                    _ => {
+                        return Err(protocol_error(format!(
+                            "unknown LOAD option '{token}' (expected bitmap_cap=<bytes>)"
+                        )))
+                    }
+                },
+            };
             Ok(Command::Load {
                 name: rest[0].to_string(),
                 path: rest[1].to_string(),
+                bitmap_cap,
             })
         }
         "QUERY" | "EXPLAIN" => {
@@ -382,6 +401,9 @@ pub fn load_response(info: &crate::GraphInfo) -> Json {
         ("target", Json::str(info.name.clone())),
         ("nodes", Json::U64(info.nodes as u64)),
         ("edges", Json::U64(info.edges as u64)),
+        ("bitmap_rows", Json::U64(info.bitmap_rows as u64)),
+        ("bitmap_bytes", Json::U64(info.bitmap_bytes as u64)),
+        ("bitmap_capped", Json::Bool(info.bitmap_capped)),
     ])
 }
 
@@ -546,6 +568,17 @@ pub fn explain_response(explain: &crate::ExplainOutcome) -> Json {
                 explain.routed,
             ),
         ),
+        (
+            "kernels",
+            Json::Arr(
+                explain
+                    .engine
+                    .resolved_kernels()
+                    .into_iter()
+                    .map(Json::str)
+                    .collect(),
+            ),
+        ),
         ("impossible", Json::Bool(explain.engine.impossible())),
         ("cache_hit", Json::Bool(explain.cache_hit)),
         (
@@ -627,6 +660,29 @@ pub fn explain_analyze_response(analyze: &ExplainAnalyzeOutcome) -> Json {
                 &outcome.scheduler.to_string(),
                 analyze.routed,
             ),
+        ),
+        (
+            "kernels",
+            Json::Arr(
+                analyze
+                    .engine
+                    .resolved_kernels()
+                    .into_iter()
+                    .map(Json::str)
+                    .collect(),
+            ),
+        ),
+        (
+            "kernel_usage",
+            Json::obj(vec![
+                ("bitmap", Json::U64(outcome.kernels.bitmap)),
+                ("gallop", Json::U64(outcome.kernels.gallop)),
+                ("merge", Json::U64(outcome.kernels.merge)),
+                (
+                    "prefilter_rejected",
+                    Json::U64(outcome.kernels.prefilter_rejected),
+                ),
+            ]),
         ),
         ("matches", Json::U64(outcome.matches)),
         ("states", Json::U64(outcome.states)),
@@ -801,13 +857,24 @@ mod tests {
     fn parses_load() {
         let command = parse_command("LOAD mol /data/mol.gfu").unwrap();
         match command {
-            Command::Load { name, path } => {
+            Command::Load {
+                name,
+                path,
+                bitmap_cap,
+            } => {
                 assert_eq!(name, "mol");
                 assert_eq!(path, "/data/mol.gfu");
+                assert_eq!(bitmap_cap, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+        match parse_command("LOAD mol /data/mol.gfu bitmap_cap=1024").unwrap() {
+            Command::Load { bitmap_cap, .. } => assert_eq!(bitmap_cap, Some(1024)),
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse_command("LOAD onlyname").is_err());
+        assert!(parse_command("LOAD mol /p bitmap_cap=oops").is_err());
+        assert!(parse_command("LOAD mol /p wrong=1").is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::ServiceError;
 use sge_graph::io::parse_graph_with_interner;
-use sge_graph::{Graph, GraphStats};
+use sge_graph::{AdjacencyBitmaps, BitmapConfig, Graph, GraphStats};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
@@ -16,6 +16,14 @@ pub struct GraphInfo {
     pub nodes: usize,
     /// Number of edges.
     pub edges: usize,
+    /// Dense adjacency rows in the bitmap sidecar (0 when every
+    /// neighborhood is below the degree threshold, or when capped).
+    pub bitmap_rows: usize,
+    /// Bytes actually allocated for sidecar rows.
+    pub bitmap_bytes: usize,
+    /// `true` when the sidecar hit its memory cap and fell back to CSR-only
+    /// kernels (label signatures survive; rows were skipped).
+    pub bitmap_capped: bool,
 }
 
 /// Loads and owns named target graphs for the lifetime of the process.
@@ -33,6 +41,12 @@ struct TargetEntry {
     /// preparation would put a full O(V + E log E) target pass on the
     /// serving hot path.
     stats: Arc<GraphStats>,
+    /// Bitmap adjacency sidecar, built once at registration and shared by
+    /// every prepared engine against this target.  When the configured byte
+    /// cap was exceeded the sidecar is *capped*: it carries the per-node
+    /// label signatures (the candidate prefilter keeps working) but no rows,
+    /// so every intersection falls back to the CSR gallop kernels.
+    bitmaps: Arc<AdjacencyBitmaps>,
 }
 
 /// See module docs; holds one [`TargetEntry`] per registered name.
@@ -56,9 +70,20 @@ impl GraphRegistry {
         }
     }
 
-    /// Loads a `.gfu`/`.gfd` file and registers it under `name`, replacing
-    /// any previous graph of that name.
+    /// Loads a `.gfu`/`.gfd` file and registers it under `name` with the
+    /// default [`BitmapConfig`], replacing any previous graph of that name.
     pub fn load_file(&self, name: &str, path: impl AsRef<Path>) -> Result<GraphInfo, ServiceError> {
+        self.load_file_with_config(name, path, &BitmapConfig::default())
+    }
+
+    /// [`GraphRegistry::load_file`] with explicit bitmap-sidecar knobs (the
+    /// wire protocol's `LOAD ... bitmap_cap=<bytes>`).
+    pub fn load_file_with_config(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+        config: &BitmapConfig,
+    ) -> Result<GraphInfo, ServiceError> {
         // Read before locking: the interner gates every concurrent query's
         // pattern parse and must not wait on disk I/O.
         let text = std::fs::read_to_string(path).map_err(ServiceError::Io)?;
@@ -69,22 +94,26 @@ impl GraphRegistry {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             parse_graph_with_interner(&text, &mut interner)?
         };
-        Ok(self.insert(name, graph))
+        Ok(self.insert_with_config(name, graph, config))
     }
 
     /// Registers an in-memory graph under `name` (labels must already be
     /// consistent with the registry's numbering).
     pub fn insert(&self, name: &str, graph: Graph) -> GraphInfo {
-        let info = GraphInfo {
-            name: name.to_string(),
-            nodes: graph.num_nodes(),
-            edges: graph.num_edges(),
-        };
-        // Stats are computed outside the write lock so concurrent lookups
-        // never wait on the frequency-table pass.
+        self.insert_with_config(name, graph, &BitmapConfig::default())
+    }
+
+    /// [`GraphRegistry::insert`] with explicit bitmap-sidecar knobs.
+    pub fn insert_with_config(&self, name: &str, graph: Graph, config: &BitmapConfig) -> GraphInfo {
+        // Stats and the bitmap sidecar are computed outside the write lock
+        // so concurrent lookups never wait on the frequency-table or
+        // row-building passes.
+        let bitmaps = Arc::new(AdjacencyBitmaps::build(&graph, config));
+        let info = graph_info(name, &graph, &bitmaps);
         let entry = TargetEntry {
             stats: Arc::new(GraphStats::of(&graph)),
             graph: Arc::new(graph),
+            bitmaps,
         };
         self.graphs
             .write()
@@ -101,11 +130,26 @@ impl GraphRegistry {
     /// Looks a target up by name together with its registration-time
     /// statistics (what the planner's cost model consumes).
     pub fn get_with_stats(&self, name: &str) -> Option<(Arc<Graph>, Arc<GraphStats>)> {
+        self.get_full(name).map(|(graph, stats, _)| (graph, stats))
+    }
+
+    /// Looks a target up by name together with its statistics and its bitmap
+    /// adjacency sidecar — everything a cached preparation needs.
+    pub fn get_full(
+        &self,
+        name: &str,
+    ) -> Option<(Arc<Graph>, Arc<GraphStats>, Arc<AdjacencyBitmaps>)> {
         self.graphs
             .read()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(name)
-            .map(|entry| (Arc::clone(&entry.graph), Arc::clone(&entry.stats)))
+            .map(|entry| {
+                (
+                    Arc::clone(&entry.graph),
+                    Arc::clone(&entry.stats),
+                    Arc::clone(&entry.bitmaps),
+                )
+            })
     }
 
     /// Parses a query pattern through the shared label interner.
@@ -125,11 +169,7 @@ impl GraphRegistry {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         let mut infos: Vec<GraphInfo> = graphs
             .iter()
-            .map(|(name, entry)| GraphInfo {
-                name: name.clone(),
-                nodes: entry.graph.num_nodes(),
-                edges: entry.graph.num_edges(),
-            })
+            .map(|(name, entry)| graph_info(name, &entry.graph, &entry.bitmaps))
             .collect();
         infos.sort_by(|a, b| a.name.cmp(&b.name));
         infos
@@ -146,6 +186,17 @@ impl GraphRegistry {
     /// `true` when no graph is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+fn graph_info(name: &str, graph: &Graph, bitmaps: &AdjacencyBitmaps) -> GraphInfo {
+    GraphInfo {
+        name: name.to_string(),
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        bitmap_rows: bitmaps.row_count(),
+        bitmap_bytes: bitmaps.row_bytes(),
+        bitmap_capped: bitmaps.capped(),
     }
 }
 
@@ -198,6 +249,42 @@ mod tests {
         assert!(registry
             .load_file("x", "/nonexistent/definitely-missing.gfu")
             .is_err());
+    }
+
+    #[test]
+    fn registration_builds_the_bitmap_sidecar() {
+        let registry = GraphRegistry::new();
+        let info = registry.insert("k12", generators::clique(12, 0));
+        // clique(12): every node's 11-neighborhood clears the default
+        // threshold in both directions.
+        assert_eq!(info.bitmap_rows, 24);
+        assert!(info.bitmap_bytes > 0);
+        assert!(!info.bitmap_capped);
+        let (_, _, bitmaps) = registry.get_full("k12").unwrap();
+        assert_eq!(bitmaps.row_count(), 24);
+
+        // A sparse path earns no rows but the sidecar (and its signatures)
+        // still exists.
+        let sparse = registry.insert("p3", generators::directed_path(3, 0));
+        assert_eq!(sparse.bitmap_rows, 0);
+        assert!(!sparse.bitmap_capped);
+    }
+
+    #[test]
+    fn byte_cap_falls_back_to_csr_only() {
+        let registry = GraphRegistry::new();
+        let config = BitmapConfig {
+            degree_threshold: 1,
+            max_bytes: 1, // no row fits
+        };
+        let info = registry.insert_with_config("k8", generators::clique(8, 0), &config);
+        assert!(info.bitmap_capped);
+        assert_eq!(info.bitmap_rows, 0);
+        assert_eq!(info.bitmap_bytes, 0);
+        // Signatures survive the cap: the prefilter still works.
+        let (_, _, bitmaps) = registry.get_full("k8").unwrap();
+        assert!(bitmaps.capped());
+        assert_ne!(bitmaps.out_sig(0), 0);
     }
 
     #[test]

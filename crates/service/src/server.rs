@@ -63,6 +63,9 @@ impl Server {
     /// `drained`) with timestamps from the service clock.  Without a log the
     /// server pays nothing.
     pub fn with_event_log(mut self, log: Arc<EventLog>) -> Server {
+        // Share the log with the service so non-lifecycle events (bitmap
+        // cap fallbacks on LOAD) land in the same stream.
+        self.service.set_event_log(Arc::clone(&log));
         self.event_log = Some(log);
         self
     }

@@ -597,3 +597,63 @@ fn dispatch_counters_and_explain_report_routing() {
     // EXPLAIN plans only: the dispatch counters did not move.
     assert_eq!(service.dispatch_counts(), (1, 1));
 }
+
+/// A `LOAD` whose sidecar trips the byte cap records a `bitmap_cap_fallback`
+/// event, and a dense query afterwards still answers correctly (the gallop
+/// kernels serve it) while an uncapped load ticks the bitmap counter.
+#[test]
+fn bitmap_cap_fallback_is_logged_and_counted() {
+    let service = Service::new(ServiceConfig::default());
+    let log = std::sync::Arc::new(sge_obs::EventLog::new(16));
+    service.set_event_log(std::sync::Arc::clone(&log));
+
+    let target_path = temp_path("sge-e2e-k16.gfd");
+    std::fs::write(&target_path, write_graph(&generators::clique(16, 0))).unwrap();
+
+    // Capped: rows are dropped, the event log says so with the numbers.
+    let capped = service.load_target("k16", &target_path, Some(1)).unwrap();
+    assert!(capped.bitmap_capped);
+    assert_eq!(capped.bitmap_rows, 0);
+    let events = log.recent();
+    let warning = events
+        .iter()
+        .find(|line| line.contains("bitmap_cap_fallback"))
+        .expect("cap fallback event recorded");
+    assert!(warning.contains("\"target\":\"k16\""), "{warning}");
+    assert!(warning.contains("\"cap_bytes\":1"), "{warning}");
+
+    let pattern = write_graph(&generators::directed_cycle(4, 0));
+    let spec = QuerySpec::new(&pattern).with_algorithm(Algorithm::RiDs);
+    let capped_run = service.run_query("k16", &spec).unwrap();
+    assert_eq!(capped_run.outcome.matches, 43_680);
+    assert_eq!(capped_run.outcome.kernels.bitmap, 0, "no rows, no bitmap");
+    assert!(capped_run.outcome.kernels.intersections() > 0);
+
+    // Uncapped reload: same answer, now over the bitmap kernel, and the
+    // service-level counter moved.
+    let full = service.load_target("k16", &target_path, None).unwrap();
+    std::fs::remove_file(&target_path).ok();
+    assert!(!full.bitmap_capped);
+    assert_eq!(full.bitmap_rows, 32);
+    let full_run = service.run_query("k16", &spec).unwrap();
+    assert_eq!(full_run.outcome.matches, 43_680);
+    assert!(full_run.outcome.kernels.bitmap > 0);
+    let snapshot = service.metrics_snapshot();
+    let bitmap_counter = snapshot
+        .iter()
+        .find(|(name, _)| name.as_str() == "engine.kernel.bitmap")
+        .map(|(_, value)| match value {
+            sge_obs::MetricValue::Counter(v) => *v,
+            other => panic!("unexpected metric kind {other:?}"),
+        })
+        .expect("engine.kernel.bitmap registered");
+    assert_eq!(bitmap_counter, full_run.outcome.kernels.bitmap);
+    // Exactly one cap warning was emitted: the clean reload logged nothing.
+    assert_eq!(
+        log.recent()
+            .iter()
+            .filter(|line| line.contains("bitmap_cap_fallback"))
+            .count(),
+        1
+    );
+}

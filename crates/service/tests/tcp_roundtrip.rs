@@ -317,6 +317,82 @@ fn explain_round_trips_with_order_costs_and_strategy() {
     server.join().unwrap();
 }
 
+/// A dense target routes constrained positions onto the bitmap kernel, and
+/// the whole story is visible over the wire: LOAD reports the sidecar, the
+/// plan's kernel per position shows in EXPLAIN / EXPLAIN ANALYZE, runtime
+/// usage shows in `kernel_usage` and the `engine.kernel.*` counters, and a
+/// byte-capped reload of the same graph degrades to the gallop kernels.
+#[test]
+fn kernel_selection_is_visible_in_load_explain_and_metrics() {
+    let (addr, server) = start_server();
+    let target_path = std::env::temp_dir().join(format!("sge-tcp-k16-{}.gfd", std::process::id()));
+    std::fs::write(&target_path, write_graph(&generators::clique(16, 0))).unwrap();
+    let square = encode_inline_pattern(&write_graph(&generators::directed_cycle(4, 0)));
+    let script = vec![
+        format!("LOAD k16 {}", target_path.display()),
+        format!("EXPLAIN target=k16 pattern={square}"),
+        format!("EXPLAIN ANALYZE target=k16 max=500 pattern={square}"),
+        "METRICS".to_string(),
+        // Reload under a 1-byte cap: no rows fit, kernels fall back.
+        format!("LOAD k16 {} bitmap_cap=1", target_path.display()),
+        format!("EXPLAIN target=k16 pattern={square}"),
+        "SHUTDOWN".to_string(),
+    ];
+    let responses = run_script(addr, &script).expect("script round-trip");
+    std::fs::remove_file(&target_path).ok();
+    assert_eq!(responses.len(), 7, "{responses:?}");
+
+    // LOAD reports the sidecar: one out-row and one in-row per node.
+    assert!(
+        responses[0].contains("\"bitmap_rows\":32"),
+        "{}",
+        responses[0]
+    );
+    assert!(responses[0].contains("\"bitmap_capped\":false"));
+    // The planner routes every constrained position onto the bitmap kernel
+    // (the root position is a scan — it has no parents to intersect).
+    let kernels = "\"kernels\":[\"scan\",\"bitmap\",\"bitmap\",\"bitmap\"]";
+    assert!(responses[1].contains(kernels), "{}", responses[1]);
+    assert!(responses[2].contains(kernels), "{}", responses[2]);
+    // …and the executed run actually exercised it: bitmap rows were ANDed,
+    // the linear-merge fallback never fired.
+    assert!(
+        !responses[2].contains("\"kernel_usage\":{\"bitmap\":0,"),
+        "{}",
+        responses[2]
+    );
+    assert!(responses[2].contains("\"merge\":0"), "{}", responses[2]);
+    // METRICS exposes the cumulative kernel counters.
+    for counter in [
+        "\"engine.kernel.bitmap\":",
+        "\"engine.kernel.gallop\":",
+        "\"engine.kernel.merge\":",
+        "\"engine.kernel.prefilter_rejected\":",
+    ] {
+        assert!(responses[3].contains(counter), "{}", responses[3]);
+    }
+    assert!(
+        !responses[3].contains("\"engine.kernel.bitmap\":0,"),
+        "{}",
+        responses[3]
+    );
+    // The capped reload kept the signatures but dropped the rows…
+    assert!(
+        responses[4].contains("\"bitmap_capped\":true"),
+        "{}",
+        responses[4]
+    );
+    assert!(responses[4].contains("\"bitmap_rows\":0"));
+    // …so the same plan now resolves to the CSR gallop kernels.
+    assert!(
+        responses[5].contains("\"kernels\":[\"scan\",\"gallop\",\"gallop\",\"gallop\"]"),
+        "{}",
+        responses[5]
+    );
+    assert!(responses[6].contains("\"shutdown\":true"));
+    server.join().unwrap();
+}
+
 #[test]
 fn strategy_is_selectable_on_query_and_batch() {
     let (addr, server) = start_server();

@@ -51,6 +51,7 @@ pub fn corpus() -> Vec<Scenario> {
         idle_swarm_interleaved_queries(),
         disconnect_while_writable(),
         routing_keys(),
+        dense_target_bitmap_kernels(),
     ]
 }
 
@@ -331,6 +332,29 @@ pub fn routing_keys() -> Scenario {
             format!("QUERY target=k5 sched=ws:2 pattern={}", tri()),
             format!("EXPLAIN target=k5 pattern={}", tri()),
             format!("EXPLAIN ANALYZE target=k5 pattern={}", tri()),
+            "STATS".to_string(),
+        ]))
+}
+
+/// PR 9's kernel story under simulated time: a dense target (K16, every
+/// neighborhood over the bitmap threshold) routes its constrained positions
+/// onto the bitmap intersection kernel.  EXPLAIN pins the per-position
+/// kernel array, EXPLAIN ANALYZE pins the observed `kernel_usage` counts
+/// (schedule-invariant, so seed-stable), and METRICS pins the cumulative
+/// `engine.kernel.*` counters — byte-identical replay is the regression
+/// assertion that kernel selection is deterministic.
+pub fn dense_target_bitmap_kernels() -> Scenario {
+    let square = inline(&generators::directed_cycle(4, 0));
+    Scenario::new("dense_target_bitmap_kernels", 0x5EED_0012)
+        .with_target("k16", TargetKind::Clique(16))
+        .with_client(ClientScript::new(vec![
+            format!("EXPLAIN target=k16 pattern={square}"),
+            // Pinned sequential, run to completion: kernel counts are only
+            // schedule-invariant on complete runs, and a limited parallel
+            // run would leak interleaving into the observed counters.
+            format!("QUERY target=k16 algo=ri-ds sched=seq pattern={square}"),
+            format!("EXPLAIN ANALYZE target=k16 algo=ri-ds sched=seq pattern={square}"),
+            "METRICS".to_string(),
             "STATS".to_string(),
         ]))
 }

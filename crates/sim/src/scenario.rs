@@ -192,6 +192,8 @@ pub fn pinned_config() -> ServiceConfig {
         // `max_workers` from `available_parallelism`, which would route the
         // same seed to different schedulers across hosts.
         routing: RoutingConfig::pinned(50_000.0, 25_000.0, 4),
+        // Bitmap-sidecar defaults are host-independent constants already.
+        bitmaps: sge_graph::BitmapConfig::default(),
     }
 }
 

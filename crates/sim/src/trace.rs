@@ -30,9 +30,10 @@ const COUNT_KEYS: &[&str] = &["matches", "states", "total_matches", "rows_sent"]
 
 /// Longest rendered payload kept per trace line, in bytes.  Sized so the
 /// longest single-line responses the corpus asserts on — a METRICS registry
-/// snapshot, an EXPLAIN ANALYZE with spans — fit whole; row frames and
-/// oversized request lines still truncate (deterministically).
-const MAX_LINE_BYTES: usize = 800;
+/// snapshot (now carrying the `engine.kernel.*` counters), an EXPLAIN
+/// ANALYZE with spans, per-position kernels and `kernel_usage` — fit whole;
+/// row frames and oversized request lines still truncate (deterministically).
+const MAX_LINE_BYTES: usize = 1200;
 
 /// An append-only, virtually-timestamped event log.
 #[derive(Debug, Default)]
@@ -193,7 +194,7 @@ mod tests {
 
     #[test]
     fn long_lines_truncate_deterministically() {
-        let long = "x".repeat(1000);
+        let long = "x".repeat(MAX_LINE_BYTES + 200);
         let truncated = truncate(&long);
         assert!(truncated.len() < MAX_LINE_BYTES + 50);
         assert!(truncated.ends_with("…(+200 bytes)"));

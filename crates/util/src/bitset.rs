@@ -141,6 +141,16 @@ impl Bitset {
         self.iter().next()
     }
 
+    /// The packed `u64` words backing this set, lowest indices first.
+    ///
+    /// Bit `i` of word `w` corresponds to index `w * 64 + i`. Exposed so
+    /// callers can AND domains directly against other word-packed rows
+    /// (e.g. dense adjacency bitmaps) without going through per-bit probes.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     fn clear_tail(&mut self) {
         let tail = self.len % WORD_BITS;
         if tail != 0 {
