@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod collections;
+pub mod modular;
 pub mod pattern_gen;
 pub mod target_gen;
 
 pub use collections::{
     graemlin32_like, pdbsv1_like, ppis32_like, Collection, CollectionKind, CollectionSpec, Instance,
 };
+pub use modular::{generate_modular, ModularSpec};
 pub use pattern_gen::{extract_pattern, DensityClass};
 pub use target_gen::{generate_target, LabelDistribution, TargetSpec};

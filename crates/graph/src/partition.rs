@@ -1,0 +1,430 @@
+//! Degree-aware vertex-cut partitioning for the sharded serving tier.
+//!
+//! A [`Partition`] splits one target graph into `shards` subgraphs under a
+//! simple contract that makes sharded enumeration *exact without cross-shard
+//! communication*:
+//!
+//! 1. **Ownership is a partition.**  Every node is *owned* by exactly one
+//!    shard ([`ShardMap`]).  Ownership drives deduplication: a sharded query
+//!    only enumerates embeddings whose plan-root vertex is shard-owned, so
+//!    the union of per-shard match sets equals the unsharded match set with
+//!    no overlap.
+//! 2. **Boundary vertices are replicated.**  Each shard graph is the induced
+//!    subgraph of the `replication_hops`-hop undirected ball around its
+//!    owned set: every full-graph edge whose endpoints both lie in the ball
+//!    is present.  Any pattern whose root has undirected eccentricity at
+//!    most `replication_hops` therefore matches entirely inside the shard
+//!    whenever its root lands on an owned node — back-edge intersections
+//!    stay shard-local.
+//! 3. **Shard graphs are compacted.**  Nodes are re-numbered `0..ball_len`
+//!    (sorted by global id) with a [`ShardGraph::to_global`] table mapping
+//!    local ids back.  Compaction is what restores the dense-kernel story on
+//!    shards: adjacency-bitmap rows shrink with the ball's node count, so a
+//!    target whose sidecar blows the byte cap whole often fits per shard.
+//!
+//! Ownership assignment is degree-aware BFS region growing: each shard seeds
+//! at the highest-degree unassigned node and grows a connected region until
+//! its share of the total degree mass (the proxy for enumeration work) is
+//! reached, re-seeding across components when the frontier empties.  The
+//! `balance` knob bounds how far past an even split a region may grow before
+//! it is cut off.
+
+use crate::graph::{Graph, NodeId};
+use crate::GraphBuilder;
+use sge_util::Bitset;
+
+/// Knobs for [`Partition::new`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionSpec {
+    /// Number of shards to produce (at least 1).
+    pub shards: usize,
+    /// Allowed relative overshoot of a shard's degree-mass share before the
+    /// region stops growing (0.1 = up to 10% past an even split).
+    pub balance: f64,
+    /// Radius of the replicated boundary ball, in undirected hops.  Patterns
+    /// are servable when their root eccentricity is at most this.
+    pub replication_hops: usize,
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        PartitionSpec {
+            shards: 1,
+            balance: 0.1,
+            replication_hops: 2,
+        }
+    }
+}
+
+impl PartitionSpec {
+    /// A spec for `shards` shards with default balance and replication.
+    pub fn new(shards: usize) -> Self {
+        PartitionSpec {
+            shards: shards.max(1),
+            ..PartitionSpec::default()
+        }
+    }
+}
+
+/// Which shard owns each global node.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    owner: Vec<u32>,
+}
+
+impl ShardMap {
+    /// The shard that owns global node `v`.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// Per-node owner table, indexed by global node id.
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+}
+
+/// One shard: a compacted CSR subgraph plus its ownership metadata.
+#[derive(Clone, Debug)]
+pub struct ShardGraph {
+    /// The compacted ball subgraph (local node ids `0..ball_len`).
+    pub graph: Graph,
+    /// Local id -> global id (strictly increasing: locals sort by global).
+    pub to_global: Vec<NodeId>,
+    /// Local ids this shard owns — the root-filter for deduplication.
+    pub owned: Bitset,
+}
+
+impl ShardGraph {
+    /// Number of owned (non-replica) nodes.
+    pub fn owned_count(&self) -> usize {
+        self.owned.count()
+    }
+}
+
+/// The result of partitioning one target graph.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardGraph>,
+    /// Global ownership table.
+    pub map: ShardMap,
+    /// The replication radius the shard graphs were built with.
+    pub replication_hops: usize,
+}
+
+impl Partition {
+    /// Partitions `graph` according to `spec` (see module docs).
+    pub fn new(graph: &Graph, spec: &PartitionSpec) -> Partition {
+        let shards = spec.shards.max(1);
+        let owner = assign_owners(graph, shards, spec.balance);
+        let shard_graphs = (0..shards)
+            .map(|s| build_shard(graph, &owner, s as u32, spec.replication_hops))
+            .collect();
+        Partition {
+            shards: shard_graphs,
+            map: ShardMap { owner },
+            replication_hops: spec.replication_hops,
+        }
+    }
+}
+
+/// Assigns every node an owner shard by degree-aware BFS region growing.
+fn assign_owners(graph: &Graph, shards: usize, balance: f64) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut owner = vec![u32::MAX; n];
+    if n == 0 {
+        return owner;
+    }
+    // Seeds are tried in decreasing degree (ties: smaller id first), so each
+    // region anchors on the hub it will spend the most work on.
+    let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+    by_degree.sort_by_key(|&v| (usize::MAX - graph.degree(v), v));
+
+    let mut assigned = 0usize;
+    let mut seed_cursor = 0usize;
+    let mut neighbors = Vec::new();
+
+    for s in 0..shards as u32 {
+        if assigned == n {
+            break;
+        }
+        let shards_left = shards - s as usize;
+        let remaining_degree: usize = by_degree
+            .iter()
+            .filter(|&&v| owner[v as usize] == u32::MAX)
+            .map(|&v| graph.degree(v))
+            .sum();
+        // Last shard sweeps up everything; earlier shards aim for an even
+        // split of the remaining degree mass, with `balance` slack.  The
+        // node cap keeps zero-degree tails (which add no degree mass) from
+        // piling onto one shard.
+        let degree_target = remaining_degree / shards_left;
+        let degree_limit = (degree_target as f64 * (1.0 + balance.max(0.0))) as usize;
+        let node_cap = (n - assigned).div_ceil(shards_left);
+        let last = shards_left == 1;
+
+        let mut load = 0usize;
+        let mut taken = 0usize;
+        let mut queue = std::collections::VecDeque::new();
+        'grow: loop {
+            let Some(v) = queue.pop_front() else {
+                // Frontier empty: re-seed in the next unassigned component.
+                while seed_cursor < n && owner[by_degree[seed_cursor] as usize] != u32::MAX {
+                    seed_cursor += 1;
+                }
+                match by_degree.get(seed_cursor) {
+                    Some(&seed) if last || (taken < node_cap && load < degree_target.max(1)) => {
+                        queue.push_back(seed);
+                        continue 'grow;
+                    }
+                    _ => break 'grow,
+                }
+            };
+            if owner[v as usize] != u32::MAX {
+                continue;
+            }
+            let deg = graph.degree(v);
+            if !last && taken > 0 && (taken >= node_cap || load + deg > degree_limit) {
+                break 'grow;
+            }
+            owner[v as usize] = s;
+            assigned += 1;
+            load += deg;
+            taken += 1;
+            if !last && load >= degree_target && taken >= 1 {
+                // Region reached its share; stop before the next admission.
+                if load >= degree_target.max(1) {
+                    break 'grow;
+                }
+            }
+            graph.undirected_neighbors_into(v, &mut neighbors);
+            for &w in &neighbors {
+                if owner[w as usize] == u32::MAX {
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Safety net: anything still unowned (possible only when `shards`
+    // regions all hit their caps early) goes to the last shard.
+    for o in owner.iter_mut() {
+        if *o == u32::MAX {
+            *o = shards as u32 - 1;
+        }
+    }
+    owner
+}
+
+/// Builds one shard's compacted ball subgraph.
+fn build_shard(graph: &Graph, owner: &[u32], shard: u32, hops: usize) -> ShardGraph {
+    let n = graph.num_nodes();
+    // BFS out to `hops` undirected hops from the owned set.
+    let mut depth = vec![u32::MAX; n];
+    let mut frontier: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| owner[v as usize] == shard)
+        .collect();
+    for &v in &frontier {
+        depth[v as usize] = 0;
+    }
+    let mut neighbors = Vec::new();
+    let mut level = 0u32;
+    while level < hops as u32 && !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            graph.undirected_neighbors_into(v, &mut neighbors);
+            for &w in &neighbors {
+                if depth[w as usize] == u32::MAX {
+                    depth[w as usize] = level + 1;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+
+    // Compact: ball nodes in increasing global id become local 0..ball_len.
+    let to_global: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| depth[v as usize] != u32::MAX)
+        .collect();
+    let mut to_local = vec![u32::MAX; n];
+    for (local, &global) in to_global.iter().enumerate() {
+        to_local[global as usize] = local as u32;
+    }
+
+    let mut builder = GraphBuilder::with_capacity(to_global.len(), 0).name(format!(
+        "{}[shard{}]",
+        graph.name(),
+        shard
+    ));
+    for &global in &to_global {
+        builder.add_node(graph.label(global));
+    }
+    for &global in &to_global {
+        let u = to_local[global as usize];
+        for edge in graph.out_edges(global) {
+            let v = to_local[edge.node as usize];
+            if v != u32::MAX {
+                builder.add_edge(u, v, edge.label);
+            }
+        }
+    }
+
+    let mut owned = Bitset::new(to_global.len());
+    for (local, &global) in to_global.iter().enumerate() {
+        if owner[global as usize] == shard {
+            owned.insert(local);
+        }
+    }
+
+    ShardGraph {
+        graph: builder.build(),
+        to_global,
+        owned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_invariants(graph: &Graph, partition: &Partition) {
+        // Ownership is a partition of the node set.
+        let mut owned_total = 0usize;
+        for (s, shard) in partition.shards.iter().enumerate() {
+            for local in shard.owned.iter() {
+                let global = shard.to_global[local];
+                assert_eq!(partition.map.owner(global), s);
+                owned_total += 1;
+            }
+        }
+        assert_eq!(owned_total, graph.num_nodes());
+
+        for shard in &partition.shards {
+            // Local ids are strictly increasing in global id.
+            assert!(shard.to_global.windows(2).all(|w| w[0] < w[1]));
+            // Labels survive compaction.
+            for (local, &global) in shard.to_global.iter().enumerate() {
+                assert_eq!(shard.graph.label(local as NodeId), graph.label(global));
+            }
+            // Every full-graph edge inside the ball is present, with its
+            // label; and the shard graph has no edge the full graph lacks.
+            let in_ball = |v: NodeId| shard.to_global.binary_search(&v).ok();
+            for (u, v, l) in graph.edges() {
+                if let (Some(lu), Some(lv)) = (in_ball(u), in_ball(v)) {
+                    assert_eq!(
+                        shard.graph.edge_label(lu as NodeId, lv as NodeId),
+                        Some(l),
+                        "edge ({u},{v}) lost in shard"
+                    );
+                }
+            }
+            for (lu, lv, l) in shard.graph.edges() {
+                let (gu, gv) = (shard.to_global[lu as usize], shard.to_global[lv as usize]);
+                assert_eq!(graph.edge_label(gu, gv), Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn clique_two_shards_replicates_everything_at_one_hop() {
+        let g = generators::clique(8, 0);
+        let spec = PartitionSpec {
+            shards: 2,
+            replication_hops: 1,
+            ..PartitionSpec::default()
+        };
+        let p = Partition::new(&g, &spec);
+        check_invariants(&g, &p);
+        // One hop from any node of a clique reaches every node: each shard's
+        // ball is the whole graph, only ownership differs.
+        for shard in &p.shards {
+            assert_eq!(shard.graph.num_nodes(), 8);
+            assert_eq!(shard.graph.num_edges(), g.num_edges());
+            assert!(shard.owned_count() > 0);
+            assert!(shard.owned_count() < 8);
+        }
+    }
+
+    #[test]
+    fn path_partition_balances_degree_mass() {
+        let g = generators::directed_path(64, 0);
+        let p = Partition::new(&g, &PartitionSpec::new(4));
+        check_invariants(&g, &p);
+        for shard in &p.shards {
+            let owned = shard.owned_count();
+            assert!(
+                (8..=32).contains(&owned),
+                "shard owns {owned} of 64 path nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_components_are_all_assigned() {
+        // Two cliques with no bridge: region growing must re-seed.
+        let mut b = GraphBuilder::new();
+        for _ in 0..8 {
+            b.add_node(0);
+        }
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    b.add_edge(u, v, 0);
+                }
+            }
+        }
+        for u in 4..8u32 {
+            for v in 4..8u32 {
+                if u != v {
+                    b.add_edge(u, v, 0);
+                }
+            }
+        }
+        let g = b.build();
+        let p = Partition::new(&g, &PartitionSpec::new(2));
+        check_invariants(&g, &p);
+        // The two components should land on different shards (equal degree
+        // mass each), and with hops=2 each shard's ball stays one component.
+        assert_eq!(p.shards[0].graph.num_nodes(), 4);
+        assert_eq!(p.shards[1].graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn zero_degree_nodes_are_spread_by_the_node_cap() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..10 {
+            b.add_node(0);
+        }
+        let g = b.build();
+        let p = Partition::new(&g, &PartitionSpec::new(2));
+        check_invariants(&g, &p);
+        assert_eq!(p.shards[0].owned_count(), 5);
+        assert_eq!(p.shards[1].owned_count(), 5);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_yields_empty_tails() {
+        let g = generators::clique(2, 0);
+        let p = Partition::new(&g, &PartitionSpec::new(4));
+        check_invariants(&g, &p);
+        let owned: usize = p.shards.iter().map(|s| s.owned_count()).sum();
+        assert_eq!(owned, 2);
+        assert!(p.shards.iter().any(|s| s.graph.num_nodes() == 0));
+    }
+
+    #[test]
+    fn single_shard_is_the_identity() {
+        let g = generators::clique(5, 3);
+        let p = Partition::new(&g, &PartitionSpec::new(1));
+        check_invariants(&g, &p);
+        let shard = &p.shards[0];
+        assert_eq!(shard.graph.num_nodes(), 5);
+        assert_eq!(shard.graph.num_edges(), g.num_edges());
+        assert_eq!(shard.owned_count(), 5);
+        assert!((0..5).all(|v| p.map.owner(v) == 0));
+    }
+}

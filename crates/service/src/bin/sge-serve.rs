@@ -4,7 +4,7 @@
 //! sge-serve [--addr HOST:PORT] [--cache N] [--workers N]
 //!           [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]...
 //!           [--log PATH] [--threaded] [--route-threshold STATES]
-//!           [--route-states-per-worker STATES]
+//!           [--route-states-per-worker STATES] [--shards N]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts wait for
@@ -21,9 +21,14 @@
 //! scheduler routing (estimated states below the threshold stay on the
 //! sequential fast path; above it, worker count is sized from the
 //! corrected estimate).
+//!
+//! `--shards N` (N ≥ 2) serves through the scatter-gather
+//! [`sge_service::Coordinator`]: every `LOAD` is vertex-cut partitioned
+//! over N in-process shard services, queries fan out to all shards, and
+//! responses carry a per-shard `"shards"` breakdown.
 
 use sge_obs::EventLog;
-use sge_service::{Server, Service, ServiceConfig};
+use sge_service::{Backend, Coordinator, Server, Service, ServiceConfig};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -32,7 +37,8 @@ const EVENT_LOG_CAPACITY: usize = 1024;
 
 const USAGE: &str = "usage: sge-serve [--addr HOST:PORT] [--cache N] [--workers N] \
      [--max-in-flight N] [--drain-ms N] [--load NAME=PATH]... [--log PATH] \
-     [--threaded] [--route-threshold STATES] [--route-states-per-worker STATES]";
+     [--threaded] [--route-threshold STATES] [--route-states-per-worker STATES] \
+     [--shards N]";
 
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -48,6 +54,7 @@ fn main() {
     let mut drain_ms: u64 = 5000;
     let mut log_path: Option<String> = None;
     let mut threaded = false;
+    let mut shards: usize = 1;
 
     let mut i = 0;
     while i < args.len() {
@@ -98,6 +105,12 @@ fn main() {
                 }
             }
             "--threaded" => threaded = true,
+            "--shards" => {
+                shards = match value().parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => fail("invalid --shards"),
+                }
+            }
             "--load" => {
                 let spec = value();
                 match spec.split_once('=') {
@@ -115,36 +128,68 @@ fn main() {
         i += 1;
     }
 
-    let service = Arc::new(Service::new(config));
-    for (name, path) in &preloads {
-        match service.load_target(name, path, None) {
-            Ok(info) => eprintln!(
-                "loaded {} ({} nodes, {} edges, {} bitmap rows)",
-                info.name, info.nodes, info.edges, info.bitmap_rows
-            ),
-            Err(err) => fail(&format!("cannot load {name} from {path}: {err}")),
+    if shards > 1 {
+        let coordinator = Arc::new(Coordinator::new(shards, config));
+        eprintln!("sharded serving: {shards} shards");
+        for (name, path) in &preloads {
+            match coordinator.load_target(name, path, None) {
+                Ok((info, shard_infos)) => {
+                    eprintln!(
+                        "loaded {} ({} nodes, {} edges, {} bitmap rows over {} shards)",
+                        info.name,
+                        info.nodes,
+                        info.edges,
+                        info.bitmap_rows,
+                        shard_infos.len()
+                    );
+                }
+                Err(err) => fail(&format!("cannot load {name} from {path}: {err}")),
+            }
         }
+        serve(&addr, coordinator, drain_ms, log_path.as_deref(), threaded);
+    } else {
+        let service = Arc::new(Service::new(config));
+        for (name, path) in &preloads {
+            match service.load_target(name, path, None) {
+                Ok(info) => eprintln!(
+                    "loaded {} ({} nodes, {} edges, {} bitmap rows)",
+                    info.name, info.nodes, info.edges, info.bitmap_rows
+                ),
+                Err(err) => fail(&format!("cannot load {name} from {path}: {err}")),
+            }
+        }
+        serve(&addr, service, drain_ms, log_path.as_deref(), threaded);
     }
+}
 
-    let event_log =
-        log_path
-            .as_deref()
-            .map(|path| match EventLog::with_file(EVENT_LOG_CAPACITY, path) {
-                Ok(log) => Arc::new(log),
-                Err(err) => fail(&format!("cannot open event log {path}: {err}")),
-            });
+/// Binds the selected front end over any [`Backend`] (the single service or
+/// the sharded coordinator) and serves until `SHUTDOWN`.
+fn serve<B: Backend + 'static>(
+    addr: &str,
+    backend: Arc<B>,
+    drain_ms: u64,
+    log_path: Option<&str>,
+    threaded: bool,
+) {
+    let event_log = log_path.map(|path| match EventLog::with_file(EVENT_LOG_CAPACITY, path) {
+        Ok(log) => Arc::new(log),
+        Err(err) => fail(&format!("cannot open event log {path}: {err}")),
+    });
     let drain = std::time::Duration::from_millis(drain_ms);
 
     #[cfg(unix)]
     if !threaded {
-        let mut server = match sge_service::EventServer::bind(addr.as_str(), service) {
+        let mut server = match sge_service::EventServer::bind(addr, backend) {
             Ok(server) => server.with_drain_timeout(drain),
             Err(err) => fail(&format!("cannot bind {addr}: {err}")),
         };
         if let Some(log) = event_log {
             server = server.with_event_log(log);
         }
-        let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+        let bound = server
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
         println!("listening on {bound}");
         std::io::stdout().flush().ok();
         if let Err(err) = server.run() {
@@ -156,14 +201,17 @@ fn main() {
     #[cfg(not(unix))]
     let _ = threaded; // only the blocking front end exists off-Unix
 
-    let mut server = match Server::bind(addr.as_str(), service) {
+    let mut server = match Server::bind(addr, backend) {
         Ok(server) => server.with_drain_timeout(drain),
         Err(err) => fail(&format!("cannot bind {addr}: {err}")),
     };
     if let Some(log) = event_log {
         server = server.with_event_log(log);
     }
-    let bound = server.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    let bound = server
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
     println!("listening on {bound}");
     std::io::stdout().flush().ok();
 

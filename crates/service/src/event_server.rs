@@ -25,11 +25,10 @@
 //! connections hold no half-written response and are abandoned), then
 //! returns — the same drain semantics as the blocking [`crate::Server`].
 
-use crate::connection::{Connection, StepOutcome};
+use crate::connection::{Backend, Connection, StepOutcome};
 use crate::json::Json;
 use crate::protocol::{MAX_BATCH_QUERIES, MAX_REQUEST_LINE_BYTES};
 use crate::server::log_event;
-use crate::SharedService;
 use sge_obs::{EventLog, Gauge};
 use sge_util::poll::{poll_entries, PollEntry, POLLIN, POLLOUT};
 use std::collections::HashMap;
@@ -59,7 +58,7 @@ const READ_CHUNK: usize = 16 * 1024;
 /// A bound, not-yet-running event-driven server.
 pub struct EventServer {
     listener: TcpListener,
-    service: SharedService,
+    service: Arc<dyn Backend>,
     drain_timeout: Duration,
     event_log: Option<Arc<EventLog>>,
     workers: usize,
@@ -67,7 +66,10 @@ pub struct EventServer {
 
 impl EventServer {
     /// Binds to `addr` (use port 0 for an ephemeral port).
-    pub fn bind(addr: impl ToSocketAddrs, service: SharedService) -> std::io::Result<EventServer> {
+    pub fn bind<B: Backend + 'static>(
+        addr: impl ToSocketAddrs,
+        service: Arc<B>,
+    ) -> std::io::Result<EventServer> {
         Ok(EventServer {
             listener: TcpListener::bind(addr)?,
             service,
@@ -132,7 +134,7 @@ impl EventServer {
 
         log_event(
             self.event_log.as_deref(),
-            &self.service,
+            self.service.as_ref(),
             "listening",
             vec![("addr", Json::str(local_addr.to_string()))],
         );
@@ -170,7 +172,7 @@ impl EventServer {
                                 .saturating_add(self.drain_timeout);
                             log_event(
                                 self.event_log.as_deref(),
-                                &self.service,
+                                self.service.as_ref(),
                                 "shutdown",
                                 vec![("conn", Json::U64(done.conn))],
                             );
@@ -212,7 +214,7 @@ impl EventServer {
                 .collect();
             for id in finished_ids {
                 conns.remove(&id);
-                close_conn(&gauge, self.event_log.as_deref(), &self.service, id);
+                close_conn(&gauge, self.event_log.as_deref(), self.service.as_ref(), id);
             }
 
             // 4. Drain: exit once nothing is in flight, or at the deadline
@@ -281,7 +283,7 @@ impl EventServer {
                                     gauge.inc();
                                     log_event(
                                         self.event_log.as_deref(),
-                                        &self.service,
+                                        self.service.as_ref(),
                                         "conn_open",
                                         vec![
                                             ("conn", Json::U64(next_conn_id)),
@@ -328,11 +330,11 @@ impl EventServer {
         }
         let abandoned: Vec<u64> = conns.keys().copied().collect();
         for id in abandoned {
-            close_conn(&gauge, self.event_log.as_deref(), &self.service, id);
+            close_conn(&gauge, self.event_log.as_deref(), self.service.as_ref(), id);
         }
         log_event(
             self.event_log.as_deref(),
-            &self.service,
+            self.service.as_ref(),
             "drained",
             vec![("clean", Json::Bool(clean))],
         );
@@ -416,7 +418,7 @@ struct Completion {
 fn worker_loop(
     jobs: Arc<Mutex<Receiver<Job>>>,
     completions: Arc<Mutex<Vec<Completion>>>,
-    service: SharedService,
+    service: Arc<dyn Backend>,
     mut wake: UnixStream,
 ) {
     loop {
@@ -432,7 +434,7 @@ fn worker_loop(
             let mut conn = Connection::new(BufReader::new(Cursor::new(job.bytes)), &mut output);
             // Cursor and Vec cannot fail; an Err here is unreachable, but
             // mapping it to Closed keeps the loop total.
-            conn.step(&service).unwrap_or(StepOutcome::Closed)
+            conn.step(service.as_ref()).unwrap_or(StepOutcome::Closed)
         };
         completions
             .lock()
@@ -529,7 +531,7 @@ fn flush_write(conn: &mut Conn) -> std::io::Result<()> {
 }
 
 /// Accounts for one closed connection: gauge decrement plus lifecycle log.
-fn close_conn(gauge: &Gauge, log: Option<&EventLog>, service: &crate::Service, id: u64) {
+fn close_conn(gauge: &Gauge, log: Option<&EventLog>, service: &dyn Backend, id: u64) {
     gauge.dec();
     log_event(log, service, "conn_close", vec![("conn", Json::U64(id))]);
 }

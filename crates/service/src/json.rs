@@ -1,157 +1,7 @@
-//! A hand-rolled JSON encoder (the build environment has no serde).
+//! Re-export of the wire plane's single-line JSON encoder.
 //!
-//! Only what the wire protocol needs: objects with insertion-ordered keys,
-//! arrays, strings with full escaping, integers, finite floats, booleans and
-//! null.  Rendering is single-line — one response per line is the protocol's
-//! framing.
+//! The encoder moved to [`sge_wire::json`] so the coordinator, client and
+//! simulator share one codec; this module keeps the historical
+//! `sge_service::json::Json` paths working.
 
-use std::fmt;
-
-/// A JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An unsigned integer (match counts, state counts, hashes).
-    U64(u64),
-    /// A signed integer.
-    I64(i64),
-    /// A float; non-finite values render as `null` (JSON has no NaN).
-    F64(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; keys keep insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(key, value)| (key.to_string(), value))
-                .collect(),
-        )
-    }
-
-    /// Builds a string value.
-    pub fn str(text: impl Into<String>) -> Json {
-        Json::Str(text.into())
-    }
-
-    /// Renders to a single-line JSON string.
-    pub fn render(&self) -> String {
-        self.to_string()
-    }
-}
-
-fn escape_into(out: &mut fmt::Formatter<'_>, text: &str) -> fmt::Result {
-    out.write_str("\"")?;
-    for c in text.chars() {
-        match c {
-            '"' => out.write_str("\\\"")?,
-            '\\' => out.write_str("\\\\")?,
-            '\n' => out.write_str("\\n")?,
-            '\r' => out.write_str("\\r")?,
-            '\t' => out.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
-            c => write!(out, "{c}")?,
-        }
-    }
-    out.write_str("\"")
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::U64(n) => write!(f, "{n}"),
-            Json::I64(n) => write!(f, "{n}"),
-            Json::F64(x) => {
-                if x.is_finite() {
-                    // `{:?}` guarantees a distinguishing decimal point or
-                    // exponent, keeping the value a JSON number, not an int.
-                    write!(f, "{x:?}")
-                } else {
-                    f.write_str("null")
-                }
-            }
-            Json::Str(s) => escape_into(f, s),
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(pairs) => {
-                f.write_str("{")?;
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    escape_into(f, key)?;
-                    f.write_str(":")?;
-                    write!(f, "{value}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null");
-        assert_eq!(Json::Bool(true).render(), "true");
-        assert_eq!(Json::U64(42).render(), "42");
-        assert_eq!(Json::I64(-7).render(), "-7");
-        assert_eq!(Json::F64(1.5).render(), "1.5");
-        assert_eq!(Json::F64(2.0).render(), "2.0");
-        assert_eq!(Json::F64(f64::NAN).render(), "null");
-        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
-    }
-
-    #[test]
-    fn strings_escape() {
-        assert_eq!(Json::str("plain").render(), "\"plain\"");
-        assert_eq!(
-            Json::str("a\"b\\c\nd\te\r").render(),
-            "\"a\\\"b\\\\c\\nd\\te\\r\""
-        );
-        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
-        assert_eq!(Json::str("héllo ☂").render(), "\"héllo ☂\"");
-    }
-
-    #[test]
-    fn containers_render_in_order() {
-        let value = Json::obj(vec![
-            ("ok", Json::Bool(true)),
-            ("items", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
-            ("nested", Json::obj(vec![("k", Json::Null)])),
-        ]);
-        assert_eq!(
-            value.render(),
-            "{\"ok\":true,\"items\":[1,2],\"nested\":{\"k\":null}}"
-        );
-    }
-
-    #[test]
-    fn single_line_output() {
-        let value = Json::obj(vec![("text", Json::str("line1\nline2"))]);
-        assert!(!value.render().contains('\n'));
-    }
-}
+pub use sge_wire::json::*;

@@ -37,6 +37,7 @@ pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod connection;
+pub mod coordinator;
 #[cfg(unix)]
 pub mod event_server;
 pub mod json;
@@ -49,70 +50,27 @@ mod semaphore;
 
 pub use batch::{BatchExecutor, BatchOutcome, QuerySet};
 pub use cache::{CacheStats, PreparedCache};
-pub use connection::{Connection, StepOutcome};
+pub use connection::{Backend, Connection, StepOutcome};
+pub use coordinator::Coordinator;
 #[cfg(unix)]
 pub use event_server::EventServer;
 pub use registry::{GraphInfo, GraphRegistry};
 pub use server::Server;
 pub use stats::{ServiceStats, StatsSnapshot};
+// The wire-plane vocabulary moved to `sge-wire`; re-exported so historical
+// `sge_service::{QuerySpec, ServiceError, …}` paths keep working.
+pub use sge_wire::{
+    EmitMode, ExplainAnalyzeOutcome, ExplainOutcome, QueryOutcome, QuerySpec, ServiceError,
+    StreamHeader, StreamSink, StreamedQueryOutcome, DEFAULT_STREAM_CHUNK, MAX_STREAM_CHUNK,
+};
 
 use sge_engine::{EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
-use sge_graph::io::ParseError;
 use sge_graph::{BitmapConfig, NodeId};
-use sge_obs::{
-    Counter, EventLog, Gauge, MetricsRegistry, MetricsSnapshot, QueryTrace, SpanRecord, TraceSink,
-};
+use sge_obs::{Counter, EventLog, Gauge, MetricsRegistry, MetricsSnapshot, QueryTrace, TraceSink};
 use sge_plan::{CostModel, Planner, RoutingConfig, RoutingDecision, SchedulerChoice};
-use sge_ri::{Algorithm, CandidateMode};
 use sge_util::{Clock, SystemClock};
-use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Default number of rows per streamed frame (`chunk=` on the wire).
-pub const DEFAULT_STREAM_CHUNK: usize = 64;
-
-/// Upper bound on `chunk=`: larger requests are clamped, keeping server
-/// memory O(chunk) with a sane constant.
-pub const MAX_STREAM_CHUNK: usize = 65_536;
-
-/// Errors produced by the serving layer.
-#[derive(Debug)]
-pub enum ServiceError {
-    /// The named target graph is not loaded in the registry.
-    UnknownTarget(String),
-    /// A graph (target file or query pattern) failed to parse.
-    Parse(ParseError),
-    /// A malformed protocol request.
-    Protocol(String),
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-}
-
-impl fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ServiceError::UnknownTarget(name) => write!(f, "unknown target '{name}'"),
-            ServiceError::Parse(err) => write!(f, "graph parse error: {err}"),
-            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ServiceError::Io(err) => write!(f, "i/o error: {err}"),
-        }
-    }
-}
-
-impl std::error::Error for ServiceError {}
-
-impl From<ParseError> for ServiceError {
-    fn from(err: ParseError) -> Self {
-        ServiceError::Parse(err)
-    }
-}
-
-impl From<std::io::Error> for ServiceError {
-    fn from(err: std::io::Error) -> Self {
-        ServiceError::Io(err)
-    }
-}
 
 /// Sizing knobs of a [`Service`].
 #[derive(Clone, Copy, Debug)]
@@ -147,144 +105,6 @@ impl Default for ServiceConfig {
             bitmaps: BitmapConfig::default(),
         }
     }
-}
-
-/// How query results leave the service.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum EmitMode {
-    /// One buffered JSON response; mappings (if collected) ride along in a
-    /// single `mappings` array.  The pre-streaming behavior.
-    #[default]
-    Buffered,
-    /// A header line, then newline-delimited row frames of up to `chunk`
-    /// mappings each, then a footer line with the outcome — server memory is
-    /// O(chunk), independent of the result cardinality.
-    Stream,
-}
-
-impl fmt::Display for EmitMode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            EmitMode::Buffered => "buffered",
-            EmitMode::Stream => "stream",
-        })
-    }
-}
-
-impl std::str::FromStr for EmitMode {
-    type Err = String;
-
-    /// Parses `buffered` / `stream` (case-insensitive).
-    fn from_str(text: &str) -> Result<Self, Self::Err> {
-        match text.to_ascii_lowercase().as_str() {
-            "buffered" => Ok(EmitMode::Buffered),
-            "stream" => Ok(EmitMode::Stream),
-            other => Err(format!(
-                "unknown emit mode '{other}' (expected buffered or stream)"
-            )),
-        }
-    }
-}
-
-/// One query: a pattern (as `.gfu`/`.gfd` text) to enumerate with a given
-/// algorithm and run configuration against a registry target.
-#[derive(Clone, Debug)]
-pub struct QuerySpec {
-    /// Pattern graph in the text exchange format.
-    pub pattern_text: String,
-    /// Algorithm variant to prepare (part of the cache key).
-    pub algorithm: Algorithm,
-    /// Candidate generation scheme to prepare under (part of the cache
-    /// key; intersection by default).
-    pub mode: CandidateMode,
-    /// Scheduler and limits for this run.  The embedded
-    /// `RunConfig::strategy` selects the ordering strategy the engine is
-    /// prepared with (also part of the cache key).
-    pub run: RunConfig,
-    /// How results leave the service (buffered response vs. row stream).
-    /// Not part of the cache key: the same prepared engine serves both.
-    pub emit: EmitMode,
-    /// Rows per streamed frame (clamped to `1..=`[`MAX_STREAM_CHUNK`]);
-    /// ignored in buffered mode.
-    pub chunk: usize,
-    /// Whether the caller pinned the scheduler.  When `false` (the default)
-    /// the service routes the run through [`Planner::route`], replacing
-    /// `run.scheduler` with the planner's choice; when `true` the embedded
-    /// scheduler is honored verbatim (`sched=` on the wire, or
-    /// [`QuerySpec::with_run`] in-process).
-    pub pinned: bool,
-}
-
-impl QuerySpec {
-    /// A query with the given pattern text, the paper's strongest variant
-    /// (RI-DS-SI-FC) and an unlimited, buffered, planner-routed run.
-    pub fn new(pattern_text: impl Into<String>) -> Self {
-        QuerySpec {
-            pattern_text: pattern_text.into(),
-            algorithm: Algorithm::RiDsSiFc,
-            mode: CandidateMode::default(),
-            run: RunConfig::default(),
-            emit: EmitMode::default(),
-            chunk: DEFAULT_STREAM_CHUNK,
-            pinned: false,
-        }
-    }
-
-    /// Sets the algorithm.
-    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
-        self.algorithm = algorithm;
-        self
-    }
-
-    /// Sets the candidate generation scheme.
-    pub fn with_mode(mut self, mode: CandidateMode) -> Self {
-        self.mode = mode;
-        self
-    }
-
-    /// Sets the run configuration and pins its scheduler (a caller that
-    /// passes an explicit [`RunConfig`] expects its scheduler to be the one
-    /// that runs).  Chain [`QuerySpec::routed`] to keep the limits but let
-    /// the planner pick the scheduler.
-    pub fn with_run(mut self, run: RunConfig) -> Self {
-        self.run = run;
-        self.pinned = true;
-        self
-    }
-
-    /// Un-pins the scheduler: the embedded `run`'s limits stay, but the
-    /// planner routes the scheduler choice.
-    pub fn routed(mut self) -> Self {
-        self.pinned = false;
-        self
-    }
-
-    /// Switches to streaming emission with `chunk` rows per frame.
-    pub fn with_streaming(mut self, chunk: usize) -> Self {
-        self.emit = EmitMode::Stream;
-        self.chunk = chunk;
-        self
-    }
-}
-
-/// The result of one served query.
-#[derive(Clone, Debug)]
-pub struct QueryOutcome {
-    /// Name of the target the query ran against.
-    pub target: String,
-    /// Stable-within-process hash of the canonical pattern (reported so
-    /// clients can correlate cache behavior).
-    pub pattern_hash: u64,
-    /// Whether the prepared engine came out of the [`PreparedCache`].
-    pub cache_hit: bool,
-    /// End-to-end service latency of this query in seconds (parse + cache
-    /// lookup / preparation + run).
-    pub latency_seconds: f64,
-    /// Whether the scheduler was chosen by [`Planner::route`] (`true`) or
-    /// pinned by the caller (`false`).
-    pub routed: bool,
-    /// The enumeration result.
-    pub outcome: EnumerationOutcome,
 }
 
 /// The serving core: registry + cache + stats + admission control.
@@ -407,9 +227,21 @@ impl Service {
     /// fully deterministic (what the simulator's same-seed/same-trace
     /// guarantee relies on).
     pub fn with_clock(config: ServiceConfig, clock: Arc<dyn Clock>) -> Self {
+        Service::with_clock_and_registry(config, clock, GraphRegistry::new())
+    }
+
+    /// [`Service::with_clock`] over a caller-built registry — the sharded
+    /// coordinator constructs every shard's registry over **one** shared
+    /// label interner, so a pattern parsed on any shard agrees with every
+    /// shard's target labels.
+    pub fn with_clock_and_registry(
+        config: ServiceConfig,
+        clock: Arc<dyn Clock>,
+        registry: GraphRegistry,
+    ) -> Self {
         let metrics = MetricsRegistry::new();
         Service {
-            registry: GraphRegistry::new(),
+            registry,
             cache: PreparedCache::new(config.cache_capacity),
             stats: ServiceStats::with_registry(&metrics),
             engine_counters: EngineCounters::with_registry(&metrics),
@@ -567,16 +399,64 @@ impl Service {
             .get_full(target)
             .ok_or_else(|| ServiceError::UnknownTarget(target.to_string()))?;
         let pattern = self.registry.parse_pattern(&spec.pattern_text)?;
-        let (engine, cache_hit) = self.cache.get_or_prepare_planned(
-            &pattern,
-            target,
-            &target_graph,
-            Some(&target_stats),
-            Some(&target_bitmaps),
-            spec.algorithm,
-            spec.mode,
-            spec.run.strategy,
-        );
+        let (engine, cache_hit) = match self.registry.shard_meta(target) {
+            Some((owned, replication_hops)) => {
+                // Shard executor path: plans are *rooted* at the pattern node
+                // of minimum undirected eccentricity and position 0 is
+                // restricted to shard-owned vertices.  Correctness needs the
+                // whole pattern to fit inside the replicated R-hop ball
+                // around any owned root, so patterns that are empty,
+                // disconnected, or wider than the replication radius are
+                // rejected rather than silently undercounted.
+                let (root, eccentricity) =
+                    sge_plan::min_eccentricity_root(&pattern).ok_or_else(|| {
+                        ServiceError::Protocol(format!(
+                            "sharded target '{target}' requires a non-empty connected pattern"
+                        ))
+                    })?;
+                if eccentricity > replication_hops {
+                    return Err(ServiceError::Protocol(format!(
+                        "pattern radius {eccentricity} exceeds the shard replication \
+                         radius {replication_hops} of target '{target}'"
+                    )));
+                }
+                self.cache.get_or_prepare_with(
+                    &pattern,
+                    target,
+                    &target_graph,
+                    spec.algorithm,
+                    spec.mode,
+                    spec.run.strategy,
+                    || {
+                        let plan = Planner::new(spec.run.strategy).plan_rooted(
+                            &pattern,
+                            &target_graph,
+                            &target_stats,
+                            spec.algorithm,
+                            root,
+                            Some(Arc::clone(&owned)),
+                        );
+                        PreparedEngine::from_plan(
+                            Arc::new(pattern.clone()),
+                            Arc::clone(&target_graph),
+                            Some(Arc::clone(&target_bitmaps)),
+                            plan,
+                            spec.mode,
+                        )
+                    },
+                )
+            }
+            None => self.cache.get_or_prepare_planned(
+                &pattern,
+                target,
+                &target_graph,
+                Some(&target_stats),
+                Some(&target_bitmaps),
+                spec.algorithm,
+                spec.mode,
+                spec.run.strategy,
+            ),
+        };
         Ok((engine, cache_hit, PreparedCache::pattern_hash(&pattern)))
     }
 
@@ -913,110 +793,6 @@ impl Service {
         self.stats.record_batch();
         outcome
     }
-}
-
-/// The result of an `EXPLAIN`: the prepared engine whose plan is reported.
-#[derive(Clone)]
-pub struct ExplainOutcome {
-    /// Name of the target the plan was built against.
-    pub target: String,
-    /// Stable-within-process hash of the canonical pattern.
-    pub pattern_hash: u64,
-    /// Whether the plan came out of the [`PreparedCache`].
-    pub cache_hit: bool,
-    /// End-to-end service latency of the explain in seconds.
-    pub latency_seconds: f64,
-    /// The routing decision current when the explain ran (what an
-    /// unpinned QUERY of the same spec would dispatch as right now).
-    pub routing: RoutingDecision,
-    /// Whether the explained query would be planner-routed (`true`) or ran
-    /// with a caller-pinned scheduler (`false`).
-    pub routed: bool,
-    /// The scheduler the explained query would execute under: the routed
-    /// choice, or the pinned one.
-    pub effective_scheduler: Scheduler,
-    /// The prepared engine; its [`PreparedEngine::plan`] carries the match
-    /// order, strategy and cost estimates.
-    pub engine: Arc<PreparedEngine>,
-}
-
-/// The result of an `EXPLAIN ANALYZE`: the prepared engine (for the plan
-/// and its estimates), the executed outcome, and what the attached
-/// [`TraceSink`] observed — per match-order position — while it ran.
-#[derive(Clone)]
-pub struct ExplainAnalyzeOutcome {
-    /// Name of the target the query ran against.
-    pub target: String,
-    /// Stable-within-process hash of the canonical pattern.
-    pub pattern_hash: u64,
-    /// Whether the plan came out of the [`PreparedCache`].
-    pub cache_hit: bool,
-    /// End-to-end service latency in seconds (covers all spans).
-    pub latency_seconds: f64,
-    /// Candidates generated at each match-order position (the observed
-    /// counterpart of the plan's `est_candidates`).
-    pub observed_candidates: Vec<u64>,
-    /// Consistency checks performed at each position (the observed
-    /// counterpart of `est_states`); sums to the outcome's `states`.
-    pub observed_states: Vec<u64>,
-    /// Where the wall time went: `plan`, `admission_wait`, `enumeration`,
-    /// with offsets relative to the query start.
-    pub spans: Vec<SpanRecord>,
-    /// The routing decision current when the query dispatched.
-    pub routing: RoutingDecision,
-    /// Whether the run was planner-routed (`true`) or scheduler-pinned.
-    pub routed: bool,
-    /// The prepared engine whose plan carries the estimates.
-    pub engine: Arc<PreparedEngine>,
-    /// The executed enumeration (mappings empty — collection is disabled).
-    pub outcome: EnumerationOutcome,
-}
-
-/// Receiver of a streamed query's frames, driven by
-/// [`Service::run_query_streaming`] on the calling thread.
-///
-/// The TCP server implements this over the connection socket (one JSON line
-/// per call); tests implement it over plain vectors.  Returning an error
-/// from [`StreamSink::rows`] cancels the enumeration cooperatively.
-pub trait StreamSink {
-    /// Called once, before enumeration starts, with the stream metadata.
-    fn begin(&mut self, header: &StreamHeader) -> std::io::Result<()>;
-    /// Called for every frame of up to `chunk` mappings (`rows[i][p]` is the
-    /// target node pattern node `p` maps to).  The final frame may be short.
-    fn rows(&mut self, rows: &[Vec<NodeId>]) -> std::io::Result<()>;
-}
-
-/// Metadata delivered to a [`StreamSink`] before the first row frame.
-#[derive(Clone, Debug)]
-pub struct StreamHeader {
-    /// Name of the target the query runs against.
-    pub target: String,
-    /// Effective rows-per-frame (after clamping).
-    pub chunk: usize,
-    /// Whether the prepared engine came out of the [`PreparedCache`].
-    pub cache_hit: bool,
-    /// Stable-within-process hash of the canonical pattern.
-    pub pattern_hash: u64,
-    /// Algorithm variant that will run.
-    pub algorithm: Algorithm,
-    /// Ordering strategy of the prepared plan.
-    pub strategy: sge_ri::Strategy,
-    /// Scheduler the run executes under (the routed choice when `routed`).
-    pub scheduler: sge_engine::Scheduler,
-    /// Whether the scheduler was planner-routed rather than caller-pinned.
-    pub routed: bool,
-}
-
-/// The result of one streamed query: the usual outcome plus delivery facts.
-#[derive(Clone, Debug)]
-pub struct StreamedQueryOutcome {
-    /// The underlying query outcome (mappings empty — rows went to the sink).
-    pub query: QueryOutcome,
-    /// Rows successfully handed to the sink.
-    pub rows_sent: u64,
-    /// Whether the stream was cut short (sink write failed / consumer gone);
-    /// enumeration then stopped early and counts are lower bounds.
-    pub cancelled: bool,
 }
 
 /// Maps an executor-agnostic [`SchedulerChoice`] onto the engine's concrete

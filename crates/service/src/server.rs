@@ -14,9 +14,8 @@
 //! so draining parks instead of burning a sleep-spin — up to a drain
 //! deadline measured on the server's injectable [`Clock`].
 
-use crate::connection::{Connection, StepOutcome};
+use crate::connection::{Backend, Connection, StepOutcome};
 use crate::json::Json;
-use crate::SharedService;
 use sge_obs::EventLog;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -34,15 +33,21 @@ const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
-    service: SharedService,
+    service: Arc<dyn Backend>,
     shutdown: Arc<AtomicBool>,
     drain_timeout: Duration,
     event_log: Option<Arc<EventLog>>,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port).
-    pub fn bind(addr: impl ToSocketAddrs, service: SharedService) -> std::io::Result<Server> {
+    /// Binds to `addr` (use port 0 for an ephemeral port).  The backend is
+    /// either a plain [`crate::Service`] or a sharded
+    /// [`crate::coordinator::Coordinator`] — the accept loop and protocol
+    /// handling are identical.
+    pub fn bind<B: Backend + 'static>(
+        addr: impl ToSocketAddrs,
+        service: Arc<B>,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service,
@@ -86,7 +91,7 @@ impl Server {
         let conn_ids = AtomicU64::new(0);
         log_event(
             self.event_log.as_deref(),
-            &self.service,
+            self.service.as_ref(),
             "listening",
             vec![("addr", Json::str(local_addr.to_string()))],
         );
@@ -105,7 +110,7 @@ impl Server {
                 .unwrap_or_else(|_| "unknown".to_string());
             log_event(
                 self.event_log.as_deref(),
-                &self.service,
+                self.service.as_ref(),
                 "conn_open",
                 vec![("conn", Json::U64(conn)), ("peer", Json::str(peer))],
             );
@@ -129,7 +134,7 @@ impl Server {
                 gauge.dec();
                 log_event(
                     log.as_deref(),
-                    &service,
+                    service.as_ref(),
                     "conn_close",
                     vec![("conn", Json::U64(conn))],
                 );
@@ -138,10 +143,11 @@ impl Server {
         // Drain: give in-flight handlers until the deadline to finish.  The
         // deadline is measured on the service's clock, so drain semantics
         // are the same whether time is real or simulated.
-        let clean = tracker.drain(self.service.clock().as_ref(), self.drain_timeout);
+        let clock = self.service.clock();
+        let clean = tracker.drain(clock.as_ref(), self.drain_timeout);
         log_event(
             self.event_log.as_deref(),
-            &self.service,
+            self.service.as_ref(),
             "drained",
             vec![("clean", Json::Bool(clean))],
         );
@@ -154,13 +160,13 @@ impl Server {
 /// from a simulated service carry virtual time.
 pub(crate) fn log_event(
     log: Option<&EventLog>,
-    service: &crate::Service,
+    backend: &dyn Backend,
     event: &str,
     fields: Vec<(&str, Json)>,
 ) {
     let Some(log) = log else { return };
     let mut pairs = vec![
-        ("ts_seconds", Json::F64(service.clock().now().as_secs_f64())),
+        ("ts_seconds", Json::F64(backend.clock().now().as_secs_f64())),
         ("event", Json::str(event)),
     ];
     pairs.extend(fields);
@@ -239,7 +245,7 @@ impl Drop for LiveGuard {
 
 fn handle_connection(
     stream: TcpStream,
-    service: &SharedService,
+    service: &Arc<dyn Backend>,
     shutdown: &AtomicBool,
     local_addr: SocketAddr,
     log: Option<&EventLog>,
@@ -251,12 +257,17 @@ fn handle_connection(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(()); // server is draining; stop taking requests
         }
-        match connection.step(service)? {
+        match connection.step(service.as_ref())? {
             StepOutcome::Continue => {}
             StepOutcome::Closed => return Ok(()),
             StepOutcome::ShutdownRequested => {
                 shutdown.store(true, Ordering::SeqCst);
-                log_event(log, service, "shutdown", vec![("conn", Json::U64(conn))]);
+                log_event(
+                    log,
+                    service.as_ref(),
+                    "shutdown",
+                    vec![("conn", Json::U64(conn))],
+                );
                 // Wake the blocking accept loop so Server::run observes the
                 // flag even with no further client traffic.
                 let _ = TcpStream::connect(wake_addr(local_addr));
@@ -315,7 +326,7 @@ mod tests {
     #[test]
     fn event_log_records_the_connection_lifecycle() {
         use std::io::{BufRead, BufReader, Write};
-        let service: SharedService = Arc::new(crate::Service::new(crate::ServiceConfig::default()));
+        let service = Arc::new(crate::Service::new(crate::ServiceConfig::default()));
         let log = Arc::new(EventLog::new(64));
         let server = Server::bind("127.0.0.1:0", service)
             .unwrap()

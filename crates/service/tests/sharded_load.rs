@@ -1,0 +1,92 @@
+//! The million-edge LOAD proof: a modular target whose adjacency-bitmap
+//! sidecar blows the byte cap on the single registry loads **uncapped on
+//! every shard** of a 4-way partition.
+//!
+//! The cap is self-calibrated, not hard-coded: a zero-budget probe build
+//! reports the bytes the full-graph sidecar *would* need, and the test pins
+//! the cap at half that.  The monolithic path must then fall back to
+//! CSR-only kernels (`bitmap_capped`, zero rows) while each compacted shard
+//! ball — a quarter of the rows at roughly a quarter of the row width —
+//! fits with a wide margin.
+
+use sge_datasets::{generate_modular, ModularSpec};
+use sge_graph::{io::write_graph, AdjacencyBitmaps, BitmapConfig};
+use sge_service::{Backend, Coordinator, Service, ServiceConfig};
+
+fn temp_path(stem: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("{stem}-{}", std::process::id()))
+}
+
+#[test]
+fn four_shards_keep_the_million_edge_sidecar_uncapped() {
+    let spec = ModularSpec::million_edge();
+    let graph = generate_modular(&spec, 0x0DA7_A5E7, "modular-1m");
+    assert_eq!(graph.num_edges(), 1_004_928);
+
+    // Probe with a zero byte budget: the build caps immediately but still
+    // reports the full requirement, which calibrates the test cap.
+    let probe = AdjacencyBitmaps::build(
+        &graph,
+        &BitmapConfig {
+            max_bytes: 0,
+            ..BitmapConfig::default()
+        },
+    );
+    assert!(probe.capped());
+    let required = probe.required_row_bytes();
+    assert!(required > 0, "modular target must earn bitmap rows");
+    let cap = required / 2;
+
+    let path = temp_path("sge-modular-1m.graph");
+    std::fs::write(&path, write_graph(&graph)).expect("write dataset");
+
+    // Single registry: the full-width sidecar cannot fit under half its
+    // requirement — CSR-only fallback, zero rows.
+    let service = Service::new(ServiceConfig::default());
+    let mono = service
+        .load_target("modular", &path, Some(cap))
+        .expect("monolithic load");
+    assert!(mono.bitmap_capped, "full-graph sidecar should blow the cap");
+    assert_eq!(mono.bitmap_rows, 0);
+    assert_eq!(mono.nodes, spec.nodes());
+    assert_eq!(mono.edges, spec.directed_edges());
+
+    // Four shards under the *same* cap: compaction shrinks row count and
+    // row width together, so every shard loads its rows.
+    let coordinator = Coordinator::new(4, ServiceConfig::default());
+    let (total, shard_infos) = coordinator
+        .load_target("modular", &path, Some(cap))
+        .expect("sharded load");
+    assert_eq!(shard_infos.len(), 4);
+    assert_eq!(total.nodes, spec.nodes());
+    assert_eq!(total.edges, spec.directed_edges());
+    assert!(!total.bitmap_capped, "no shard should hit the cap");
+    for (index, info) in shard_infos.iter().enumerate() {
+        assert!(!info.bitmap_capped, "shard {index} capped");
+        assert!(info.bitmap_rows > 0, "shard {index} earned no rows");
+        assert!(
+            info.bitmap_bytes <= cap,
+            "shard {index} exceeds the per-shard cap"
+        );
+        assert!(
+            info.nodes < spec.nodes(),
+            "shard {index} ball not compacted"
+        );
+    }
+    assert!(total.bitmap_rows > 0);
+
+    // The wire-level LOAD response carries the same verdict per shard.
+    let response = coordinator
+        .load_json("modular-wire", &path.display().to_string(), Some(cap))
+        .render();
+    assert!(response.contains("\"ok\":true"), "response: {response}");
+    assert!(response.contains("\"shards\":["), "response: {response}");
+    assert_eq!(
+        response.matches("\"bitmap_capped\":false").count(),
+        5, // the aggregate plus all four shards
+        "response: {response}"
+    );
+    assert!(!response.contains("\"bitmap_capped\":true"));
+
+    std::fs::remove_file(&path).ok();
+}

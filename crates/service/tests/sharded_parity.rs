@@ -1,0 +1,282 @@
+//! Sharded scatter-gather parity: for every shard count, the union of
+//! per-shard rooted match sets must be **byte-identical** to the unsharded
+//! engine's sorted mappings, and the merged counts must agree with the
+//! independent VF2 oracle.
+//!
+//! The target is deliberately boundary-heavy: bridge edges between
+//! communities, triangles that straddle the cut, and self-loops on the
+//! bridge endpoints — the structures a naive edge-cut union would
+//! double-count or drop.
+
+use sge_engine::{RunConfig, Scheduler};
+use sge_graph::{generators, io::write_graph, GraphBuilder, NodeId};
+use sge_service::{
+    Coordinator, QuerySpec, Service, ServiceConfig, ServiceError, StreamHeader, StreamSink,
+};
+
+fn temp_path(stem: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("{stem}-{}", std::process::id()))
+}
+
+/// Communities of directed cliques joined into a ring by double bridge
+/// edges, with a triangle closed across each cut and a self-loop on each
+/// community's bridge anchor.
+fn bridged_communities(communities: usize, size: usize) -> sge_graph::Graph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..communities * size {
+        b.add_node(0);
+    }
+    for c in 0..communities {
+        let base = (c * size) as u32;
+        for i in 0..size as u32 {
+            for j in 0..size as u32 {
+                if i != j {
+                    b.add_edge(base + i, base + j, 0);
+                }
+            }
+        }
+    }
+    for c in 0..communities {
+        let a = (c * size) as u32;
+        let d = (((c + 1) % communities) * size) as u32;
+        // Two parallel bridges a↔d and a↔d+1; with the intra-community edge
+        // d↔d+1 they close an undirected triangle across the cut.
+        for peer in [d, d + 1] {
+            b.add_edge(a, peer, 0);
+            b.add_edge(peer, a, 0);
+        }
+        b.add_edge(a, a, 0);
+    }
+    b.build()
+}
+
+/// An undirected triangle with a self-loop on one corner.
+fn looped_triangle() -> sge_graph::Graph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..3 {
+        b.add_node(0);
+    }
+    for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+        b.add_edge(u, v, 0);
+        b.add_edge(v, u, 0);
+    }
+    b.add_edge(0, 0, 0);
+    b.build()
+}
+
+/// A single self-looped node.
+fn self_loop_node() -> sge_graph::Graph {
+    let mut b = GraphBuilder::new();
+    b.add_node(0);
+    b.add_edge(0, 0, 0);
+    b.build()
+}
+
+struct CollectSink {
+    header: Option<StreamHeader>,
+    rows: Vec<Vec<NodeId>>,
+}
+
+impl StreamSink for CollectSink {
+    fn begin(&mut self, header: &StreamHeader) -> std::io::Result<()> {
+        self.header = Some(header.clone());
+        Ok(())
+    }
+
+    fn rows(&mut self, rows: &[Vec<NodeId>]) -> std::io::Result<()> {
+        self.rows.extend(rows.iter().cloned());
+        Ok(())
+    }
+}
+
+#[test]
+fn sharded_union_matches_unsharded_engine_and_vf2() {
+    let target = bridged_communities(4, 6);
+    let target_path = temp_path("sge-parity-bridged.gfd");
+    std::fs::write(&target_path, write_graph(&target)).unwrap();
+
+    let unsharded = Service::new(ServiceConfig::default());
+    unsharded
+        .registry()
+        .load_file("bridged", &target_path)
+        .unwrap();
+
+    let patterns: Vec<(&str, sge_graph::Graph)> = vec![
+        ("triangle", generators::clique(3, 0)),
+        ("looped_triangle", looped_triangle()),
+        ("path3", generators::undirected_path(3, 0)),
+        ("clique4", generators::clique(4, 0)),
+        ("self_loop", self_loop_node()),
+    ];
+
+    for shard_count in [1usize, 2, 4] {
+        let coordinator = Coordinator::new(shard_count, ServiceConfig::default());
+        let (total, per_shard) = coordinator
+            .load_target("bridged", &target_path, None)
+            .unwrap();
+        assert_eq!(total.nodes, target.num_nodes());
+        assert_eq!(total.edges, target.num_edges());
+        assert_eq!(per_shard.len(), shard_count);
+
+        for (name, pattern) in &patterns {
+            let oracle = sge_vf2::count_matches(pattern, &target);
+            let text = write_graph(pattern);
+            let specs = [
+                QuerySpec::new(&text).with_run(
+                    RunConfig::new(Scheduler::Sequential).with_collected_mappings(1_000_000),
+                ),
+                QuerySpec::new(&text)
+                    .with_run(RunConfig::default().with_collected_mappings(1_000_000))
+                    .routed(),
+            ];
+            for (variant, spec) in specs.iter().enumerate() {
+                let reference = unsharded.run_query("bridged", spec).unwrap();
+                assert_eq!(
+                    reference.outcome.matches, oracle,
+                    "{name} variant {variant}: unsharded vs VF2"
+                );
+
+                let (merged, shard_outcomes) = coordinator.run_query("bridged", spec).unwrap();
+                assert_eq!(
+                    merged.outcome.matches, oracle,
+                    "{name} variant {variant} shards {shard_count}: merged count vs VF2"
+                );
+                assert_eq!(
+                    merged.outcome.mappings, reference.outcome.mappings,
+                    "{name} variant {variant} shards {shard_count}: sorted mappings"
+                );
+                assert_eq!(shard_outcomes.len(), shard_count);
+                let shard_sum: u64 = shard_outcomes.iter().map(|o| o.outcome.matches).sum();
+                assert_eq!(
+                    shard_sum, oracle,
+                    "{name} variant {variant} shards {shard_count}: ownership partitions matches"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&target_path).ok();
+}
+
+#[test]
+fn streamed_rows_equal_buffered_mappings() {
+    let target_path = temp_path("sge-parity-stream.gfd");
+    std::fs::write(&target_path, write_graph(&bridged_communities(3, 5))).unwrap();
+
+    let coordinator = Coordinator::new(2, ServiceConfig::default());
+    coordinator
+        .load_target("bridged", &target_path, None)
+        .unwrap();
+    std::fs::remove_file(&target_path).ok();
+
+    let text = write_graph(&generators::clique(3, 0));
+    let buffered_spec = QuerySpec::new(&text)
+        .with_run(RunConfig::new(Scheduler::Sequential).with_collected_mappings(1_000_000));
+    let (buffered, _) = coordinator.run_query("bridged", &buffered_spec).unwrap();
+
+    let stream_spec = QuerySpec::new(&text)
+        .with_run(RunConfig::new(Scheduler::Sequential))
+        .with_streaming(7);
+    let mut sink = CollectSink {
+        header: None,
+        rows: Vec::new(),
+    };
+    let (merged, per_shard) = coordinator
+        .run_query_streaming("bridged", &stream_spec, &mut sink)
+        .unwrap();
+
+    assert!(sink.header.is_some());
+    assert!(!merged.cancelled);
+    assert_eq!(merged.rows_sent, sink.rows.len() as u64);
+    assert_eq!(per_shard.len(), 2);
+    let mut streamed = sink.rows;
+    streamed.sort_unstable();
+    assert_eq!(
+        streamed, buffered.outcome.mappings,
+        "streamed union equals buffered sorted mappings"
+    );
+}
+
+#[test]
+fn radius_and_connectivity_violations_are_rejected() {
+    let target_path = temp_path("sge-parity-reject.gfd");
+    std::fs::write(&target_path, write_graph(&bridged_communities(3, 4))).unwrap();
+    let coordinator = Coordinator::new(2, ServiceConfig::default());
+    coordinator
+        .load_target("bridged", &target_path, None)
+        .unwrap();
+    std::fs::remove_file(&target_path).ok();
+
+    // Eccentricity 3 from the best root > replication radius 2.
+    let long_path = write_graph(&generators::undirected_path(7, 0));
+    let err = coordinator
+        .run_query("bridged", &QuerySpec::new(&long_path))
+        .unwrap_err();
+    match err {
+        ServiceError::Protocol(message) => assert!(message.contains("radius"), "{message}"),
+        other => panic!("expected protocol error, got {other}"),
+    }
+
+    // Disconnected patterns have no root whose ball covers them.
+    let mut b = GraphBuilder::new();
+    b.add_node(0);
+    b.add_node(0);
+    let disconnected = write_graph(&b.build());
+    let err = coordinator
+        .run_query("bridged", &QuerySpec::new(&disconnected))
+        .unwrap_err();
+    match err {
+        ServiceError::Protocol(message) => assert!(message.contains("connected"), "{message}"),
+        other => panic!("expected protocol error, got {other}"),
+    }
+}
+
+#[test]
+fn coordinator_and_shard_admission_families_stay_separate() {
+    // Regression for the STATS/METRICS double-count: a coordinator-level
+    // admission wait must surface under `coordinator.*` only, and shard
+    // executions under each shard's `service.*` only — summing the two
+    // families over-reports unless they stay disjoint.
+    let target_path = temp_path("sge-parity-admission.gfd");
+    std::fs::write(&target_path, write_graph(&bridged_communities(2, 5))).unwrap();
+    let coordinator = Coordinator::new(2, ServiceConfig::default());
+    coordinator
+        .load_target("bridged", &target_path, None)
+        .unwrap();
+    std::fs::remove_file(&target_path).ok();
+
+    let text = write_graph(&generators::clique(3, 0));
+    let spec = QuerySpec::new(&text).with_run(RunConfig::new(Scheduler::Sequential));
+    let queries = 3u64;
+    for _ in 0..queries {
+        coordinator.run_query("bridged", &spec).unwrap();
+    }
+
+    // Coordinator-level: one admission per merged query.
+    let coord = coordinator.stats();
+    assert_eq!(coord.admissions, queries);
+    assert_eq!(coord.queries_served, queries);
+
+    // Shard-level: one admission per shard execution — per shard, not per
+    // merged query, and never added into the coordinator's own counters.
+    let shard_admissions: u64 = coordinator
+        .shards()
+        .iter()
+        .map(|shard| shard.stats().admissions)
+        .sum();
+    assert_eq!(shard_admissions, queries * 2);
+
+    // The coordinator's own registry must not contain any `service.*`
+    // cells, and its METRICS aggregation namespaces shard families under
+    // `shard.` — the two sums stay independently legible.
+    let own: Vec<String> = coordinator
+        .metrics()
+        .snapshot()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    assert!(own.iter().any(|n| n == "coordinator.admissions"));
+    assert!(
+        own.iter().all(|n| !n.starts_with("service.")),
+        "coordinator registry leaked service.* cells: {own:?}"
+    );
+}

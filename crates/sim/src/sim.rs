@@ -13,7 +13,8 @@
 use crate::scenario::Scenario;
 use crate::trace::{normalize_line, TraceRecorder};
 use crate::transport::{FaultWriter, ReaderProbe, ScriptReader, WriterProbe};
-use sge_service::{protocol, Connection, Service, StatsSnapshot, StepOutcome};
+use sge_graph::PartitionSpec;
+use sge_service::{Backend, Connection, Coordinator, Service, StatsSnapshot, StepOutcome};
 use sge_util::{rng::SplitMix64, Clock, VirtualClock};
 use std::sync::Arc;
 use std::time::Duration;
@@ -62,14 +63,13 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
 }
 
 /// Runs `scenario` under an explicit seed (the swarm's entry point).
+///
+/// `shards == 1` drives the plain [`Service`]; `shards > 1` drives the
+/// scatter-gather [`Coordinator`] through the *same* connection loop — the
+/// two backends share the [`Backend`] seam `sge-serve` binds servers over.
 pub fn run_scenario_with_seed(scenario: &Scenario, seed: u64) -> SimReport {
     let clock = Arc::new(VirtualClock::new());
-    let service = Service::with_clock(
-        scenario.config,
-        Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
-    );
     let mut trace = TraceRecorder::new(scenario.normalize_counts);
-    let mut violations = Vec::new();
 
     trace.note(format!("# scenario {} seed {seed}", scenario.name));
     trace.note(format!(
@@ -78,17 +78,57 @@ pub fn run_scenario_with_seed(scenario: &Scenario, seed: u64) -> SimReport {
         scenario.config.batch_workers,
         scenario.config.max_in_flight
     ));
-    for target in &scenario.targets {
-        let info = service.registry().insert(&target.name, target.kind.build());
-        trace.note(format!(
-            "# target {} = {} ({} nodes, {} edges)",
-            target.name,
-            target.kind.describe(),
-            info.nodes,
-            info.edges
-        ));
+    if scenario.shards > 1 {
+        let coordinator = Coordinator::with_clock(
+            scenario.config,
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+            PartitionSpec::new(scenario.shards),
+        );
+        trace.note(format!("# shards {}", scenario.shards));
+        for target in &scenario.targets {
+            let (info, shard_infos) = coordinator.insert_target(&target.name, target.kind.build());
+            let owned: Vec<String> = shard_infos
+                .iter()
+                .map(|shard| shard.nodes.to_string())
+                .collect();
+            trace.note(format!(
+                "# target {} = {} ({} nodes, {} edges; shard ball sizes [{}])",
+                target.name,
+                target.kind.describe(),
+                info.nodes,
+                info.edges,
+                owned.join(",")
+            ));
+        }
+        drive(scenario, &coordinator, &clock, trace, seed)
+    } else {
+        let service = Service::with_clock(
+            scenario.config,
+            Arc::<VirtualClock>::clone(&clock) as Arc<dyn Clock>,
+        );
+        for target in &scenario.targets {
+            let info = service.registry().insert(&target.name, target.kind.build());
+            trace.note(format!(
+                "# target {} = {} ({} nodes, {} edges)",
+                target.name,
+                target.kind.describe(),
+                info.nodes,
+                info.edges
+            ));
+        }
+        drive(scenario, &service, &clock, trace, seed)
     }
+}
 
+/// The seeded scheduler loop over any [`Backend`].
+fn drive<B: Backend>(
+    scenario: &Scenario,
+    backend: &B,
+    clock: &Arc<VirtualClock>,
+    mut trace: TraceRecorder,
+    seed: u64,
+) -> SimReport {
+    let mut violations = Vec::new();
     let mut clients: Vec<SimClient> = scenario
         .clients
         .iter()
@@ -96,7 +136,7 @@ pub fn run_scenario_with_seed(scenario: &Scenario, seed: u64) -> SimReport {
         .map(|(id, script)| {
             let (reader, reader_probe) =
                 ScriptReader::new(script.script_bytes(), script.read_fault);
-            let (writer, writer_probe) = FaultWriter::new(Arc::clone(&clock), script.write_fault);
+            let (writer, writer_probe) = FaultWriter::new(Arc::clone(clock), script.write_fault);
             SimClient {
                 id,
                 connection: Connection::new(reader, writer),
@@ -140,7 +180,7 @@ pub fn run_scenario_with_seed(scenario: &Scenario, seed: u64) -> SimReport {
         let client = &mut clients[pick];
         let label = format!("client[{}]", client.id);
 
-        let result = client.connection.step(&service);
+        let result = client.connection.step(backend);
 
         // What the step consumed and produced, via the probes.
         let consumed = client
@@ -184,12 +224,8 @@ pub fn run_scenario_with_seed(scenario: &Scenario, seed: u64) -> SimReport {
         }
     }
 
-    let stats = service.stats();
-    trace.event(
-        clock.now(),
-        "stats",
-        &protocol::stats_response(&service).render(),
-    );
+    let stats = backend.stats_snapshot();
+    trace.event(clock.now(), "stats", &backend.stats_json().render());
     check_invariants(&stats, &mut violations);
     if !violations.is_empty() {
         for violation in &violations {

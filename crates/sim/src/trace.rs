@@ -25,8 +25,22 @@ use std::time::Duration;
 const ALWAYS_SCRUBBED: &[&str] = &["preprocess_seconds", "match_seconds"];
 
 /// Keys scrubbed only under `normalize_counts` (racy after a mid-enumeration
-/// cancel).
-const COUNT_KEYS: &[&str] = &["matches", "states", "total_matches", "rows_sent"];
+/// cancel).  `rows_streamed`/`streams_cancelled` joined the list with the
+/// sharded coordinator: its per-shard streams run on real threads, so how
+/// many rows a shard hands its bridge before observing a severed channel —
+/// and whether it observes it at all — is OS scheduling, not seed.
+const COUNT_KEYS: &[&str] = &[
+    "matches",
+    "states",
+    "total_matches",
+    "rows_sent",
+    "rows_streamed",
+    "streams_cancelled",
+    // Derived from the racy state counts above: the planner's EWMA
+    // correction folds in each query's *actual* states, so a cancelled
+    // enumeration perturbs it by however far the producer got.
+    "cost_model_correction",
+];
 
 /// Longest rendered payload kept per trace line, in bytes.  Sized so the
 /// longest single-line responses the corpus asserts on — a METRICS registry
@@ -168,11 +182,12 @@ mod tests {
 
     #[test]
     fn count_scrub_is_opt_in_and_exact_key_only() {
-        let line = r#"{"matches":60,"states":120,"total_matches":60,"rows_sent":7}"#;
+        let line =
+            r#"{"matches":60,"states":120,"total_matches":60,"rows_sent":7,"rows_streamed":7}"#;
         assert_eq!(normalize_line(line, false), line);
         assert_eq!(
             normalize_line(line, true),
-            r#"{"matches":_,"states":_,"total_matches":_,"rows_sent":_}"#
+            r#"{"matches":_,"states":_,"total_matches":_,"rows_sent":_,"rows_streamed":_}"#
         );
     }
 

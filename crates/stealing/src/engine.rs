@@ -667,16 +667,25 @@ mod tests {
 
     #[test]
     fn stealing_happens_with_imbalanced_initial_work() {
-        // With 8 workers on an 8-queens instance there are only 8 root tasks,
-        // one per worker, with very different subtree sizes — stealing should
-        // occur (it is technically possible but vanishingly unlikely that the
-        // schedule never steals).
+        // With 8 workers on an 9-queens instance there are only 9 root tasks
+        // with very different subtree sizes — stealing should occur.  Whether
+        // it *does* depends on the OS schedule: on a single-core host a
+        // worker often drains its whole subtree before a would-be thief ever
+        // runs, so the steal assertion holds over a bounded retry loop while
+        // the solution count must be exact on every run.
         let problem = NQueens { n: 9 };
-        let result = run(&problem, &EngineConfig::with_workers(8));
-        assert_eq!(result.solutions, 352);
+        let mut steals = 0;
+        for _ in 0..20 {
+            let result = run(&problem, &EngineConfig::with_workers(8));
+            assert_eq!(result.solutions, 352);
+            steals += result.steals;
+            if steals > 0 {
+                break;
+            }
+        }
         assert!(
-            result.steals > 0,
-            "expected at least one steal with imbalanced roots"
+            steals > 0,
+            "expected at least one steal with imbalanced roots across 20 schedules"
         );
     }
 

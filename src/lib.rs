@@ -23,7 +23,8 @@
 //! | [`stealing`] | the generic private-deque work-stealing engine |
 //! | [`parallel`] | parallel RI / RI-DS-SI-FC plus ablation schedulers |
 //! | [`engine`] | the unified [`Engine`]/[`Scheduler`] API and [`PreparedEngine`] |
-//! | [`service`] | query serving: graph registry, prepared cache, batch executor, TCP server |
+//! | [`wire`] | the serving wire plane: line-protocol codec, JSON encoder, stream framing |
+//! | [`service`] | query serving: graph registry, prepared cache, batch executor, TCP server, shard coordinator |
 //! | [`obs`] | observability: metrics registry, query traces, enumeration trace sinks, event log |
 //! | [`datasets`] | synthetic PPIS32 / GRAEMLIN32 / PDBSv1 analogues |
 //! | [`util`] | bitsets, statistics, timing |
@@ -72,6 +73,7 @@ pub use sge_service as service;
 pub use sge_stealing as stealing;
 pub use sge_util as util;
 pub use sge_vf2 as vf2;
+pub use sge_wire as wire;
 
 pub use engine::{Engine, EnumerationOutcome, PreparedEngine, RunConfig, Scheduler};
 pub use sge_plan::{Planner, QueryPlan, Strategy};
